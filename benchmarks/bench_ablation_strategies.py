@@ -1,0 +1,87 @@
+"""Ablation: the three boundary strategies of Section 3.3.4.
+
+The paper discusses the trade-off between code size (number of generated
+loop nests) and branch overhead.  This benchmark measures all three
+strategies on the same problems and reports nest counts alongside
+measured runtimes — the data behind the discussion.
+"""
+
+import time
+
+import numpy as np
+
+from repro import adjoint_loops, compile_nests
+from repro.apps import heat_problem, wave_problem
+from repro.core.transform import STRATEGIES
+
+
+def _measure(prob, n, strategy, reps=5):
+    inner = prob.with_interior(prob.halo)  # padded needs the halo margin
+    nests = adjoint_loops(inner.primal, inner.adjoint_map, strategy=strategy)
+    kernel = compile_nests(nests, inner.bindings(n), name=strategy)
+    rng = np.random.default_rng(0)
+    base = inner.allocate(n, rng=rng)
+    base.update(inner.allocate_adjoints(n, rng=rng))
+    best = float("inf")
+    for _ in range(reps):
+        arrays = {k: v.copy() for k, v in base.items()}
+        t0 = time.perf_counter()
+        kernel(arrays)
+        best = min(best, time.perf_counter() - t0)
+    return len(nests), best, arrays
+
+
+def test_ablation_strategies_wave3d(benchmark, capsys):
+    prob = wave_problem(3, active_c=False)
+    n = 64
+    results = {}
+    reference = None
+    for strategy in STRATEGIES:
+        count, t, arrays = _measure(prob, n, strategy)
+        results[strategy] = (count, t)
+        if reference is None:
+            reference = arrays["u_1_b"]
+        else:
+            np.testing.assert_allclose(
+                arrays["u_1_b"], reference, rtol=1e-12, atol=1e-13
+            )
+    benchmark.pedantic(
+        lambda: _measure(prob, n, "disjoint", reps=1), rounds=3, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nboundary-strategy ablation, wave3d n={n}:")
+        for strategy, (count, t) in results.items():
+            print(f"  {strategy:9s} {count:4d} nests   {t * 1e3:8.2f} ms")
+    # Code-size ordering from Section 3.3.4.
+    assert results["padded"][0] == 1
+    assert results["guarded"][0] == 7
+    assert results["disjoint"][0] == 53
+    for strategy, (count, t) in results.items():
+        benchmark.extra_info[f"{strategy}_nests"] = count
+        benchmark.extra_info[f"{strategy}_ms"] = round(t * 1e3, 2)
+
+
+def test_ablation_strategies_heat2d(benchmark, capsys):
+    prob = heat_problem(2)
+    n = 512
+    results = {}
+    reference = None
+    for strategy in STRATEGIES:
+        count, t, arrays = _measure(prob, n, strategy)
+        results[strategy] = (count, t)
+        if reference is None:
+            reference = arrays["u_1_b"]
+        else:
+            np.testing.assert_allclose(
+                arrays["u_1_b"], reference, rtol=1e-12, atol=1e-13
+            )
+    benchmark.pedantic(
+        lambda: _measure(prob, n, "disjoint", reps=1), rounds=3, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nboundary-strategy ablation, heat2d n={n}:")
+        for strategy, (count, t) in results.items():
+            print(f"  {strategy:9s} {count:4d} nests   {t * 1e3:8.2f} ms")
+    assert results["padded"][0] == 1
+    assert results["guarded"][0] == 5
+    assert results["disjoint"][0] == 17

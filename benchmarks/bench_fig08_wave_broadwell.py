@@ -1,0 +1,36 @@
+"""Experiment fig8: wave-equation scalability on Broadwell (Figure 8).
+
+Measured part: one serial execution of the PerforAD wave adjoint at
+laptop scale (the kernel whose descriptor feeds the model).  Table part:
+the full speedup series at the paper's 1000^3 size on the Broadwell
+preset.  Shape assertions encode the figure's claims: the primal and the
+PerforAD adjoint scale (the paper's primal reaches ~4.6x at 12 threads,
+PerforAD ~7.8x), the Tapenade adjoint is serial, and atomics never exceed
+their serial baseline.
+"""
+
+from repro.experiments import fig08_wave_broadwell, render_speedup
+
+
+def test_fig08_wave_broadwell_speedups(benchmark, capsys, wave_case):
+    benchmark.pedantic(
+        wave_case.gather_kernel, args=(wave_case.arrays(),), rounds=3, iterations=1
+    )
+    fig = fig08_wave_broadwell()
+    with capsys.disabled():
+        print()
+        print(render_speedup(fig))
+
+    s = fig.series
+    # Primal benefits from all 12 cores but saturates on bandwidth (~4.6x).
+    assert 4.0 < s["Primal"][-1] < 6.0
+    # PerforAD scales further than the primal (more flops per byte).
+    assert s["PerforAD"][-1] > s["Primal"][-1]
+    assert s["PerforAD"][-1] > 6.0
+    # Conventional adjoint: serial (flat at 1).
+    assert all(v == 1.0 for v in s["Adjoint"])
+    # Atomics never scale and stay below serial speed at every count.
+    assert all(v < 0.2 for v in s["Atomics"])
+    assert s["Atomics"][-1] <= s["Atomics"][0]
+    for label, series in fig.series.items():
+        benchmark.extra_info[f"{label}@12t"] = round(series[-1], 2)

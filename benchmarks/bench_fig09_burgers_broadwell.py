@@ -1,0 +1,32 @@
+"""Experiment fig9: Burgers-equation scalability on Broadwell (Figure 9).
+
+The paper: "The PerforAD-generated adjoint has near-perfect scalability."
+Measured part: one serial PerforAD Burgers adjoint execution at 2x10^6
+cells.  Table: the model speedup series at 10^9 cells.
+"""
+
+from repro.experiments import fig09_burgers_broadwell, render_speedup
+
+
+def test_fig09_burgers_broadwell_speedups(benchmark, capsys, burgers_case):
+    benchmark.pedantic(
+        burgers_case.gather_kernel,
+        args=(burgers_case.arrays(),),
+        rounds=3,
+        iterations=1,
+    )
+    fig = fig09_burgers_broadwell()
+    with capsys.disabled():
+        print()
+        print(render_speedup(fig))
+
+    s = fig.series
+    # Near-perfect scalability of the PerforAD adjoint up to 12 threads.
+    assert s["PerforAD"][-1] > 10.0
+    # The compute-heavy adjoint scales *better* than the bandwidth-bound
+    # primal — visible in Figure 9 where the primal flattens earlier.
+    assert s["PerforAD"][-1] >= s["Primal"][-1]
+    assert all(v == 1.0 for v in s["Adjoint"])
+    assert all(v < 0.5 for v in s["Atomics"])
+    for label, series in fig.series.items():
+        benchmark.extra_info[f"{label}@12t"] = round(series[-1], 2)

@@ -1,0 +1,42 @@
+"""Experiment fig11: Burgers absolute runtimes on Broadwell
+(Figure 11: 2.13 / 15.73 / 8.76 / 0.56 / 1.54 seconds).
+
+"Despite being slower in serial, the adjoint stencil outperforms
+conventional adjoints by a factor of 5.7x."
+"""
+
+from repro.experiments import fig11_burgers_runtimes_broadwell, render_bars
+from repro.machine import BROADWELL
+from repro.experiments import burgers_descriptors
+
+
+def test_fig11_burgers_runtime_bars(benchmark, capsys, burgers_case):
+    def serial_suite():
+        burgers_case.primal_kernel(burgers_case.arrays())
+        burgers_case.gather_kernel(burgers_case.arrays())
+        burgers_case.scatter_kernel(burgers_case.arrays())
+
+    benchmark.pedantic(serial_suite, rounds=3, iterations=1)
+    fig = fig11_burgers_runtimes_broadwell()
+    with capsys.disabled():
+        print()
+        print(render_bars(fig))
+
+    for label, (model, paper) in fig.bars.items():
+        assert 0.55 < model / paper < 1.45, (label, model, paper)
+        benchmark.extra_info[label] = round(model, 2)
+
+    # Serial ordering: primal < conventional adjoint < PerforAD adjoint.
+    assert (
+        fig.bars["Primal Serial"][0]
+        < fig.bars["Adjoint Serial"][0]
+        < fig.bars["PerforAD Serial"][0]
+    )
+    # Crossover at two threads (Section 5.1): PerforAD with 2 threads
+    # already beats the serial conventional adjoint.
+    desc = burgers_descriptors()
+    t2 = BROADWELL.time(desc.perforad, 2, "gather")
+    assert t2 < fig.bars["Adjoint Serial"][0]
+    factor = fig.bars["Adjoint Serial"][0] / fig.bars["PerforAD Parallel"][0]
+    assert 4.0 < factor < 12.0  # paper: 5.7x
+    benchmark.extra_info["speedup_vs_conventional"] = round(factor, 1)

@@ -1,0 +1,33 @@
+"""Experiment fig13: Burgers scalability on KNL (Figure 13).
+
+"... near-perfect scalability up to 64 threads for the primal and adjoint
+stencil solver on a KNL processor.  The scatter adjoints with atomics do
+not scale at all."
+"""
+
+from repro.experiments import fig13_burgers_knl, render_speedup
+
+
+def test_fig13_burgers_knl_speedups(benchmark, capsys, burgers_case):
+    benchmark.pedantic(
+        burgers_case.gather_kernel,
+        args=(burgers_case.arrays(),),
+        rounds=3,
+        iterations=1,
+    )
+    fig = fig13_burgers_knl()
+    with capsys.disabled():
+        print()
+        print(render_speedup(fig))
+
+    primal = dict(zip(fig.threads, fig.series["Primal"]))
+    perforad = dict(zip(fig.threads, fig.series["PerforAD"]))
+    # Near-perfect scaling to 64 threads for both stencil solvers.
+    assert primal[64] > 32.0
+    assert perforad[64] > 55.0
+    # SMT beyond 64 threads still helps the compute-bound adjoint.
+    assert perforad[256] > perforad[64]
+    # Atomics do not scale at all.
+    assert all(v < 0.6 for v in fig.series["Atomics"])
+    assert fig.series["Atomics"][-1] < fig.series["Atomics"][0]
+    benchmark.extra_info["perforad@64t"] = round(perforad[64], 1)

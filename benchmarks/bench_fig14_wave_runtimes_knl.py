@@ -1,0 +1,28 @@
+"""Experiment fig14: wave-equation absolute runtimes on KNL
+(Figure 14: 12.82 / 41.27 / 25.45 / 0.84 / 1.29 seconds).
+
+"...adjoint stencils lead to a much-reduced runtime in parallel, over 19x
+faster than the best runtime of the conventional adjoint code."
+"""
+
+from repro.experiments import fig14_wave_runtimes_knl, render_bars
+
+
+def test_fig14_wave_runtime_bars_knl(benchmark, capsys, wave_case):
+    benchmark.pedantic(
+        wave_case.scatter_kernel, args=(wave_case.arrays(),), rounds=3, iterations=1
+    )
+    fig = fig14_wave_runtimes_knl()
+    with capsys.disabled():
+        print()
+        print(render_bars(fig))
+
+    for label, (model, paper) in fig.bars.items():
+        assert 0.55 < model / paper < 1.45, (label, model, paper)
+        benchmark.extra_info[label] = round(model, 2)
+
+    # The conventional adjoint does not parallelise (its best is serial),
+    # so the headline factor is conventional-serial over PerforAD-best.
+    factor = fig.bars["Adjoint Serial"][0] / fig.bars["PerforAD Parallel"][0]
+    assert factor > 15.0  # paper: >19x
+    benchmark.extra_info["speedup_vs_conventional"] = round(factor, 1)

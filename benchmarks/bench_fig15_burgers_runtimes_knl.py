@@ -1,0 +1,57 @@
+"""Experiment fig15: Burgers absolute runtimes on KNL
+(Figure 15: 25.02 / 51.85 / 95.74 / 0.50 / 0.76 seconds).
+
+On KNL the conventional serial baseline is Tapenade's *stack-based*
+output (min/max values pushed in the forward sweep, popped in reverse),
+which is slower than PerforAD even in serial; combined with the
+scalability gap this yields the paper's 125x headline factor.
+
+Measured part: the stack-based adjoint (forward push + reverse pop)
+executes at laptop scale and is verified against the gather adjoint.
+"""
+
+import numpy as np
+
+from repro.baselines import StackAdjoint
+from repro.experiments import fig15_burgers_runtimes_knl, render_bars
+
+
+def test_fig15_burgers_runtime_bars_knl(benchmark, capsys, burgers_case):
+    sa = StackAdjoint(
+        burgers_case.problem.primal,
+        burgers_case.problem.adjoint_map,
+        burgers_case.bindings,
+        chunk=4096,
+    )
+    assert sa.num_intermediates == 2
+
+    def stack_sweep():
+        arrays = burgers_case.arrays()
+        sa.run(arrays)
+        return arrays
+
+    arrays = benchmark.pedantic(stack_sweep, rounds=3, iterations=1)
+
+    # Verify the stack sweep against the gather adjoint.
+    ref = burgers_case.arrays()
+    burgers_case.gather_kernel(ref)
+    np.testing.assert_allclose(
+        arrays["u_1_b"], ref["u_1_b"], rtol=1e-12, atol=1e-13
+    )
+
+    fig = fig15_burgers_runtimes_knl()
+    with capsys.disabled():
+        print()
+        print(render_bars(fig))
+
+    for label, (model, paper) in fig.bars.items():
+        assert 0.55 < model / paper < 1.45, (label, model, paper)
+        benchmark.extra_info[label] = round(model, 2)
+
+    # Stack-based conventional serial is slower than PerforAD *serial*
+    # (Figure 15's distinctive feature: 95.74 s vs 51.85 s).
+    assert fig.bars["Adjoint Serial"][0] > fig.bars["PerforAD Serial"][0]
+    # Headline: ~125x between conventional stack serial and PerforAD best.
+    factor = fig.bars["Adjoint Serial"][0] / fig.bars["PerforAD Parallel"][0]
+    assert factor > 90.0
+    benchmark.extra_info["speedup_vs_conventional"] = round(factor, 1)

@@ -1,0 +1,53 @@
+"""Experiment loops334: loop-nest counts and transformation cost.
+
+Regenerates the counts stated in Section 3.3.4 (5 / 25 / 125 / 53) and
+benchmarks the full symbolic pipeline (SymPy differentiation + shifting +
+hierarchical splitting) that produces them — the compile-time cost of the
+approach.
+"""
+
+import itertools
+
+import sympy as sp
+
+from repro import adjoint_loops, make_loop_nest, wave_problem
+
+n = sp.Symbol("n", integer=True)
+
+
+def _dense(dim):
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    u, r = sp.Function("u"), sp.Function("r")
+    expr = sum(
+        u(*[c + o for c, o in zip(counters, offs)])
+        for offs in itertools.product((-1, 0, 1), repeat=dim)
+    )
+    nest = make_loop_nest(
+        lhs=r(*counters), rhs=expr, counters=list(counters),
+        bounds={c: [1, n - 2] for c in counters},
+    )
+    return nest, {r: sp.Function("r_b"), u: sp.Function("u_b")}
+
+
+def test_loop_counts_1d_three_point(benchmark):
+    nest, amap = _dense(1)
+    nests = benchmark(lambda: adjoint_loops(nest, amap))
+    assert len(nests) == 5
+
+
+def test_loop_counts_2d_dense(benchmark):
+    nest, amap = _dense(2)
+    nests = benchmark(lambda: adjoint_loops(nest, amap))
+    assert len(nests) == 25
+
+
+def test_loop_counts_3d_dense(benchmark):
+    nest, amap = _dense(3)
+    nests = benchmark(lambda: adjoint_loops(nest, amap))
+    assert len(nests) == 125
+
+
+def test_loop_counts_3d_star_wave(benchmark):
+    prob = wave_problem(3)
+    nests = benchmark(lambda: adjoint_loops(prob.primal, prob.adjoint_map))
+    assert len(nests) == 53

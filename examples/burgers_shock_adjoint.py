@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Burgers shock sensitivity: gather vs scatter adjoints on a CFD motif.
+
+The paper's second test case (Section 4.2) is the upwinded viscous Burgers
+equation — nonlinear, only piecewise differentiable, and the stress test
+for complicated adjoint loop bodies (ternary Heaviside factors, Figure 7).
+
+This example:
+
+1. evolves a sine profile into a steepening front over several time steps;
+2. computes the sensitivity of the final kinetic energy to the initial
+   condition by running the PerforAD adjoint stencil kernels backwards
+   through the time loop (the nonlinearity means every reverse step needs
+   the saved primal state — the values Tapenade would push on its stack);
+3. verifies the sensitivity against finite differences;
+4. times the three adjoint execution disciplines the paper compares:
+   gather (PerforAD), serial scatter slices (Tapenade-like), and
+   ``np.add.at`` atomic-analogue scatter.
+
+Run:  python examples/burgers_shock_adjoint.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    AtomicScatterKernel,
+    adjoint_loops,
+    burgers_problem,
+    compile_nests,
+    tapenade_style_adjoint,
+)
+
+
+def forward(kernel, u_init, steps, shape):
+    history = [u_init.copy()]
+    u_curr = u_init.copy()
+    for _ in range(steps):
+        arrays = {"u": np.zeros(shape), "u_1": u_curr}
+        kernel(arrays)
+        u_curr = arrays["u"]
+        history.append(u_curr.copy())
+    return u_curr, history
+
+
+def energy(u):
+    return 0.5 * float(np.sum(u * u))
+
+
+def sensitivity(adjoint_kernel, history, shape):
+    """d(energy of u^T) / d(u^0) via reverse time sweep."""
+    lam = history[-1].copy()  # dE/du^T = u^T
+    for t in reversed(range(len(history) - 1)):
+        arrays = {
+            "u_b": lam,
+            "u_1": history[t],  # saved primal state (nonlinear adjoint)
+            "u_1_b": np.zeros(shape),
+        }
+        adjoint_kernel(arrays)
+        lam = arrays["u_1_b"]
+    return lam
+
+
+def main() -> None:
+    prob = burgers_problem(1)
+    N, steps = 100_000, 25
+    bindings = prob.bindings(N, C=0.4, D=0.05)
+    shape = prob.array_shape(N)
+
+    primal_kernel = compile_nests([prob.primal], bindings, name="burgers_fwd")
+    gather_nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    gather_kernel = compile_nests(gather_nests, bindings, name="burgers_adj")
+    scatter_nest = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    scatter_kernel = compile_nests([scatter_nest], bindings, name="burgers_scat")
+    atomic_kernel = AtomicScatterKernel(scatter_kernel)
+
+    # Sine profile -> steepening front (the classic Burgers behaviour).
+    x = np.linspace(0.0, 2 * np.pi, N + 1)
+    u0 = np.sin(x) + 0.5
+    u_final, history = forward(primal_kernel, u0, steps, shape)
+    print(f"final energy after {steps} steps: {energy(u_final):.6f}")
+    print(f"max |du/dx| grew from {np.max(np.abs(np.diff(u0))):.4f} "
+          f"to {np.max(np.abs(np.diff(u_final))):.4f} (front steepening)")
+
+    grad = sensitivity(gather_kernel, history, shape)
+    print(f"sensitivity norm |dE/du0| = {np.linalg.norm(grad):.6f}")
+
+    # --- verification vs finite differences -----------------------------
+    rng = np.random.default_rng(1)
+    v = rng.standard_normal(shape) * (np.abs(np.sin(x)) > 0.05)
+    h = 1e-7
+    Ep, _ = forward(primal_kernel, u0 + h * v, steps, shape)
+    Em, _ = forward(primal_kernel, u0 - h * v, steps, shape)
+    fd = (energy(Ep) - energy(Em)) / (2 * h)
+    ad = float(np.vdot(grad, v))
+    rel = abs(fd - ad) / max(abs(fd), 1e-30)
+    print(f"directional FD={fd:.8e}  AD={ad:.8e}  rel={rel:.2e}")
+    assert rel < 1e-5, "Burgers adjoint failed finite-difference check"
+
+    # --- the paper's execution-discipline comparison, measured ----------
+    lam = history[-1].copy()
+    base = {"u_b": lam, "u_1": history[-2], "u_1_b": np.zeros(shape)}
+
+    def bench(fn, reps=20):
+        best = float("inf")
+        for _ in range(reps):
+            arrays = {k: v.copy() for k, v in base.items()}
+            t0 = time.perf_counter()
+            fn(arrays)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_gather = bench(gather_kernel)
+    t_scatter = bench(scatter_kernel)
+    t_atomic = bench(atomic_kernel)
+    print("\nadjoint execution disciplines (one step, best of 20):")
+    print(f"  PerforAD gather loops : {t_gather * 1e3:9.3f} ms")
+    print(f"  scatter slices        : {t_scatter * 1e3:9.3f} ms")
+    print(f"  np.add.at (atomics)   : {t_atomic * 1e3:9.3f} ms "
+          f"({t_atomic / t_gather:.1f}x gather)")
+    print("\nOK: Burgers shock sensitivity verified.")
+
+
+if __name__ == "__main__":
+    main()

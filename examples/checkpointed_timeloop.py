@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Revolve-checkpointed adjoint time stepping around stencil adjoints.
+
+Adjoint time stepping needs the primal state at every reverse step.  For
+long simulations on large grids, storing all states is impossible; the
+classical remedy is binomial checkpointing (Griewank & Walther's
+*revolve*), which this repository implements in ``repro.driver``.  This
+example runs a Burgers simulation for 60 steps, reverses it with only 5
+resident snapshots, and shows:
+
+* the checkpointed gradient is **bitwise identical** to the store-all
+  gradient (the reverse sweep consumes the same primal states);
+* the evaluation count matches the provably optimal schedule cost;
+* memory drops from 60 stored states to 5.
+
+Run:  python examples/checkpointed_timeloop.py
+"""
+
+import numpy as np
+
+from repro import adjoint_loops, burgers_problem, compile_nests
+from repro.driver import AdjointTimeStepper, optimal_cost, schedule, schedule_cost
+
+
+def main() -> None:
+    prob = burgers_problem(1)
+    n, steps, snaps = 20_000, 60, 5
+    bindings = prob.bindings(n, C=0.3, D=0.05)
+    shape = prob.array_shape(n)
+    fwd = compile_nests([prob.primal], bindings)
+    adj = compile_nests(adjoint_loops(prob.primal, prob.adjoint_map), bindings)
+
+    def forward_step(state):
+        arrays = {"u": np.zeros(shape), "u_1": state["u"]}
+        fwd(arrays)
+        return {"u": arrays["u"]}
+
+    def reverse_step(saved, lam):
+        arrays = {"u_b": lam["u"].copy(), "u_1": saved["u"],
+                  "u_1_b": np.zeros(shape)}
+        adj(arrays)
+        return {"u": arrays["u_1_b"]}
+
+    stepper = AdjointTimeStepper(forward_step, reverse_step)
+
+    x = np.linspace(0, 2 * np.pi, n + 1)
+    u0 = {"u": np.sin(x) + 0.3}
+    final = stepper.run_forward(u0, steps)
+    seed = {"u": final["u"].copy()}  # dJ/du_T for J = 0.5||u_T||^2
+
+    grad_all = stepper.run_store_all(u0, steps, seed)
+    grad_chk = stepper.run_checkpointed(u0, steps, seed, snaps=snaps)
+
+    identical = np.array_equal(grad_all["u"], grad_chk["u"])
+    acts = schedule(steps, snaps)
+    cost = schedule_cost(acts)
+    print(f"steps: {steps}, snapshots: {snaps}")
+    print(f"checkpointed gradient bitwise identical to store-all: {identical}")
+    print(f"schedule evaluations: {cost} "
+          f"(DP optimum {optimal_cost(steps, snaps)}, "
+          f"store-all {2 * steps - 1})")
+    print(f"recomputation overhead: {cost / (2 * steps - 1):.2f}x evaluations")
+    print(f"memory: {snaps} states resident instead of {steps + 1} "
+          f"({(steps + 1) / snaps:.1f}x less)")
+    assert identical
+    assert cost == optimal_cost(steps, snaps)
+    print("\nOK: revolve-checkpointed adjoint sweep verified.")
+
+
+if __name__ == "__main__":
+    main()

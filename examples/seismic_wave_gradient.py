@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Seismic-imaging workload: gradient of a waveform misfit w.r.t. velocity.
+
+The paper motivates adjoint stencils with seismic imaging (Section 4.1),
+where the gradient of a data-misfit functional with respect to the wave
+speed ``c`` drives full-waveform inversion.  This example runs the 3-D
+wave stencil for several time steps, then propagates the misfit adjoint
+*backwards in time* using the PerforAD-generated adjoint stencil kernels,
+accumulating the velocity-model gradient on the way — and cross-checks the
+gradient against finite differences.
+
+Forward recurrence (one primal stencil application per step):
+
+    u^{t+1} = 2 u^t - u^{t-1} + c * D * laplacian(u^t)
+
+Reverse recurrence for the adjoint variables (lambda^t = dJ/du^t):
+
+    lambda^t  = A1ᵀ lambda^{t+1} + A2ᵀ lambda^{t+2}
+    grad_c   += (dU^{t+1}/dc)ᵀ lambda^{t+1}
+
+where A1/A2 are the Jacobians w.r.t. u^t/u^{t-1}.  Each Aᵀ application is
+exactly one execution of the adjoint stencil kernel, seeded with the next
+step's adjoint — the stencil-level transformation (this paper) composes
+with a conventional reverse sweep over the time loop, as Section 3.1
+prescribes for the surrounding program.
+
+Run:  python examples/seismic_wave_gradient.py
+"""
+
+import numpy as np
+
+from repro import adjoint_loops, compile_nests, wave_problem
+
+
+def forward(primal_kernel, c, u0, u1, steps):
+    """Run the primal recurrence; return final field and the u^t history."""
+    shape = u0.shape
+    history = [u0.copy(), u1.copy()]
+    u_prev, u_curr = u0.copy(), u1.copy()
+    for _ in range(steps):
+        arrays = {
+            "u": np.zeros(shape),
+            "u_1": u_curr,
+            "u_2": u_prev,
+            "c": c,
+        }
+        primal_kernel(arrays)
+        u_prev, u_curr = u_curr, arrays["u"]
+        history.append(u_curr.copy())
+    return u_curr, history
+
+
+def gradient(adjoint_kernel, c, history, residual):
+    """Reverse time sweep: returns dJ/dc for J = 0.5 * ||u^T - d||^2."""
+    shape = c.shape
+    steps = len(history) - 2
+    grad_c = np.zeros(shape)
+    lam_next = residual.copy()  # lambda^{T}
+    lam_next2 = np.zeros(shape)  # lambda^{T+1} (none)
+    for t in reversed(range(steps)):
+        # One adjoint stencil application, seeded with lambda^{t+1}:
+        arrays = {
+            "u_b": lam_next,
+            "u_1": history[t + 1],  # primal value needed by dU/dc
+            "u_1_b": np.zeros(shape),
+            "u_2_b": np.zeros(shape),
+            "c": c,
+            "c_b": np.zeros(shape),
+        }
+        adjoint_kernel(arrays)
+        grad_c += arrays["c_b"]
+        # lambda^t = A1ᵀ lambda^{t+1} + A2ᵀ lambda^{t+2}; the kernel's
+        # u_2_b output equals -lambda^{t+2}'s contribution one step later,
+        # so carry it via the two-term recurrence:
+        lam_t = arrays["u_1_b"] + lam_next2
+        # A2ᵀ lambda^{t+1} = -lambda^{t+1} (coefficient of u_2 is -1), but
+        # computed by the kernel for uniformity:
+        arrays_next2 = arrays["u_2_b"]
+        lam_next, lam_next2 = lam_t, arrays_next2
+    return grad_c
+
+
+def objective(primal_kernel, c, u0, u1, steps, data):
+    u_final, _ = forward(primal_kernel, c, u0, u1, steps)
+    return 0.5 * float(np.sum((u_final - data) ** 2))
+
+
+def main() -> None:
+    prob = wave_problem(3, active_c=True)
+    N, steps = 20, 6
+    bindings = prob.bindings(N)
+    primal_kernel = compile_nests([prob.primal], bindings, name="wave_fwd")
+    adjoint_kernel = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), bindings, name="wave_adj"
+    )
+
+    rng = np.random.default_rng(42)
+    shape = prob.array_shape(N)
+
+    # Smooth background velocity with a perturbation blob ("the anomaly").
+    c_true = np.full(shape, 0.5)
+    c_true[8:13, 8:13, 8:13] += 0.2
+    c_init = np.full(shape, 0.5)
+
+    # Initial condition: a point source ricocheting through the domain.
+    u0 = np.zeros(shape)
+    u1 = np.zeros(shape)
+    u1[N // 2, N // 2, N // 2] = 1.0
+
+    # Observed data = final field under the true model.
+    data, _ = forward(primal_kernel, c_true, u0, u1, steps)
+
+    # Misfit and gradient at the initial model.
+    u_final, history = forward(primal_kernel, c_init, u0, u1, steps)
+    residual = u_final - data
+    J0 = 0.5 * float(np.sum(residual**2))
+    grad = gradient(adjoint_kernel, c_init, history, residual)
+    print(f"misfit at initial model: J = {J0:.6e}")
+    print(f"gradient norm:          |g| = {np.linalg.norm(grad):.6e}")
+
+    # --- verify against central finite differences along a random direction
+    v = rng.standard_normal(shape)
+    h = 1e-6
+    Jp = objective(primal_kernel, c_init + h * v, u0, u1, steps, data)
+    Jm = objective(primal_kernel, c_init - h * v, u0, u1, steps, data)
+    fd = (Jp - Jm) / (2 * h)
+    ad = float(np.vdot(grad, v))
+    rel = abs(fd - ad) / max(abs(fd), 1e-30)
+    print(f"directional derivative:  FD = {fd:.10e}")
+    print(f"                         AD = {ad:.10e}")
+    print(f"                 rel. error = {rel:.2e}")
+    assert rel < 1e-6, "adjoint time-stepping gradient failed verification"
+
+    # --- one gradient-descent step reduces the misfit -------------------
+    step = 0.3 * J0 / float(np.vdot(grad, grad))
+    J1 = objective(primal_kernel, c_init - step * grad, u0, u1, steps, data)
+    print(f"misfit after one descent step: {J1:.6e}  (reduced: {J1 < J0})")
+    assert J1 < J0
+    print("\nOK: seismic gradient verified; descent reduces the misfit.")
+
+
+if __name__ == "__main__":
+    main()

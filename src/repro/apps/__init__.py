@@ -1,0 +1,21 @@
+"""Application test cases: wave (Section 4.1), Burgers (Section 4.2), and
+the heat/convolution motifs from the paper's introduction and Figure 3."""
+
+from .advection import advection_problem
+from .anisotropic import anisotropic_problem
+from .base import StencilProblem
+from .burgers import burgers_problem
+from .conv import conv_problem, conv_weight_names
+from .heat import heat_problem
+from .wave import wave_problem
+
+__all__ = [
+    "StencilProblem",
+    "advection_problem",
+    "anisotropic_problem",
+    "burgers_problem",
+    "conv_problem",
+    "conv_weight_names",
+    "heat_problem",
+    "wave_problem",
+]

@@ -1,0 +1,59 @@
+"""Linear advection with one-sided (asymmetric) differencing.
+
+An explicitly *asymmetric* data-flow test case: the output at ``i``
+depends on inputs at ``i``, ``i-1``, ``i-2`` (second-order upwind), but
+not vice versa.  This is exactly the stencil class the authors' earlier
+TF-MAD approach could not handle ("it was restricted to stencils with a
+symmetric data flow", Section 2) and therefore a key regression case for
+this paper's transformation, whose shift/split machinery is direction-
+agnostic.  The adjoint's core loop is shifted *downwind* relative to the
+primal.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["advection_problem"]
+
+
+def advection_problem(order: int = 2) -> StencilProblem:
+    """Second- (default) or first-order upwind advection of a scalar.
+
+    ``u^{t+1}_i = u_i - C*(3u_i - 4u_{i-1} + u_{i-2})/2`` for order 2,
+    ``u^{t+1}_i = u_i - C*(u_i - u_{i-1})`` for order 1 (positive wind).
+    """
+    if order not in (1, 2):
+        raise ValueError("advection_problem supports order in {1, 2}")
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    C = sp.Symbol("C", real=True)
+    u = sp.Function("u")
+    u_1 = sp.Function("u_1")
+
+    if order == 1:
+        expr = u_1(i) - C * (u_1(i) - u_1(i - 1))
+        lo = 1
+    else:
+        expr = u_1(i) - C * (3 * u_1(i) - 4 * u_1(i - 1) + u_1(i - 2)) / 2
+        lo = 2
+
+    nest = make_loop_nest(
+        lhs=u(i),
+        rhs=expr,
+        counters=[i],
+        bounds={i: [lo, n]},
+        op="+=",
+        name=f"advection{order}",
+    )
+    return StencilProblem(
+        name=f"advection{order}",
+        primal=nest,
+        adjoint_map={u: sp.Function("u_b"), u_1: sp.Function("u_1_b")},
+        size_symbol=n,
+        param_defaults={"C": 0.3},
+        halo=order,
+    )

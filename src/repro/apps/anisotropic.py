@@ -1,0 +1,62 @@
+"""Anisotropic diffusion: a 2-D nine-point stencil with cross terms.
+
+Discretising ``u_t = div(K grad u)`` with a full (non-diagonal) diffusion
+tensor introduces mixed ``u_{xy}`` derivatives, read at the four *corner*
+offsets — so the stencil is the dense 3x3 pattern whose adjoint
+decomposes into the full ``(2*3-1)^2 = 25`` regions (Section 3.3.4).  The
+off-diagonal coefficient ``K_xy`` is a spatially varying active array,
+exercising coefficient gradients through corner accesses.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["anisotropic_problem"]
+
+
+def anisotropic_problem(active_k: bool = False) -> StencilProblem:
+    """Nine-point anisotropic diffusion step.
+
+    ``u^{t+1} = u + a*(u_xx + u_yy) + b*K_xy*u_xy`` with central second
+    differences and the standard four-corner discretisation of the mixed
+    derivative.  With ``active_k`` the off-diagonal coefficient field is
+    differentiated as well.
+    """
+    i, j = sp.symbols("i j", integer=True)
+    n = sp.Symbol("n", integer=True)
+    a = sp.Symbol("a", real=True)
+    b = sp.Symbol("b", real=True)
+    u = sp.Function("u")
+    u_1 = sp.Function("u_1")
+    kxy = sp.Function("kxy")
+
+    u_xx = u_1(i - 1, j) - 2 * u_1(i, j) + u_1(i + 1, j)
+    u_yy = u_1(i, j - 1) - 2 * u_1(i, j) + u_1(i, j + 1)
+    u_xy = (
+        u_1(i + 1, j + 1) - u_1(i + 1, j - 1)
+        - u_1(i - 1, j + 1) + u_1(i - 1, j - 1)
+    ) / 4
+    expr = u_1(i, j) + a * (u_xx + u_yy) + b * kxy(i, j) * u_xy
+
+    nest = make_loop_nest(
+        lhs=u(i, j),
+        rhs=expr,
+        counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+        op="+=",
+        name="anisotropic",
+    )
+    adjoint_map = {u: sp.Function("u_b"), u_1: sp.Function("u_1_b")}
+    if active_k:
+        adjoint_map[kxy] = sp.Function("kxy_b")
+    return StencilProblem(
+        name="anisotropic",
+        primal=nest,
+        adjoint_map=adjoint_map,
+        size_symbol=n,
+        param_defaults={"a": 0.15, "b": 0.1},
+    )

@@ -1,0 +1,153 @@
+"""Common problem container for the application test cases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+import sympy as sp
+
+from ..core.loopnest import LoopNest
+from ..runtime.bindings import Bindings
+
+__all__ = ["StencilProblem"]
+
+
+@dataclass(frozen=True)
+class StencilProblem:
+    """A primal stencil loop plus everything needed to run and adjoin it.
+
+    Attributes
+    ----------
+    name:
+        Problem label.
+    primal:
+        The primal stencil loop nest.
+    adjoint_map:
+        Primal array function -> adjoint array function, for every active
+        array (outputs and the inputs whose gradient is of interest).
+    size_symbol:
+        The grid-size symbol appearing in the loop bounds (``n``).
+    param_defaults:
+        Physical constants, e.g. ``{"C": 0.25, "D": 0.125}``.
+    array_shape:
+        Given the grid size value, the shape of every array (all arrays of
+        one problem share a shape, as in the paper's test cases).
+    halo:
+        Number of boundary cells outside the primal iteration space on each
+        side (1 for all stencils in the paper).
+    """
+
+    name: str
+    primal: LoopNest
+    adjoint_map: dict[sp.Basic, sp.Basic]
+    size_symbol: sp.Symbol
+    param_defaults: dict[str, float]
+    halo: int = 1
+
+    @property
+    def dim(self) -> int:
+        return self.primal.dim
+
+    def with_interior(self, margin: int) -> "StencilProblem":
+        """Shrink the iteration space by *margin* cells on every side.
+
+        Used by the padded boundary strategy (Section 3.3.4), which needs
+        the adjoint's enlarged union iteration space — and its out-of-space
+        reads — to stay inside the allocated arrays.
+        """
+        from dataclasses import replace as _replace
+
+        bounds = {
+            c: (lo + margin, hi - margin)
+            for c, (lo, hi) in self.primal.bounds.items()
+        }
+        return _replace(
+            self,
+            primal=_replace(self.primal, bounds=bounds),
+            halo=self.halo + margin,
+        )
+
+    @property
+    def output_name(self) -> str:
+        return self.primal.statements[0].target_name
+
+    def input_names(self) -> list[str]:
+        return self.primal.read_arrays()
+
+    def active_input_names(self) -> list[str]:
+        active = {k.__name__ for k in self.adjoint_map}
+        return [a for a in self.input_names() if a in active]
+
+    def adjoint_name_map(self) -> dict[str, str]:
+        """Plain-string form of the adjoint map: ``{"u": "u_b", ...}``."""
+        return {k.__name__: v.__name__ for k, v in self.adjoint_map.items()}
+
+    def array_shape(self, n: int) -> tuple[int, ...]:
+        return (n + 1,) * self.dim
+
+    def sizes(self, n: int) -> dict[sp.Symbol, int]:
+        return {self.size_symbol: n}
+
+    def bindings(self, n: int, dtype: type = np.float64, **param_overrides) -> Bindings:
+        params = dict(self.param_defaults)
+        params.update(param_overrides)
+        return Bindings(sizes=self.sizes(n), params=params, dtype=dtype)
+
+    def allocate(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        dtype: type = np.float64,
+    ) -> dict[str, np.ndarray]:
+        """Allocate and initialise primal arrays (inputs random, output 0).
+
+        The random fields are smooth-ish (standard normal scaled down) so
+        nonlinear test cases stay in a numerically friendly regime.
+        """
+        rng = rng or np.random.default_rng(0)
+        shape = self.array_shape(n)
+        arrays: dict[str, np.ndarray] = {}
+        for name in self.input_names():
+            arrays[name] = rng.standard_normal(shape).astype(dtype) * 0.1
+        arrays[self.output_name] = np.zeros(shape, dtype=dtype)
+        return arrays
+
+    def allocate_adjoints(
+        self,
+        n: int,
+        seed: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        dtype: type = np.float64,
+    ) -> dict[str, np.ndarray]:
+        """Allocate adjoint arrays: output adjoint seeded, inputs zeroed.
+
+        The seed is zeroed outside the primal output box: adjoint values
+        at never-written indices are meaningless, and the padded boundary
+        strategy (Section 3.3.4) relies on them being zero.
+        """
+        shape = self.array_shape(n)
+        name_map = self.adjoint_name_map()
+        out: dict[str, np.ndarray] = {}
+        out_adj = name_map[self.output_name]
+        if seed is None:
+            rng = rng or np.random.default_rng(1)
+            seed = rng.standard_normal(shape).astype(dtype)
+        seed = np.array(seed, dtype=dtype)
+        bindings = self.bindings(n)
+        mask = np.zeros(shape, dtype=bool)
+        box = tuple(
+            slice(
+                bindings.int_bound(self.primal.bounds[c][0]),
+                bindings.int_bound(self.primal.bounds[c][1]) + 1,
+            )
+            for c in self.primal.counters
+        )
+        mask[box] = True
+        seed[~mask] = 0.0
+        out[out_adj] = seed
+        for prim, adj in name_map.items():
+            if prim != self.output_name:
+                out[adj] = np.zeros(shape, dtype=dtype)
+        return out

@@ -1,0 +1,68 @@
+"""Burgers-equation test case (paper Section 4.2).
+
+One-dimensional viscous Burgers equation with first-order upwinding for
+the nonlinear convective term::
+
+    u^{t+1}_i = u^t_i - C * (max(u_i,0)(u_i - u_{i-1}) + min(u_i,0)(u_{i+1} - u_i))
+                      + D * (u_{i+1} - 2 u_i + u_{i-1})
+
+with ``C = dt/dx`` and ``D = nu*dt/dx^2``.  The body is nonlinear and only
+piecewise differentiable; its adjoint needs the primal values and contains
+Heaviside (ternary) factors — the paper's stress test for complicated loop
+bodies.  A 2-D variant (dimension-by-dimension upwinding of the scalar
+advected quantity) is included as an extension.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["burgers_problem"]
+
+
+def burgers_problem(dim: int = 1) -> StencilProblem:
+    """Build the upwinded Burgers stencil problem (Figure 6 script)."""
+    if dim not in (1, 2):
+        raise ValueError("burgers_problem supports dim in {1, 2}")
+    counters = sp.symbols("i j", integer=True)[:dim]
+    n = sp.Symbol("n", integer=True)
+    C = sp.Symbol("C", real=True)
+    D = sp.Symbol("D", real=True)
+    u = sp.Function("u")
+    u_1 = sp.Function("u_1")
+
+    centre = u_1(*counters)
+    ap = sp.Max(centre, 0)
+    am = sp.Min(centre, 0)
+    conv = sp.Integer(0)
+    diff = sp.Integer(0)
+    for d in range(dim):
+        idx_m = list(counters)
+        idx_m[d] = idx_m[d] - 1
+        idx_p = list(counters)
+        idx_p[d] = idx_p[d] + 1
+        uxm = centre - u_1(*idx_m)
+        uxp = u_1(*idx_p) - centre
+        conv = conv + ap * uxm + am * uxp
+        diff = diff + u_1(*idx_p) + u_1(*idx_m) - 2.0 * centre
+    expr = centre - C * conv + D * diff
+
+    nest = make_loop_nest(
+        lhs=u(*counters),
+        rhs=expr,
+        counters=list(counters),
+        bounds={ctr: [1, n - 2] for ctr in counters},
+        op="+=",
+        name=f"burgers{dim}d",
+    )
+    adjoint_map = {u: sp.Function("u_b"), u_1: sp.Function("u_1_b")}
+    return StencilProblem(
+        name=f"burgers{dim}d",
+        primal=nest,
+        adjoint_map=adjoint_map,
+        size_symbol=n,
+        param_defaults={"C": 0.2, "D": 0.1},
+    )

@@ -1,0 +1,73 @@
+"""Convolution test case (the CNN motif from the paper's introduction).
+
+"Stencil loops ... appear, for example, in convolutional neural networks"
+(Section 1).  This problem is a 2-D cross-correlation with a dense
+``k x k`` kernel of scalar weights; its reverse-mode derivative with
+respect to the input image is the correlation with the flipped kernel —
+which the adjoint-stencil transformation recovers automatically (the
+"constant factors swapped their position" effect of Section 3.2
+generalised to 2-D).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["conv_problem", "conv_weight_names"]
+
+
+def conv_weight_names(ksize: int = 3) -> list[str]:
+    """Names of the scalar weight parameters ``w_<a>_<b>``."""
+    r = ksize // 2
+    return [f"w_{a + r}_{b + r}" for a in range(-r, r + 1) for b in range(-r, r + 1)]
+
+
+def conv_problem(ksize: int = 3) -> StencilProblem:
+    """Dense ``ksize x ksize`` cross-correlation stencil problem.
+
+    ``out(i, j) = sum_{a,b} w_{a,b} * img(i+a, j+b)`` over the interior.
+    Weights are scalar parameters (bound at kernel-compile time); default
+    values form a Gaussian-like blur so the primal is well conditioned.
+    """
+    if ksize % 2 != 1 or ksize < 1:
+        raise ValueError("ksize must be odd and >= 1")
+    r = ksize // 2
+    i, j = sp.symbols("i j", integer=True)
+    n = sp.Symbol("n", integer=True)
+    img = sp.Function("img")
+    out = sp.Function("out")
+
+    expr = sp.Integer(0)
+    weights = {}
+    for a in range(-r, r + 1):
+        for b in range(-r, r + 1):
+            w = sp.Symbol(f"w_{a + r}_{b + r}", real=True)
+            weights[(a, b)] = w
+            expr = expr + w * img(i + a, j + b)
+
+    nest = make_loop_nest(
+        lhs=out(i, j),
+        rhs=expr,
+        counters=[i, j],
+        bounds={i: [r, n - r], j: [r, n - r]},
+        op="+=",
+        name=f"conv{ksize}x{ksize}",
+    )
+    # Gaussian-ish separable default weights, normalised.
+    base = {0: 2.0, 1: 1.0, 2: 0.5}
+    raw = {
+        f"w_{a + r}_{b + r}": base.get(abs(a), 0.25) * base.get(abs(b), 0.25)
+    for a in range(-r, r + 1) for b in range(-r, r + 1)}
+    total = sum(raw.values())
+    defaults = {k: v / total for k, v in raw.items()}
+    return StencilProblem(
+        name=f"conv{ksize}x{ksize}",
+        primal=nest,
+        adjoint_map={out: sp.Function("out_b"), img: sp.Function("img_b")},
+        size_symbol=n,
+        param_defaults=defaults,
+        halo=r,
+    )

@@ -1,0 +1,56 @@
+"""Heat-equation test case (the five-point stencil of the paper's Figure 3).
+
+Explicit Euler step of the heat equation::
+
+    u^{t+1} = u^t + alpha * laplacian(u^t)
+
+The 2-D version is exactly the five-point star whose adjoint iteration-
+space decomposition the paper illustrates in Figure 3 (13 loop nests).
+Used by examples (inverse heat problem) and by the boundary-strategy
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["heat_problem"]
+
+
+def heat_problem(dim: int = 2) -> StencilProblem:
+    """Build the explicit heat-equation stencil problem."""
+    if dim not in (1, 2, 3):
+        raise ValueError("heat_problem supports dim in {1, 2, 3}")
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    n = sp.Symbol("n", integer=True)
+    alpha = sp.Symbol("alpha", real=True)
+    u = sp.Function("u")
+    u_1 = sp.Function("u_1")
+
+    centre = u_1(*counters)
+    lap = -2 * dim * centre
+    for d in range(dim):
+        for off in (-1, 1):
+            idx = list(counters)
+            idx[d] = idx[d] + off
+            lap = lap + u_1(*idx)
+    expr = centre + alpha * lap
+
+    nest = make_loop_nest(
+        lhs=u(*counters),
+        rhs=expr,
+        counters=list(counters),
+        bounds={ctr: [1, n - 2] for ctr in counters},
+        op="+=",
+        name=f"heat{dim}d",
+    )
+    return StencilProblem(
+        name=f"heat{dim}d",
+        primal=nest,
+        adjoint_map={u: sp.Function("u_b"), u_1: sp.Function("u_1_b")},
+        size_symbol=n,
+        param_defaults={"alpha": 0.2},
+    )

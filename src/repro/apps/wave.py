@@ -1,0 +1,74 @@
+"""Wave-equation test case (paper Section 4.1).
+
+Second-order acoustic wave equation with spatially varying speed,
+discretised with central finite differences in space and time::
+
+    u^{t+1} = 2 u^t - u^{t-1} + c * D * laplacian(u^t)
+
+with ``c = a^2`` and ``D = (dt/dx)^2``.  The 3-D version is the paper's
+performance workload (one time step on a 1000^3 grid); 1-D and 2-D
+variants are provided for tests and examples.  The coefficient array ``c``
+is active by default, which is what seismic imaging needs (the gradient of
+a misfit with respect to the velocity model).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..core.loopnest import make_loop_nest
+from .base import StencilProblem
+
+__all__ = ["wave_problem"]
+
+
+def wave_problem(dim: int = 3, active_c: bool = True) -> StencilProblem:
+    """Build the wave-equation stencil problem in 1, 2 or 3 dimensions.
+
+    Mirrors the PerforAD input script of Figure 4: output ``u``, previous
+    time levels ``u_1`` and ``u_2``, coefficient ``c``, scalar ``D``, and
+    iteration space ``[1, n-2]`` per dimension.  With ``active_c`` the
+    coefficient is differentiated as well (``c_b`` accumulates the
+    velocity-model gradient).
+    """
+    if dim not in (1, 2, 3):
+        raise ValueError("wave_problem supports dim in {1, 2, 3}")
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    n = sp.Symbol("n", integer=True)
+    D = sp.Symbol("D", real=True)
+    u = sp.Function("u")
+    u_1 = sp.Function("u_1")
+    u_2 = sp.Function("u_2")
+    c = sp.Function("c")
+
+    centre = u_1(*counters)
+    lap = -2 * dim * centre
+    for d in range(dim):
+        for off in (-1, 1):
+            idx = list(counters)
+            idx[d] = idx[d] + off
+            lap = lap + u_1(*idx)
+    expr = 2.0 * centre - u_2(*counters) + c(*counters) * D * lap
+
+    nest = make_loop_nest(
+        lhs=u(*counters),
+        rhs=expr,
+        counters=list(counters),
+        bounds={ctr: [1, n - 2] for ctr in counters},
+        op="+=",
+        name=f"wave{dim}d",
+    )
+    adjoint_map = {
+        u: sp.Function("u_b"),
+        u_1: sp.Function("u_1_b"),
+        u_2: sp.Function("u_2_b"),
+    }
+    if active_c:
+        adjoint_map[c] = sp.Function("c_b")
+    return StencilProblem(
+        name=f"wave{dim}d",
+        primal=nest,
+        adjoint_map=adjoint_map,
+        size_symbol=n,
+        param_defaults={"D": 0.125},
+    )

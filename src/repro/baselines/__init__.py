@@ -1,0 +1,15 @@
+"""Conventional-AD baselines (Tapenade-style scatter, atomics, stack)."""
+
+from .atomic import AtomicScatterKernel
+from .scatter import cse_statements, print_function_c_atomic, tapenade_style_adjoint
+from .stack import StackAdjoint, ValueStack, nonlinear_intermediates
+
+__all__ = [
+    "AtomicScatterKernel",
+    "StackAdjoint",
+    "ValueStack",
+    "cse_statements",
+    "nonlinear_intermediates",
+    "print_function_c_atomic",
+    "tapenade_style_adjoint",
+]

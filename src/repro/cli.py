@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Generate primal or adjoint code for a built-in problem or a stencil
+    described in the textual front-end language, in any back-end.
+``verify``
+    Run the Section 3.6 verification (gather vs scatter vs atomics vs
+    interpreter) plus dot-product and finite-difference checks.
+``figures``
+    Regenerate the paper's performance figures (Figures 8–15).
+``loop-counts``
+    Print the Section 3.3.4 loop-nest counts for the built-in problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import burgers_problem, conv_problem, heat_problem, wave_problem
+from .codegen import (
+    print_function_c,
+    print_function_cuda,
+    print_function_fortran,
+    print_function_python,
+)
+from .core import adjoint_loops
+
+__all__ = ["main", "build_parser"]
+
+_PROBLEMS = {
+    "wave1d": lambda: wave_problem(1),
+    "wave2d": lambda: wave_problem(2),
+    "wave3d": lambda: wave_problem(3),
+    "burgers1d": lambda: burgers_problem(1),
+    "burgers2d": lambda: burgers_problem(2),
+    "heat1d": lambda: heat_problem(1),
+    "heat2d": lambda: heat_problem(2),
+    "heat3d": lambda: heat_problem(3),
+    "conv3x3": lambda: conv_problem(3),
+    "conv5x5": lambda: conv_problem(5),
+}
+
+_BACKENDS = {
+    "c": print_function_c,
+    "fortran": print_function_fortran,
+    "python": print_function_python,
+    "cuda": print_function_cuda,
+}
+
+_DEFAULT_N = {
+    "wave3d": 12, "wave2d": 18, "wave1d": 40,
+    "burgers1d": 48, "burgers2d": 16,
+    "heat1d": 40, "heat2d": 18, "heat3d": 10,
+    "conv3x3": 18, "conv5x5": 20,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adjoint stencil loops (Hückelheim et al., ICPP 2019) "
+        "— generation, verification and experiment regeneration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate primal/adjoint code")
+    src = gen.add_mutually_exclusive_group(required=True)
+    src.add_argument("--problem", choices=sorted(_PROBLEMS), help="built-in problem")
+    src.add_argument("--file", help="stencil source file (front-end language)")
+    gen.add_argument("--backend", choices=sorted(_BACKENDS), default="c")
+    gen.add_argument(
+        "--kind", choices=["primal", "adjoint", "both"], default="both"
+    )
+    gen.add_argument(
+        "--strategy", choices=["disjoint", "guarded", "padded"], default="disjoint"
+    )
+    gen.add_argument("--no-merge", action="store_true",
+                     help="do not merge same-target statements (Figure 5 style)")
+    gen.add_argument("--output", help="write to file instead of stdout")
+
+    ver = sub.add_parser("verify", help="run the Section 3.6 verification")
+    ver.add_argument("--problem", choices=sorted(_PROBLEMS), required=True)
+    ver.add_argument("--n", type=int, default=None, help="grid size")
+    ver.add_argument(
+        "--strategy", choices=["disjoint", "guarded"], default="disjoint"
+    )
+
+    fig = sub.add_parser("figures", help="regenerate Figures 8-15")
+    fig.add_argument(
+        "--figure",
+        choices=["fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                 "fig14", "fig15", "all"],
+        default="all",
+    )
+
+    sub.add_parser("loop-counts", help="Section 3.3.4 loop-nest counts")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.problem:
+        prob = _PROBLEMS[args.problem]()
+        nest = prob.primal
+        adjoint_map = prob.adjoint_map
+        name = prob.name
+    else:
+        from .frontend import parse_stencil
+        from .core.symbols import make_adjoint_function
+
+        with open(args.file) as fh:
+            nest = parse_stencil(fh.read())
+        name = nest.name or "stencil"
+        funcs = {}
+        import sympy as sp
+
+        for arr in nest.written_arrays() + nest.read_arrays():
+            funcs[arr] = sp.Function(arr)
+        adjoint_map = {
+            funcs[a]: make_adjoint_function(funcs[a])
+            for a in nest.written_arrays() + nest.read_arrays()
+        }
+    backend = _BACKENDS[args.backend]
+    chunks = []
+    if args.kind in ("primal", "both"):
+        chunks.append(backend(name, [nest]))
+    if args.kind in ("adjoint", "both"):
+        nests = adjoint_loops(
+            nest, adjoint_map, strategy=args.strategy, merge=not args.no_merge
+        )
+        chunks.append(backend(f"{name}_b", nests))
+    code = "\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(code)
+    else:
+        sys.stdout.write(code)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .verify import compare_adjoints, dot_product_test, finite_difference_test
+
+    prob = _PROBLEMS[args.problem]()
+    n = args.n or _DEFAULT_N[args.problem]
+    cmp_ = compare_adjoints(prob, n=n, strategy=args.strategy)
+    dp = dot_product_test(prob, n=n, strategy=args.strategy)
+    fd = finite_difference_test(prob, n=n, strategy=args.strategy)
+    print(f"problem {prob.name}, n={n}, strategy={args.strategy}")
+    print(f"  gather vs scatter      : {cmp_.gather_vs_scatter:.3e}")
+    print(f"  gather vs atomics      : {cmp_.gather_vs_atomic:.3e}")
+    print(f"  gather vs interpreter  : {cmp_.gather_vs_interpreter:.3e}")
+    print(f"  dot-product rel. error : {dp.rel_error:.3e}")
+    print(f"  finite-diff rel. error : {fd.rel_error:.3e}")
+    ok = cmp_.passed() and dp.passed and fd.passed(5e-5)
+    print("  VERDICT: " + ("all adjoints agree" if ok else "MISMATCH"))
+    return 0 if ok else 1
+
+
+def _cmd_figures(args) -> int:
+    from . import experiments as E
+
+    if args.figure == "all":
+        print(E.render_all())
+        return 0
+    table = {
+        "fig08": (E.fig08_wave_broadwell, E.render_speedup),
+        "fig09": (E.fig09_burgers_broadwell, E.render_speedup),
+        "fig10": (E.fig10_wave_runtimes_broadwell, E.render_bars),
+        "fig11": (E.fig11_burgers_runtimes_broadwell, E.render_bars),
+        "fig12": (E.fig12_wave_knl, E.render_speedup),
+        "fig13": (E.fig13_burgers_knl, E.render_speedup),
+        "fig14": (E.fig14_wave_runtimes_knl, E.render_bars),
+        "fig15": (E.fig15_burgers_runtimes_knl, E.render_bars),
+    }
+    build, render = table[args.figure]
+    print(render(build()))
+    return 0
+
+
+def _cmd_loop_counts(args) -> int:
+    print(f"{'problem':12s}{'adjoint loop nests':>20s}")
+    for name, factory in sorted(_PROBLEMS.items()):
+        prob = factory()
+        count = len(adjoint_loops(prob.primal, prob.adjoint_map))
+        print(f"{name:12s}{count:>20d}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "loop-counts":
+        return _cmd_loop_counts(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

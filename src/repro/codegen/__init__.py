@@ -1,0 +1,23 @@
+"""Code-generation back-ends (C/OpenMP, Fortran, Python/NumPy)."""
+
+from .base import CodegenError, DerivativeCall, match_derivative_call
+from .c import CPrinter, generate_c, print_function_c
+from .cuda import CudaPrinter, print_function_cuda
+from .fortran import FortranPrinter, generate_fortran, print_function_fortran
+from .python_src import generate_python, print_function_python
+
+__all__ = [
+    "CPrinter",
+    "CodegenError",
+    "CudaPrinter",
+    "DerivativeCall",
+    "FortranPrinter",
+    "generate_c",
+    "generate_fortran",
+    "generate_python",
+    "match_derivative_call",
+    "print_function_c",
+    "print_function_cuda",
+    "print_function_fortran",
+    "print_function_python",
+]

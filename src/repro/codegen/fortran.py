@@ -1,0 +1,150 @@
+"""Fortran back-end with OpenMP directives.
+
+The paper presents PerforAD's back-ends as pluggable ("for example, to
+print Fortran or C code", Section 3.1); this module provides the Fortran
+printer.  Arrays are declared assumed-shape; loops carry
+``!$omp parallel do`` on the outermost level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+from sympy.printing.fortran import FCodePrinter
+
+from ..core.loopnest import LoopNest
+from ..ir import Assign, Block, Comment, Function, Guard, Loop, Node, function_from_nests
+from .base import CodegenError, Emitter, match_derivative_call
+
+__all__ = ["FortranPrinter", "generate_fortran", "print_function_fortran"]
+
+
+class FortranPrinter(FCodePrinter):
+    """SymPy Fortran printer extended for stencil arrays and AD forms."""
+
+    def __init__(self) -> None:
+        super().__init__({"source_format": "free", "standard": 2008})
+
+    def _print_AppliedUndef(self, expr: AppliedUndef) -> str:
+        name = expr.func.__name__
+        idx = ", ".join(self._print(a) for a in expr.args)
+        return f"{name}({idx})"
+
+    def _print_Heaviside(self, expr: sp.Heaviside) -> str:
+        arg = self._print(expr.args[0])
+        return f"merge(1.0d0, 0.0d0, {arg} >= 0)"
+
+    def _print_Subs(self, expr: sp.Subs) -> str:
+        call = match_derivative_call(expr)
+        if call is None:
+            raise CodegenError(f"cannot lower Subs expression {expr} to Fortran")
+        args = ", ".join(self._print(a) for a in call.args)
+        return f"{call.func_name}_d{call.argindex}({args})"
+
+    def _print_Derivative(self, expr: sp.Derivative) -> str:
+        call = match_derivative_call(expr)
+        if call is None:
+            raise CodegenError(f"cannot lower Derivative {expr} to Fortran")
+        args = ", ".join(self._print(a) for a in call.args)
+        return f"{call.func_name}_d{call.argindex}({args})"
+
+
+def _cond_str(printer: FortranPrinter, cond: sp.Basic) -> str:
+    if isinstance(cond, sp.And):
+        return " .and. ".join(f"({printer.doprint(a)})" for a in cond.args)
+    return printer.doprint(cond)
+
+
+class _FEmitter:
+    def __init__(self) -> None:
+        self.printer = FortranPrinter()
+        self.em = Emitter(indent="  ")
+
+    def emit(self, node: Node) -> None:
+        if isinstance(node, Comment):
+            self.em.line(f"! {node.text}")
+        elif isinstance(node, Block):
+            for child in node.body:
+                self.emit(child)
+        elif isinstance(node, Guard):
+            self.em.line(f"if ({_cond_str(self.printer, node.condition)}) then")
+            self.em.push()
+            for child in node.body:
+                self.emit(child)
+            self.em.pop()
+            self.em.line("end if")
+        elif isinstance(node, Loop):
+            if node.parallel:
+                private = ",".join(str(c) for c in node.private) or str(node.counter)
+                self.em.line(f"!$omp parallel do private({private})")
+            c = node.counter
+            lo = self.printer.doprint(node.lower)
+            hi = self.printer.doprint(node.upper)
+            self.em.line(f"do {c} = {lo}, {hi}")
+            self.em.push()
+            for child in node.body:
+                self.emit(child)
+            self.em.pop()
+            self.em.line("end do")
+            if node.parallel:
+                self.em.line("!$omp end parallel do")
+        elif isinstance(node, Assign):
+            idx = ", ".join(self.printer.doprint(a) for a in node.indices)
+            rhs = self.printer.doprint(node.rhs)
+            target = f"{node.target}({idx})"
+            if node.op == "+=":
+                self.em.line(f"{target} = {target} + ({rhs})")
+            else:
+                self.em.line(f"{target} = {rhs}")
+        else:
+            raise CodegenError(f"unknown IR node {node!r}")
+
+
+def generate_fortran(func: Function) -> str:
+    """Generate a complete Fortran subroutine from an IR function."""
+    gen = _FEmitter()
+    all_args = (
+        list(func.array_ranks)
+        + [str(s) for s in func.scalars]
+        + [str(s) for s in func.sizes]
+    )
+    gen.em.line(f"subroutine {func.name}({', '.join(all_args)})")
+    gen.em.push()
+    gen.em.line("implicit none")
+    for name, rank in func.array_ranks.items():
+        dims = ", ".join(":" for _ in range(rank))
+        gen.em.line(f"real(kind=8), dimension({dims}) :: {name}")
+    for s in func.scalars:
+        gen.em.line(f"real(kind=8) :: {s}")
+    for s in func.sizes:
+        gen.em.line(f"integer :: {s}")
+    counters = sorted(
+        {str(n.counter) for n in _walk(func.body) if isinstance(n, Loop)}
+    )
+    if counters:
+        gen.em.line(f"integer :: {', '.join(counters)}")
+    for node in func.body:
+        gen.emit(node)
+    gen.em.pop()
+    gen.em.line(f"end subroutine {func.name}")
+    return gen.em.code()
+
+
+def _walk(nodes: Sequence[Node]):
+    for node in nodes:
+        yield node
+        if isinstance(node, (Block, Guard, Loop)):
+            yield from _walk(node.body)
+
+
+def print_function_fortran(
+    name: str,
+    nests: Sequence[LoopNest],
+    parallel: bool = True,
+    unroll_single: bool = True,
+) -> str:
+    """PerforAD's ``printfunction`` for the Fortran back-end."""
+    func = function_from_nests(name, nests, parallel=parallel, unroll_single=unroll_single)
+    return generate_fortran(func)

@@ -1,0 +1,68 @@
+"""Core of the reproduction: the adjoint-stencil transformation (paper §3).
+
+Public entry points:
+
+* :func:`repro.core.loopnest.make_loop_nest` — build a stencil loop nest
+  from a SymPy expression (PerforAD's ``makeLoopNest``).
+* :meth:`repro.core.loopnest.LoopNest.diff` — generate adjoint stencil
+  loop nests (core + boundary, all gather-form).
+* :meth:`repro.core.loopnest.LoopNest.tangent` — forward-mode loop nest.
+"""
+
+from .accesses import AccessPattern, InvalidAccessError, extract_access, offset_vector
+from .diff import (
+    ActivityError,
+    AdjointContribution,
+    adjoint_scatter_loop,
+    adjoint_scatter_statements,
+    tangent_loop,
+)
+from .loopnest import LoopNest, Statement, make_loop_nest
+from .regions import Region, core_bounds, split_disjoint, union_bounds
+from .shift import ShiftedStatement, shift_all, shift_contribution
+from .strategies import split_guarded, split_padded
+from .symbols import (
+    adjoint_name,
+    array,
+    arrays,
+    counters,
+    make_adjoint_function,
+    scalars,
+)
+from .transform import STRATEGIES, adjoint_loops, merge_statements
+from .validate import StencilRestrictionError, validate_loop_nest
+
+__all__ = [
+    "AccessPattern",
+    "ActivityError",
+    "AdjointContribution",
+    "InvalidAccessError",
+    "LoopNest",
+    "Region",
+    "ShiftedStatement",
+    "STRATEGIES",
+    "Statement",
+    "StencilRestrictionError",
+    "adjoint_loops",
+    "adjoint_name",
+    "adjoint_scatter_loop",
+    "adjoint_scatter_statements",
+    "array",
+    "arrays",
+    "core_bounds",
+    "counters",
+    "extract_access",
+    "make_adjoint_function",
+    "make_loop_nest",
+    "merge_statements",
+    "offset_vector",
+    "scalars",
+    "shift_all",
+    "shift_contribution",
+    "split_disjoint",
+    "split_guarded",
+    "split_padded",
+    "tangent_loop",
+    "union_bounds",
+    "validate_loop_nest",
+]

@@ -1,0 +1,173 @@
+"""Offset extraction and classification of array accesses.
+
+The paper (Section 3.4) restricts stencil loops to accesses of the form
+``u[i_1 + c_1][i_2 + c_2]...`` where ``i_d`` are loop counters and ``c_d``
+are compile-time integer constants.  Output arrays are written at a
+(possibly permuted sub-)tuple of bare counters.  This module turns SymPy
+accesses into :class:`AccessPattern` records carrying the base array, the
+counter used in each index slot and the constant offset in that slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+
+from .symbols import array_name
+
+__all__ = [
+    "AccessPattern",
+    "extract_access",
+    "offset_vector",
+    "is_index_like_access",
+    "classify_applied",
+    "InvalidAccessError",
+]
+
+
+class InvalidAccessError(ValueError):
+    """Raised when an array access does not fit the stencil restrictions."""
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Decomposition of an access like ``u(i - 1, k + 2)``.
+
+    Attributes
+    ----------
+    name:
+        Array name (``"u"``).
+    counters:
+        Counter symbol used in each index slot, in slot order.
+    offsets:
+        Constant integer offset in each slot.
+    access:
+        The original SymPy access object.
+    """
+
+    name: str
+    counters: tuple[sp.Symbol, ...]
+    offsets: tuple[int, ...]
+    access: AppliedUndef
+
+    @property
+    def rank(self) -> int:
+        return len(self.counters)
+
+    def offset_for(self, loop_counters: Sequence[sp.Symbol]) -> tuple[int, ...]:
+        """Offset vector aligned with the loop-nest counter order.
+
+        Counters of the loop nest that do not index this array get offset 0
+        (the access is constant along those dimensions).
+        """
+        out = []
+        for c in loop_counters:
+            if c in self.counters:
+                out.append(self.offsets[self.counters.index(c)])
+            else:
+                out.append(0)
+        return tuple(out)
+
+
+def _split_index(idx: sp.Expr, loop_counters: Sequence[sp.Symbol]) -> tuple[sp.Symbol, int]:
+    """Split an index expression ``i + c`` into (counter, int offset)."""
+    idx = sp.sympify(idx)
+    present = [c for c in loop_counters if c in idx.free_symbols]
+    if len(present) != 1:
+        raise InvalidAccessError(
+            f"index expression {idx} must contain exactly one loop counter, "
+            f"found {present}"
+        )
+    counter = present[0]
+    offset = sp.expand(idx - counter)
+    if not offset.is_Integer:
+        raise InvalidAccessError(
+            f"index expression {idx} is not 'counter + integer constant' "
+            f"(offset {offset} is not a compile-time integer)"
+        )
+    return counter, int(offset)
+
+
+def extract_access(
+    access: AppliedUndef, loop_counters: Sequence[sp.Symbol]
+) -> AccessPattern:
+    """Decompose an array access into counters and constant offsets.
+
+    Raises :class:`InvalidAccessError` for accesses that violate the
+    restrictions of Section 3.4 (non-affine indices, runtime-dependent
+    offsets, repeated counters in one access).
+    """
+    if not isinstance(access, AppliedUndef):
+        raise InvalidAccessError(f"not an array access: {access!r}")
+    ctrs: list[sp.Symbol] = []
+    offs: list[int] = []
+    for idx in access.args:
+        c, o = _split_index(idx, loop_counters)
+        ctrs.append(c)
+        offs.append(o)
+    if len(set(ctrs)) != len(ctrs):
+        raise InvalidAccessError(
+            f"access {access} uses the same loop counter in two index slots"
+        )
+    return AccessPattern(
+        name=array_name(access),
+        counters=tuple(ctrs),
+        offsets=tuple(offs),
+        access=access,
+    )
+
+
+def offset_vector(
+    access: AppliedUndef, loop_counters: Sequence[sp.Symbol]
+) -> tuple[int, ...]:
+    """Constant offset of *access* relative to the loop counters.
+
+    Convenience wrapper: ``offset_vector(u(i-1, j+2), [i, j]) == (-1, 2)``.
+    """
+    return extract_access(access, loop_counters).offset_for(loop_counters)
+
+
+def is_index_like_access(
+    applied: AppliedUndef, loop_counters: Sequence[sp.Symbol]
+) -> bool:
+    """True if *applied* is a proper array access (all args counter+const).
+
+    Applications of undefined functions whose arguments are themselves
+    expressions over array accesses are *uninterpreted stencil functions*
+    (Section 3.3.1), not array accesses.
+    """
+    try:
+        extract_access(applied, loop_counters)
+    except InvalidAccessError:
+        return False
+    return True
+
+
+def classify_applied(
+    expr: sp.Expr, loop_counters: Sequence[sp.Symbol]
+) -> tuple[list[AppliedUndef], list[AppliedUndef]]:
+    """Split the undefined-function applications of *expr*.
+
+    Returns ``(accesses, calls)``: proper array accesses and uninterpreted
+    function calls, each sorted deterministically.  Nested accesses inside
+    an uninterpreted call are reported in ``accesses`` as well.
+    """
+    accesses: list[AppliedUndef] = []
+    calls: list[AppliedUndef] = []
+    for node in sorted(expr.atoms(AppliedUndef), key=sp.default_sort_key):
+        if is_index_like_access(node, loop_counters):
+            accesses.append(node)
+        elif any(arg.atoms(AppliedUndef) for arg in node.args):
+            calls.append(node)  # uninterpreted function over accesses
+        elif any(c in node.free_symbols for c in loop_counters):
+            # Depends on counters but is not 'counter + const' in every slot:
+            # a malformed array access, not an uninterpreted function.
+            raise InvalidAccessError(
+                f"access {node} does not use 'counter + integer constant' indices"
+            )
+        else:
+            calls.append(node)  # scalar uninterpreted function, passive
+    return accesses, calls

@@ -1,0 +1,66 @@
+"""Second-order derivatives: tangent-over-adjoint (forward-over-reverse).
+
+The adjoint stencil loop nests produced by :func:`adjoint_loops` are
+themselves valid gather stencil loop nests, so the forward-mode
+transformation (:func:`~repro.core.diff.tangent_loop`) applies to *them*
+directly — yielding loop nests that compute Hessian-vector products
+
+    H v = d/de [ grad J(x + e v) ] |_{e=0},    J(x) = < w, stencil(x) >
+
+with the same gather structure and the same parallelisability as the
+first-order adjoint.  This composition is the natural extension of the
+paper's machinery to second order (the original work stops at first
+order; the transformations compose because each stage's output satisfies
+the Section 3.4 restrictions again).
+
+Piecewise factors (Heaviside from upwinding) differentiate to
+``DiracDelta`` terms, which vanish almost everywhere; the runtime
+evaluates them as zero, matching the standard AD convention for kinks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import sympy as sp
+
+from .diff import tangent_loop
+from .loopnest import LoopNest
+from .transform import adjoint_loops
+
+__all__ = ["second_order_nests", "tangent_map_for"]
+
+
+def tangent_map_for(
+    adjoint_map: Mapping[sp.Basic, sp.Basic], suffix: str = "_d"
+) -> dict[sp.Basic, sp.Basic]:
+    """Tangent (directional) arrays for every primal and adjoint array.
+
+    ``{u: u_d, u_b: u_b_d, ...}`` — primal tangents carry the direction
+    ``v``; adjoint tangents carry the Hessian-vector product.
+    """
+    seeds: dict[sp.Basic, sp.Basic] = {}
+    for prim, adj in adjoint_map.items():
+        seeds[prim] = sp.Function(prim.__name__ + suffix)
+        seeds[adj] = sp.Function(adj.__name__ + suffix)
+    return seeds
+
+
+def second_order_nests(
+    nest: LoopNest,
+    adjoint_map: Mapping[sp.Basic, sp.Basic],
+    strategy: str = "disjoint",
+    suffix: str = "_d",
+) -> list[LoopNest]:
+    """Loop nests computing the Hessian-vector product of a stencil.
+
+    Returns the tangent of every adjoint nest.  To evaluate ``H v`` for
+    ``J(x) = <w, stencil(x)>``: bind the primal arrays to ``x``, the
+    primal tangents (``u_d``) to the direction ``v``, the output adjoint
+    (``r_b``) to ``w``, its tangent (``r_b_d``) to zero, zero-initialise
+    the input-adjoint tangents (``u_b_d``) and execute; ``u_b_d``
+    accumulates ``H v`` restricted to each active input.
+    """
+    adjoints = adjoint_loops(nest, adjoint_map, strategy=strategy)
+    seeds = tangent_map_for(adjoint_map, suffix=suffix)
+    return [tangent_loop(adj_nest, seeds) for adj_nest in adjoints]

@@ -1,0 +1,59 @@
+"""Index shifting (paper Section 3.3.2): scatter -> gather conversion.
+
+Each adjoint scatter statement writes at offset ``o`` from the loop
+counters.  Substituting every counter ``c_d -> c_d - o_d`` makes the write
+index a bare counter tuple, turning the statement into a gather; the offset
+is remembered so the loop bounds can be adjusted (Section 3.3.3).  The
+substitution applies to the *whole* statement, so primal reads needed by
+nonlinear derivatives are shifted consistently, possibly introducing read
+indices that never occurred in the primal (as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import sympy as sp
+
+from .diff import AdjointContribution
+from .loopnest import Statement
+
+__all__ = ["ShiftedStatement", "shift_contribution", "shift_all"]
+
+
+@dataclass(frozen=True)
+class ShiftedStatement:
+    """A gather-form adjoint statement plus its original scatter offset.
+
+    After shifting, ``statement.lhs`` is the adjoint array accessed at bare
+    loop counters.  ``offset`` is the scatter offset *before* shifting; a
+    statement with offset ``o`` executed at iteration ``j`` reproduces the
+    contribution the scatter statement made at iteration ``i = j - o``, so
+    its valid iteration space is the primal space translated by ``+o``.
+    """
+
+    statement: Statement
+    offset: tuple[int, ...]
+
+
+def shift_contribution(
+    contrib: AdjointContribution, counters: Sequence[sp.Symbol]
+) -> ShiftedStatement:
+    """Shift one scatter contribution into gather form.
+
+    Implements "all indices of that expression are increased by ``-o``":
+    substituting ``c -> c - o_c`` adds ``-o`` to every index that uses
+    counter ``c``, making the written index ``c + o - o = c``.
+    """
+    off = contrib.offset
+    subs = {c: c - o for c, o in zip(counters, off) if o != 0}
+    stmt = contrib.statement.subs(subs, simultaneous=True) if subs else contrib.statement
+    return ShiftedStatement(statement=stmt, offset=off)
+
+
+def shift_all(
+    contribs: Sequence[AdjointContribution], counters: Sequence[sp.Symbol]
+) -> list[ShiftedStatement]:
+    """Shift every contribution; all results write at bare counters."""
+    return [shift_contribution(c, counters) for c in contribs]

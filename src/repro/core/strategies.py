@@ -1,0 +1,137 @@
+"""Alternative boundary treatments (paper Section 3.3.4).
+
+Besides the default disjoint split (:func:`repro.core.regions.split_disjoint`),
+the paper discusses two code-size/performance trade-offs:
+
+* **guarded** — one remainder slab per side per dimension (2d+1 nests in
+  total), every slab containing *all* derivative expressions, each guarded
+  by an if-condition restricting it to its valid range.  Small code size;
+  branches only in the (at most (d-1)-dimensional) remainder slabs.
+* **padded** — a single loop nest over the union space, valid only when
+  the adjoint seed array is zero-padded so that out-of-range contributions
+  vanish; requires the caller to control array allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import sympy as sp
+
+from .regions import Region, core_bounds, union_bounds
+from .shift import ShiftedStatement
+
+__all__ = ["split_guarded", "split_padded", "statement_valid_box", "guard_condition"]
+
+
+def statement_valid_box(
+    stmt: ShiftedStatement,
+    counters: Sequence[sp.Symbol],
+    bounds: Mapping[sp.Symbol, tuple[sp.Expr, sp.Expr]],
+) -> dict[sp.Symbol, tuple[sp.Expr, sp.Expr]]:
+    """Iteration box on which a shifted statement is valid.
+
+    A statement with scatter offset ``o`` is valid on the primal space
+    translated by ``+o``: ``[s_d + o_d, e_d + o_d]`` per dimension.
+    """
+    out = {}
+    for d, c in enumerate(counters):
+        lo, hi = bounds[c]
+        out[c] = (lo + stmt.offset[d], hi + stmt.offset[d])
+    return out
+
+
+def guard_condition(
+    stmt: ShiftedStatement,
+    counters: Sequence[sp.Symbol],
+    bounds: Mapping[sp.Symbol, tuple[sp.Expr, sp.Expr]],
+) -> sp.Basic:
+    """SymPy boolean restricting execution to the statement's valid box."""
+    box = statement_valid_box(stmt, counters, bounds)
+    conds = []
+    for c in counters:
+        lo, hi = box[c]
+        conds.append(sp.Ge(c, lo))
+        conds.append(sp.Le(c, hi))
+    return sp.And(*conds)
+
+
+def split_guarded(
+    stmts: Sequence[ShiftedStatement],
+    counters: Sequence[sp.Symbol],
+    bounds: Mapping[sp.Symbol, tuple[sp.Expr, sp.Expr]],
+) -> list[Region]:
+    """Onion decomposition: core + one guarded slab per side per dimension.
+
+    Slab ``(d, side)`` fixes dimensions before ``d`` to their core range,
+    dimension ``d`` to the lower/upper remainder strip, and the dimensions
+    after ``d`` to the full union range — a disjoint cover of the union
+    space.  All statements are attached to every slab, each carrying its
+    guard condition; statements guaranteed valid throughout a slab keep
+    ``guard=None``.
+    """
+    core = core_bounds(stmts, counters, bounds)
+    union = union_bounds(stmts, counters, bounds)
+
+    def guarded_statements(
+        region_bounds: Mapping[sp.Symbol, tuple[sp.Expr, sp.Expr]],
+    ) -> tuple[ShiftedStatement, ...]:
+        out = []
+        for s in stmts:
+            box = statement_valid_box(s, counters, bounds)
+            needs_guard = False
+            for c in counters:
+                rlo, rhi = region_bounds[c]
+                blo, bhi = box[c]
+                # Guard needed unless the region is provably inside the box.
+                if not (
+                    sp.simplify(rlo - blo).is_nonnegative
+                    and sp.simplify(bhi - rhi).is_nonnegative
+                ):
+                    needs_guard = True
+                    break
+            if needs_guard:
+                out.append(
+                    ShiftedStatement(
+                        statement=s.statement.with_guard(
+                            guard_condition(s, counters, bounds)
+                        ),
+                        offset=s.offset,
+                    )
+                )
+            else:
+                out.append(s)
+        return tuple(out)
+
+    regions: list[Region] = []
+    for d, c in enumerate(counters):
+        for side in ("lower", "upper"):
+            rb: dict[sp.Symbol, tuple[sp.Expr, sp.Expr]] = {}
+            for dd, cc in enumerate(counters):
+                if dd < d:
+                    rb[cc] = core[cc]
+                elif dd > d:
+                    rb[cc] = union[cc]
+            if side == "lower":
+                rb[c] = (union[c][0], core[c][0] - 1)
+            else:
+                rb[c] = (core[c][1] + 1, union[c][1])
+            regions.append(Region(bounds=rb, statements=guarded_statements(rb)))
+    regions.append(Region(bounds=dict(core), statements=tuple(stmts), is_core=True))
+    return regions
+
+
+def split_padded(
+    stmts: Sequence[ShiftedStatement],
+    counters: Sequence[sp.Symbol],
+    bounds: Mapping[sp.Symbol, tuple[sp.Expr, sp.Expr]],
+) -> list[Region]:
+    """Single unguarded nest over the union space (requires zero padding).
+
+    Every statement executes everywhere; contributions from outside a
+    statement's valid box read a zero-padded adjoint seed and therefore
+    vanish.  The caller/runtime must guarantee the padding (the resulting
+    :class:`~repro.core.loopnest.LoopNest` is tagged ``requires_padding``).
+    """
+    union = union_bounds(stmts, counters, bounds)
+    return [Region(bounds=dict(union), statements=tuple(stmts), is_core=True)]

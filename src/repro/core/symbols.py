@@ -1,0 +1,97 @@
+"""Symbolic building blocks for stencil descriptions.
+
+PerforAD (the tool this repository reproduces) represents arrays as SymPy
+``Function`` objects applied to loop counters plus constant integer offsets,
+e.g. ``u(i - 1, j, k)``, and all scalars (loop counters, bounds, physical
+constants) as SymPy ``Symbol`` objects.  This module provides small helpers
+to create those objects and to reason about them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+
+__all__ = [
+    "array",
+    "arrays",
+    "counters",
+    "scalars",
+    "is_array_access",
+    "array_name",
+    "adjoint_name",
+    "make_adjoint_function",
+]
+
+
+def array(name: str) -> sp.Function:
+    """Create a symbolic array: an undefined SymPy function.
+
+    An *access* to the array is an application of the function to index
+    expressions, e.g. ``u = array("u"); u(i - 1, j)``.
+    """
+    return sp.Function(name)
+
+
+def arrays(names: str) -> tuple[sp.Function, ...]:
+    """Create several symbolic arrays from a space- or comma-separated string."""
+    split = names.replace(",", " ").split()
+    return tuple(array(n) for n in split)
+
+
+def counters(names: str) -> tuple[sp.Symbol, ...]:
+    """Create loop-counter symbols (integer-valued)."""
+    return sp.symbols(names, integer=True, seq=True)
+
+
+def scalars(names: str) -> tuple[sp.Symbol, ...]:
+    """Create scalar parameter symbols (real-valued)."""
+    return sp.symbols(names, real=True, seq=True)
+
+
+def is_array_access(expr: sp.Basic) -> bool:
+    """Return True if *expr* is an application of an undefined function.
+
+    These are exactly the array accesses in a PerforAD stencil expression;
+    interpreted functions such as ``Max`` or ``sin`` are not array accesses.
+    """
+    return isinstance(expr, AppliedUndef)
+
+
+def array_name(access_or_func: sp.Basic) -> str:
+    """Name of the array underlying an access (``u(i-1)`` -> ``"u"``) or function."""
+    if isinstance(access_or_func, AppliedUndef):
+        return access_or_func.func.__name__
+    if isinstance(access_or_func, sp.core.function.UndefinedFunction):
+        return access_or_func.__name__
+    raise TypeError(f"not an array access or array function: {access_or_func!r}")
+
+
+def adjoint_name(name: str, suffix: str = "_b") -> str:
+    """Conventional adjoint-variable name used by the paper (``u`` -> ``u_b``)."""
+    return name + suffix
+
+
+def make_adjoint_function(func: sp.Basic, suffix: str = "_b") -> sp.Function:
+    """Create the adjoint array for a primal array function."""
+    return sp.Function(adjoint_name(array_name(func), suffix))
+
+
+def free_counters(expr: sp.Expr, known: Sequence[sp.Symbol]) -> list[sp.Symbol]:
+    """Return the subset of *known* counters that appear in *expr*."""
+    fs = expr.free_symbols
+    return [c for c in known if c in fs]
+
+
+def all_array_accesses(expr: sp.Expr) -> list[AppliedUndef]:
+    """All distinct array accesses in an expression, in deterministic order."""
+    accs = expr.atoms(AppliedUndef)
+    return sorted(accs, key=sp.default_sort_key)
+
+
+def accesses_of(expr: sp.Expr, funcs: Iterable[sp.Basic]) -> list[AppliedUndef]:
+    """Distinct accesses in *expr* restricted to the given array functions."""
+    names = {array_name(f) for f in funcs}
+    return [a for a in all_array_accesses(expr) if array_name(a) in names]

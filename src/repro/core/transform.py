@@ -1,0 +1,127 @@
+"""The adjoint-stencil pipeline (paper Section 3.3, Figure 2).
+
+``adjoint_loops`` chains the four stages:
+
+1. differentiate each statement per active input access
+   (:mod:`repro.core.diff`) — "Adjoint Scatter";
+2. shift indices so every statement writes at bare counters
+   (:mod:`repro.core.shift`) — "Shift Counters";
+3. split the iteration space into the core nest plus boundary nests
+   (:mod:`repro.core.regions` / :mod:`repro.core.strategies`);
+4. merge statements with a common target inside each region and emit one
+   :class:`~repro.core.loopnest.LoopNest` per region — "Loop Generation".
+
+The emitted nests have pairwise-disjoint iteration spaces (for the
+``disjoint`` and ``guarded`` strategies), so they can be executed in any
+order, in parallel, with no synchronisation between them beyond loop
+boundaries — the property the paper's performance results rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import sympy as sp
+
+from .diff import adjoint_scatter_statements
+from .loopnest import LoopNest, Statement
+from .regions import Region, split_disjoint
+from .shift import ShiftedStatement, shift_all
+from .strategies import split_guarded, split_padded
+from .validate import validate_loop_nest
+
+__all__ = ["adjoint_loops", "region_to_loopnest", "merge_statements", "STRATEGIES"]
+
+STRATEGIES = ("disjoint", "guarded", "padded")
+
+
+def merge_statements(statements: Sequence[Statement]) -> list[Statement]:
+    """Merge ``+=`` statements with identical targets into one per target.
+
+    Section 3.2: inside a region all updates to the same index "can easily
+    be merged into a single statement".  Guarded statements are never
+    merged (their guards differ).  Order of first appearance is preserved.
+    """
+    merged: dict[sp.Basic, Statement] = {}
+    order: list[sp.Basic] = []
+    out_guarded: list[Statement] = []
+    for st in statements:
+        if st.guard is not None or st.op != "+=":
+            out_guarded.append(st)
+            continue
+        key = st.lhs
+        if key in merged:
+            prev = merged[key]
+            merged[key] = Statement(lhs=key, rhs=prev.rhs + st.rhs, op="+=")
+        else:
+            merged[key] = st
+            order.append(key)
+    return [merged[k] for k in order] + out_guarded
+
+
+def region_to_loopnest(
+    region: Region,
+    counters: Sequence[sp.Symbol],
+    name: str,
+    merge: bool = True,
+    requires_padding: bool = False,
+) -> LoopNest:
+    """Emit a loop nest for one region."""
+    stmts = [s.statement for s in region.statements]
+    if merge:
+        stmts = merge_statements(stmts)
+    return LoopNest(
+        statements=tuple(stmts),
+        counters=tuple(counters),
+        bounds=region.bounds,
+        name=name,
+        requires_padding=requires_padding,
+    )
+
+
+def adjoint_loops(
+    nest: LoopNest,
+    adjoint_map: Mapping[sp.Basic, sp.Basic],
+    strategy: str = "disjoint",
+    merge: bool = True,
+) -> list[LoopNest]:
+    """Generate the adjoint stencil loop nests of a primal stencil nest.
+
+    See :meth:`repro.core.loopnest.LoopNest.diff` for the user-facing
+    documentation.  The returned list places the core nest last, matching
+    PerforAD's output order (remainders first, bulk loop last).
+    """
+    validate_loop_nest(nest)
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+
+    contribs = adjoint_scatter_statements(nest, adjoint_map)
+    if not contribs:
+        return []
+    shifted: list[ShiftedStatement] = shift_all(contribs, nest.counters)
+
+    if strategy == "disjoint":
+        regions = split_disjoint(shifted, nest.counters, nest.bounds)
+    elif strategy == "guarded":
+        regions = split_guarded(shifted, nest.counters, nest.bounds)
+    else:
+        regions = split_padded(shifted, nest.counters, nest.bounds)
+
+    base = (nest.name + "_b") if nest.name else "adjoint"
+    # Core last; boundaries keep their deterministic generation order.
+    boundary = [r for r in regions if not r.is_core]
+    core = [r for r in regions if r.is_core]
+    ordered = boundary + core
+    out: list[LoopNest] = []
+    for idx, region in enumerate(ordered):
+        label = f"{base}_core" if region.is_core else f"{base}_rem{idx}"
+        out.append(
+            region_to_loopnest(
+                region,
+                nest.counters,
+                name=label,
+                merge=merge,
+                requires_padding=(strategy == "padded"),
+            )
+        )
+    return out

@@ -1,0 +1,89 @@
+"""Restriction checking (paper Section 3.4).
+
+PerforAD's transformation is only valid for loop nests satisfying:
+
+* the nest is perfect (here structural: a :class:`LoopNest` is perfect by
+  construction, so we check the statement forms instead);
+* output arrays are written at (a permuted subset of) bare loop counters;
+* input arrays are read at ``counter + compile-time integer constant``;
+* the sets of read and written arrays do not intersect (an array may be
+  incremented with ``+=``, which reads and writes the same array, but may
+  not appear on both sides otherwise);
+* loop bounds are affine in size parameters.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+from sympy.core.function import AppliedUndef
+
+from .accesses import InvalidAccessError, classify_applied, extract_access
+from .loopnest import LoopNest, Statement
+from .symbols import array_name
+
+__all__ = ["StencilRestrictionError", "validate_loop_nest", "validate_statement"]
+
+
+class StencilRestrictionError(ValueError):
+    """A loop nest violates the restrictions of Section 3.4."""
+
+
+def _check_affine(expr: sp.Expr, counters: tuple[sp.Symbol, ...], what: str) -> None:
+    expr = sp.sympify(expr)
+    for c in counters:
+        if c in expr.free_symbols:
+            raise StencilRestrictionError(
+                f"{what} {expr} depends on loop counter {c}; bounds must not"
+            )
+    poly_syms = sorted(expr.free_symbols, key=lambda s: s.name)
+    if poly_syms:
+        try:
+            poly = sp.Poly(expr, *poly_syms)
+        except sp.PolynomialError as exc:
+            raise StencilRestrictionError(f"{what} {expr} is not affine") from exc
+        if poly.total_degree() > 1:
+            raise StencilRestrictionError(f"{what} {expr} is not affine (degree > 1)")
+
+
+def validate_statement(stmt: Statement, counters: tuple[sp.Symbol, ...]) -> None:
+    """Validate one statement against the access-form restrictions."""
+    # Output: written at bare counters (permuted subset allowed).
+    lhs_pat = extract_access(stmt.lhs, counters)
+    if any(o != 0 for o in lhs_pat.offsets):
+        raise StencilRestrictionError(
+            f"output access {stmt.lhs} must use bare loop counters "
+            f"(offsets {lhs_pat.offsets})"
+        )
+
+    written = stmt.target_name
+    try:
+        accesses, _calls = classify_applied(stmt.rhs, counters)
+    except InvalidAccessError as exc:
+        raise StencilRestrictionError(str(exc)) from exc
+    for acc in accesses:
+        if array_name(acc) == written:
+            raise StencilRestrictionError(
+                f"array {written} is both read and written in {stmt}; "
+                "read/write sets must not intersect (Section 3.4)"
+            )
+
+
+def validate_loop_nest(nest: LoopNest) -> None:
+    """Validate a whole nest; raises :class:`StencilRestrictionError`."""
+    if len(set(nest.counters)) != len(nest.counters):
+        raise StencilRestrictionError("duplicate loop counters in nest")
+    for c in nest.counters:
+        lo, hi = nest.bounds[c]
+        _check_affine(lo, nest.counters, f"lower bound of {c}")
+        _check_affine(hi, nest.counters, f"upper bound of {c}")
+    written: set[str] = set()
+    read: set[str] = set()
+    for stmt in nest.statements:
+        validate_statement(stmt, nest.counters)
+        written.add(stmt.target_name)
+        read |= {array_name(a) for a in stmt.read_accesses()}
+    overlap = written & read
+    if overlap:
+        raise StencilRestrictionError(
+            f"arrays {sorted(overlap)} are both read and written in the nest"
+        )

@@ -1,0 +1,12 @@
+"""Adjoint time-stepping drivers and revolve checkpointing."""
+
+from .revolve import Action, optimal_cost, schedule, schedule_cost
+from .timestepping import AdjointTimeStepper
+
+__all__ = [
+    "Action",
+    "AdjointTimeStepper",
+    "optimal_cost",
+    "schedule",
+    "schedule_cost",
+]

@@ -1,0 +1,15 @@
+"""Textual stencil front-end (the paper's "future work" parser)."""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_stencil, parse_stencils
+from .printer import to_source
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Token",
+    "parse_stencil",
+    "parse_stencils",
+    "to_source",
+    "tokenize",
+]

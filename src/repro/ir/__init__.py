@@ -1,0 +1,17 @@
+"""Backend-neutral loop IR and lowering from symbolic loop nests."""
+
+from .build import function_from_nests, loopnest_to_ir, statement_to_ir
+from .nodes import Assign, Block, Comment, Function, Guard, Loop, Node
+
+__all__ = [
+    "Assign",
+    "Block",
+    "Comment",
+    "Function",
+    "Guard",
+    "Loop",
+    "Node",
+    "function_from_nests",
+    "loopnest_to_ir",
+    "statement_to_ir",
+]

@@ -1,0 +1,17 @@
+"""Analytical machine model (substitute for the paper's test hardware)."""
+
+from .descriptor import FLOAT_BYTES, KernelDescriptor, analyze_nests, analyze_scatter
+from .model import MachineModel
+from .presets import BROADWELL, KNL, PRESETS, V100
+
+__all__ = [
+    "BROADWELL",
+    "V100",
+    "FLOAT_BYTES",
+    "KNL",
+    "KernelDescriptor",
+    "MachineModel",
+    "PRESETS",
+    "analyze_nests",
+    "analyze_scatter",
+]

@@ -1,0 +1,228 @@
+"""Analytical shared-memory machine model.
+
+The paper's scalability results (Figures 8–15) were measured on a 12-core
+Broadwell Xeon and a 64-core Knights Landing Xeon Phi.  This environment
+has neither, so the reproduction substitutes a calibrated analytical model
+whose *structure* encodes the effects the paper attributes its results to:
+
+* **roofline compute/bandwidth behaviour** — per-thread compute scales
+  linearly while memory bandwidth saturates at the socket level, which is
+  what makes the KNL wave primal plateau at 16 threads (Section 5.2)
+  while the flop-heavier PerforAD adjoint keeps scaling to 32;
+* **atomic serialisation** — every scattered atomic update pays a fixed
+  cost that *grows* with thread count through cache-line contention, which
+  is why the atomics baseline is an order of magnitude slower serially and
+  degrades with every added thread (Section 5.1, "91 s even if only one
+  thread is used");
+* **sequential stack access** — the value-stack variant adds unscalable
+  stack traffic and forbids parallelisation (Section 4.2 / Figure 15);
+* **fork/join overhead** — each parallel loop nest pays a per-thread
+  synchronisation cost (negligible for the paper's sizes, included for
+  completeness and for the boundary-strategy ablation).
+
+Model equation, for ``p`` threads and a kernel descriptor ``k``::
+
+    t_compute(p) = k.points * k.flops_per_point / (F * eff(p))
+    t_memory(p)  = k.points * k.bytes_per_point / min(B1 * eff(p), Bmax)
+    t_stencil(p) = max(t_compute, t_memory)           # roofline
+    t_atomic(p)  = k.points * k.scatter_updates_per_point
+                   * atomic_cost * (1 + contention * (p - 1))
+    t_stack      = k.points * k.stack_bytes_per_point / stack_bw  (serial)
+    t(p)         = t_stencil(p) + t_atomic(p) + t_stack
+                   + n_parallel_loops * fork_join * p
+
+``eff(p)`` is ``min(p, cores)`` plus diminishing returns for hardware
+threads beyond the core count (SMT), matching KNL's behaviour where the
+fastest wave adjoint used 256 threads on 64 cores (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .descriptor import KernelDescriptor
+
+__all__ = ["MachineModel", "ExecutionMode"]
+
+
+ExecutionMode = str  # "gather" | "serial" | "atomic" | "stack"
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Calibrated machine parameters (see :mod:`repro.machine.presets`).
+
+    Attributes
+    ----------
+    name:
+        Label used in benchmark output.
+    cores:
+        Physical cores available to the experiment.
+    max_threads:
+        Maximum hardware threads (``cores`` times SMT ways).
+    flops_per_sec:
+        Effective per-core scalar+SIMD throughput for stencil bodies
+        (includes all compiler/issue inefficiency — calibrated, not peak).
+    bw_core:
+        Per-core achievable main-memory bandwidth (bytes/s).
+    bw_max:
+        Socket-level bandwidth ceiling (bytes/s).
+    smt_efficiency:
+        Marginal throughput of a hardware thread beyond the physical core
+        count, relative to a core (0..1).
+    atomic_cost:
+        Seconds per atomic scatter update at one thread.
+    atomic_contention:
+        Fractional cost growth of an atomic update per additional thread.
+    stack_bw:
+        Effective bandwidth of sequential value-stack traffic (bytes/s).
+    fork_join:
+        Seconds of per-thread overhead per parallel loop nest.
+    """
+
+    name: str
+    cores: int
+    max_threads: int
+    flops_per_sec: float
+    flops_novec: float
+    flops_branchy: float
+    flops_minmax: float = 0.0  # only consulted when scalar_if_minmax
+    bw_core: float = 1.0e10
+    bw_max: float = 4.0e10
+    smt_efficiency: float = 0.3
+    atomic_cost: float = 1.0e-8
+    atomic_contention: float = 0.05
+    scatter_serial_cost: float = 0.0  # per scattered update, serial execution
+    stack_bw: float = 1.5e9
+    fork_join: float = 5.0e-6
+    scalar_if_minmax: bool = False
+
+    def effective_flops(self, desc: KernelDescriptor) -> float:
+        """Throughput class of a kernel body on this machine.
+
+        Three vectorisation hazards, each with a calibrated throughput:
+
+        * ``flops_branchy`` — ternary/Heaviside factors from piecewise
+          derivatives (the Burgers adjoints of Figure 7);
+        * ``flops_novec`` — multi-statement bodies emitted without CSE
+          (PerforAD's per-input differentiation, Section 4), which the
+          paper measures at a 64% serial penalty for the wave adjoint;
+        * ``flops_minmax`` — fmax/fmin switches, penalised only on
+          machines whose in-order cores stall on them
+          (``scalar_if_minmax``, i.e. KNL: Burgers primal runs 25.02 s
+          serial there vs 2.13 s on Broadwell).
+
+        Clean single-statement streaming stencils get ``flops_per_sec``.
+        """
+        # Priority: the branchy class already reflects min/max switches
+        # plus ternaries, so the hazards do not stack.
+        if desc.has_heaviside:
+            return self.flops_branchy
+        if desc.has_minmax and self.scalar_if_minmax:
+            return self.flops_minmax or self.flops_branchy
+        if desc.multi_statement and not desc.optimized:
+            return self.flops_novec
+        return self.flops_per_sec
+
+    # -- effective parallelism --------------------------------------------
+
+    def effective_units(self, threads: int) -> float:
+        """Core-equivalents delivered by *threads* hardware threads."""
+        if threads <= self.cores:
+            return float(threads)
+        extra = min(threads, self.max_threads) - self.cores
+        return self.cores + self.smt_efficiency * extra
+
+    # -- time prediction ----------------------------------------------------
+
+    def time(
+        self,
+        desc: KernelDescriptor,
+        threads: int = 1,
+        mode: ExecutionMode = "gather",
+    ) -> float:
+        """Predicted wall-clock seconds for one kernel execution.
+
+        ``mode``:
+
+        * ``"gather"`` — stencil loops (primal or PerforAD adjoint):
+          roofline scaling, no atomics, no stack.
+        * ``"serial"`` — the conventional scatter adjoint run serially
+          (slice updates, no atomics); *threads* is ignored (forced to 1).
+        * ``"atomic"`` — the conventional adjoint with atomic updates.
+        * ``"stack"`` — serial conventional adjoint with value-stack
+          traffic (never parallel: pop order is sequential).
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if mode not in ("gather", "serial", "atomic", "stack"):
+            raise ValueError(f"unknown execution mode {mode!r}")
+        if mode in ("serial", "stack"):
+            threads = 1
+        eff = self.effective_units(threads)
+
+        t_compute = desc.points * desc.flops_per_point / (self.effective_flops(desc) * eff)
+        bw = min(self.bw_core * eff, self.bw_max)
+        t_memory = desc.points * desc.bytes_per_point / bw
+        t = max(t_compute, t_memory)
+
+        if mode in ("serial", "atomic", "stack"):
+            # Scattered writes lose spatial locality even without atomics.
+            t += (
+                desc.points
+                * desc.scatter_updates_per_point
+                * self.scatter_serial_cost
+                / (eff if mode == "atomic" else 1.0)
+            )
+        if mode == "atomic":
+            t_atomic = (
+                desc.points
+                * desc.scatter_updates_per_point
+                * self.atomic_cost
+                * (1.0 + self.atomic_contention * (threads - 1))
+            )
+            t += t_atomic
+        if mode == "stack":
+            t += desc.points * desc.stack_bytes_per_point / self.stack_bw
+        if threads > 1:
+            t += desc.n_parallel_loops * self.fork_join * threads
+        return t
+
+    def speedup_curve(
+        self,
+        desc: KernelDescriptor,
+        thread_counts: Iterable[int],
+        mode: ExecutionMode = "gather",
+    ) -> list[tuple[int, float]]:
+        """``(threads, speedup-vs-1-thread)`` points for a figure series."""
+        t1 = self.time(desc, threads=1, mode=mode)
+        return [
+            (p, t1 / self.time(desc, threads=p, mode=mode)) for p in thread_counts
+        ]
+
+    def best_time(
+        self,
+        desc: KernelDescriptor,
+        mode: ExecutionMode = "gather",
+        thread_counts: Sequence[int] | None = None,
+    ) -> tuple[int, float]:
+        """Best (threads, time) over the admissible thread counts."""
+        if thread_counts is None:
+            thread_counts = _default_threads(self.max_threads)
+        best = min(
+            ((p, self.time(desc, threads=p, mode=mode)) for p in thread_counts),
+            key=lambda pt: pt[1],
+        )
+        return best
+
+
+def _default_threads(max_threads: int) -> list[int]:
+    out = []
+    p = 1
+    while p <= max_threads:
+        out.append(p)
+        p *= 2
+    if out[-1] != max_threads:
+        out.append(max_threads)
+    return out

@@ -1,0 +1,104 @@
+"""Machine presets calibrated to the paper's two test systems (Section 5).
+
+* **Broadwell** — one socket of a dual-socket Intel Xeon E5-2650 v4
+  system: 12 physical cores (the paper pins to a single socket and limits
+  itself to 12 threads to avoid NUMA effects), icc 18 ``-O3 -fopenmp
+  -xHost``.
+* **KNL** — Intel Xeon Phi Knights Landing 7210: 64 in-order cores, up to
+  256 hardware threads, ``KMP_AFFINITY=scatter``.
+
+Calibration sources (all from the paper's published numbers, Figures
+10/11/14/15 and Section 5.1):
+
+* ``bw_core`` from the memory-bound serial wave primal (4.14 s / 12.82 s
+  for ~40 B/point over 10^9 points);
+* ``bw_max`` from the best parallel primal runtimes (0.90 s / 0.84 s);
+* ``flops_novec`` from the PerforAD wave adjoint serial runtimes (8.52 s /
+  41.27 s — the 64%/220% penalty the paper attributes to SymPy's
+  uncollected common subexpressions);
+* ``flops_branchy`` from the Burgers adjoint serial runtimes (15.73 s /
+  51.85 s — ternary Heaviside factors);
+* ``flops_minmax`` (KNL only) from the Burgers primal serial anomaly
+  (25.02 s on KNL vs 2.13 s on Broadwell, far beyond the frequency ratio);
+* ``atomic_cost`` from the 91 s single-thread atomics run (Section 5.1):
+  (91 - 5.4) s over 8x10^9 scattered updates = 1.07x10^-8 s each;
+* ``scatter_serial_cost`` from the gap between the Tapenade wave adjoint
+  serial runtime and its roofline time (KNL: 25.45 s vs ~15.4 s);
+* ``stack_bw`` from the stack-based Burgers adjoint on KNL (95.74 s,
+  Figure 15).
+
+EXPERIMENTS.md tabulates the resulting model predictions against all
+twenty-one published values.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+
+__all__ = ["BROADWELL", "KNL", "PRESETS"]
+
+
+BROADWELL = MachineModel(
+    name="Broadwell (Xeon E5-2650 v4, 1 socket, 12 cores)",
+    cores=12,
+    max_threads=12,  # paper limits to one socket's physical cores
+    flops_per_sec=12.0e9,  # effective SIMD stencil throughput per core
+    flops_novec=6.1e9,  # multi-statement sympy-emitted bodies
+    flops_branchy=3.5e9,  # ternary/Heaviside bodies
+    flops_minmax=0.0,  # unused: vminpd/vmaxpd vectorise on Broadwell
+    bw_core=9.66e9,  # single-thread stream bandwidth
+    bw_max=44.0e9,  # socket saturation
+    smt_efficiency=0.0,  # no SMT used in the paper's runs
+    atomic_cost=1.07e-8,
+    atomic_contention=0.08,
+    scatter_serial_cost=0.06e-9,  # OoO cores hide scattered-store latency
+    stack_bw=1.2e9,
+    fork_join=5.0e-6,
+    scalar_if_minmax=False,
+)
+
+
+KNL = MachineModel(
+    name="KNL (Xeon Phi 7210, 64 cores, 256 threads)",
+    cores=64,
+    max_threads=256,
+    flops_per_sec=3.0e9,  # per-core SIMD throughput (1.3 GHz in-order)
+    flops_novec=1.25e9,
+    flops_branchy=0.945e9,
+    flops_minmax=0.80e9,
+    bw_core=3.12e9,
+    bw_max=50.0e9,  # wave primal plateaus at ~16 threads (Section 5.2)
+    smt_efficiency=0.20,  # 4-way SMT: fastest wave adjoint used 256 threads
+    atomic_cost=2.5e-8,
+    atomic_contention=0.10,
+    scatter_serial_cost=1.26e-9,  # in-order cores expose scattered stores
+    stack_bw=0.57e9,  # backwards-strided stack pops defeat the prefetcher
+    fork_join=2.0e-5,
+    scalar_if_minmax=True,
+)
+
+
+V100 = MachineModel(
+    name="V100 (extension preset: 80 SMs, HBM2)",
+    cores=80,  # streaming multiprocessors as the parallel unit
+    max_threads=160,  # 2 resident blocks per SM as an effective unit
+    flops_per_sec=90.0e9,  # per-SM stencil throughput (double precision)
+    flops_novec=45.0e9,  # divergent multi-statement bodies
+    flops_branchy=30.0e9,  # warp divergence on ternaries
+    flops_minmax=0.0,  # predicated min/max are free on GPUs
+    bw_core=12.0e9,  # per-SM share of HBM bandwidth
+    bw_max=800.0e9,
+    smt_efficiency=0.15,
+    atomic_cost=4.0e-9,  # HW atomics are cheaper but still serialise
+    atomic_contention=0.25,  # ... and contend hard across 5000+ threads
+    scatter_serial_cost=0.5e-9,
+    stack_bw=20.0e9,
+    fork_join=8.0e-6,  # kernel-launch latency
+    scalar_if_minmax=False,
+)
+"""Extension preset (not from the paper): the GPU target of the paper's
+future-work section, for the ``bench_gpu_extension`` experiment.  Numbers
+are representative V100 characteristics, not calibrated measurements."""
+
+
+PRESETS = {"broadwell": BROADWELL, "knl": KNL, "v100": V100}

@@ -1,0 +1,37 @@
+"""Execution substrate: kernel compiler, interpreter, parallel executors."""
+
+from .bindings import Bindings
+from .distributed import DistributedExecutor, RankSlab, decompose
+from .compiler import (
+    CompiledKernel,
+    KernelError,
+    RegionKernel,
+    assert_disjoint_writes,
+    compile_nests,
+)
+from .interpreter import interpret_nests
+from .parallel import ParallelExecutor
+from .profiler import KernelProfile, RegionProfile, profile_kernel
+from .scheduler import choose_split_axis, split_box
+from .tiling import run_tiled, tile_box
+
+__all__ = [
+    "Bindings",
+    "CompiledKernel",
+    "DistributedExecutor",
+    "RankSlab",
+    "decompose",
+    "KernelError",
+    "KernelProfile",
+    "ParallelExecutor",
+    "RegionProfile",
+    "profile_kernel",
+    "RegionKernel",
+    "assert_disjoint_writes",
+    "choose_split_axis",
+    "compile_nests",
+    "interpret_nests",
+    "run_tiled",
+    "split_box",
+    "tile_box",
+]

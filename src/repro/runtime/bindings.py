@@ -1,0 +1,70 @@
+"""Concrete bindings that turn symbolic loop nests into executable kernels.
+
+A :class:`Bindings` object supplies everything the symbolic representation
+left open: integer values for size symbols (``n``), floats for scalar
+parameters (``C``, ``D``), Python callables for uninterpreted functions
+and their derivatives (``f``, ``f_d1``, ...), and the floating dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+import sympy as sp
+
+__all__ = ["Bindings"]
+
+
+@dataclass(frozen=True)
+class Bindings:
+    """Concrete parameter values for kernel compilation.
+
+    Attributes
+    ----------
+    sizes:
+        Values for the integer size symbols in loop bounds, e.g. ``{n: 256}``.
+        Keys may be SymPy symbols or their string names.
+    params:
+        Values for real scalar parameters, e.g. ``{C: 0.1, D: 0.4}``.
+    functions:
+        Implementations for uninterpreted functions appearing in the nests,
+        keyed by name (``"f"``, ``"f_d1"``, ...).  Each callable receives
+        NumPy arrays (or scalars in the interpreter) and must broadcast.
+    dtype:
+        Floating dtype used for evaluation.
+    """
+
+    sizes: Mapping[sp.Symbol | str, int] = field(default_factory=dict)
+    params: Mapping[sp.Symbol | str, float] = field(default_factory=dict)
+    functions: Mapping[str, Callable] = field(default_factory=dict)
+    dtype: type = np.float64
+
+    def _normalised(self, mapping: Mapping) -> dict[str, float]:
+        return {str(k): v for k, v in mapping.items()}
+
+    def size_subs(self) -> dict[str, int]:
+        return self._normalised(self.sizes)
+
+    def param_subs(self) -> dict[str, float]:
+        return self._normalised(self.params)
+
+    def substitute(self, expr: sp.Expr) -> sp.Expr:
+        """Substitute sizes and params into a SymPy expression by name."""
+        subs = {}
+        merged = {**self.size_subs(), **self.param_subs()}
+        for s in expr.free_symbols:
+            if s.name in merged:
+                subs[s] = merged[s.name]
+        return expr.subs(subs) if subs else expr
+
+    def int_bound(self, expr: sp.Expr) -> int:
+        """Evaluate a loop-bound expression to a concrete int."""
+        val = self.substitute(sp.sympify(expr))
+        if not val.is_Integer:
+            raise ValueError(
+                f"loop bound {expr} did not reduce to an integer under "
+                f"sizes {dict(self.sizes)} (got {val})"
+            )
+        return int(val)

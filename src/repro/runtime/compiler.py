@@ -1,0 +1,408 @@
+"""Kernel compiler: symbolic loop nests -> vectorised NumPy callables.
+
+This is the reproduction's analogue of the paper's ``icc -O3 -fopenmp``
+step: every :class:`~repro.core.loopnest.LoopNest` (primal stencil, adjoint
+core/boundary nests, or conventional scatter adjoints) is lowered to a
+:class:`RegionKernel` that executes the nest's statements as NumPy slice
+arithmetic.  The evaluation frame of a kernel is the loop-nest iteration
+space (one array axis per counter, outermost first); each array access
+becomes a view aligned to that frame, so a statement evaluates in a single
+vectorised expression per region — the Python idiom for a stencil loop.
+
+``RegionKernel.execute`` accepts an optional sub-box of the region's
+iteration space, which is how the shared-memory parallel executor
+(:mod:`repro.runtime.parallel`) assigns disjoint blocks to threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+import sympy as sp
+from sympy.core.function import AppliedUndef
+
+from ..codegen.base import match_derivative_call
+from ..core.accesses import classify_applied, extract_access
+from ..core.loopnest import LoopNest, Statement
+from .bindings import Bindings
+
+__all__ = [
+    "CompiledAccess",
+    "CompiledStatement",
+    "RegionKernel",
+    "CompiledKernel",
+    "compile_nests",
+    "assert_disjoint_writes",
+    "KernelError",
+]
+
+
+class KernelError(RuntimeError):
+    """Raised for compilation or execution errors in the kernel layer."""
+
+
+_NUMPY_FALLBACKS = {
+    # Paper semantics for the upwinding derivative: H(0) = 1 (Figure 7's
+    # ``(u >= 0) ? 1.0 : 0.0``).  SymPy's own Heaviside(0) default is 1/2.
+    "Heaviside": lambda x, h=None: np.where(np.asarray(x) >= 0, 1.0, 0.0),
+    "DiracDelta": lambda x: np.zeros_like(np.asarray(x, dtype=float)),
+}
+
+
+@dataclass(frozen=True)
+class CompiledAccess:
+    """An array access bound to frame axes: one ``(axis, offset)`` per slot."""
+
+    name: str
+    slots: tuple[tuple[int, int], ...]  # (frame axis, constant offset)
+
+
+@dataclass
+class CompiledStatement:
+    """One statement of a region, ready to execute on NumPy arrays."""
+
+    target: CompiledAccess
+    op: str
+    eval_fn: Callable
+    reads: tuple[CompiledAccess, ...]
+    bare_axes: tuple[int, ...]
+    guard_box: tuple[tuple[int, int], ...] | None  # per frame axis, or None
+    dim: int
+
+
+def _frame_view(
+    arr: np.ndarray, acc: CompiledAccess, bounds: Sequence[tuple[int, int]], dim: int
+) -> np.ndarray:
+    """Slice *arr* for *acc* and align the axes to the iteration frame.
+
+    Returns a view shaped so that axis ``d`` of the result corresponds to
+    frame axis ``d`` where the access uses it, with length-1 axes inserted
+    for frame axes the access does not use (so the view broadcasts inside
+    the frame).  Raises on out-of-bounds slices (NumPy would silently wrap
+    negative starts, which must never happen in a stencil kernel).
+    """
+    slices = []
+    for slot, (axis, off) in enumerate(acc.slots):
+        lo, hi = bounds[axis]
+        start, stop = lo + off, hi + 1 + off
+        if start < 0 or stop > arr.shape[slot]:
+            raise KernelError(
+                f"access {acc.name}{acc.slots} out of bounds: slot {slot} "
+                f"range [{start}, {stop}) exceeds extent {arr.shape[slot]}"
+            )
+        slices.append(slice(start, stop))
+    view = arr[tuple(slices)]
+    axes = [axis for axis, _ in acc.slots]
+    order = sorted(range(len(axes)), key=lambda s: axes[s])
+    if order != list(range(len(axes))):
+        view = np.moveaxis(view, order, range(len(axes)))
+    present = sorted(axes)
+    if len(present) < dim:
+        shape_iter = iter(view.shape)
+        new_shape = tuple(
+            next(shape_iter) if d in present else 1 for d in range(dim)
+        )
+        view = view.reshape(new_shape)
+    return view
+
+
+def _target_view_and_missing(
+    arr: np.ndarray, acc: CompiledAccess, bounds: Sequence[tuple[int, int]], dim: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Like :func:`_frame_view` but for write targets.
+
+    Does not insert broadcast axes; instead returns the frame axes missing
+    from the target, which the caller must reduce over (sum for ``+=``,
+    last-iteration selection for ``=``).
+    """
+    slices = []
+    for slot, (axis, off) in enumerate(acc.slots):
+        lo, hi = bounds[axis]
+        start, stop = lo + off, hi + 1 + off
+        if start < 0 or stop > arr.shape[slot]:
+            raise KernelError(
+                f"write access {acc.name}{acc.slots} out of bounds: slot "
+                f"{slot} range [{start}, {stop}) exceeds extent {arr.shape[slot]}"
+            )
+        slices.append(slice(start, stop))
+    view = arr[tuple(slices)]
+    axes = [axis for axis, _ in acc.slots]
+    order = sorted(range(len(axes)), key=lambda s: axes[s])
+    if order != list(range(len(axes))):
+        view = np.moveaxis(view, order, range(len(axes)))
+    missing = tuple(d for d in range(dim) if d not in axes)
+    return view, missing
+
+
+def _rewrite_derivative_calls(expr: sp.Expr) -> sp.Expr:
+    """Replace Derivative/Subs of uninterpreted functions with named calls.
+
+    ``Subs(Derivative(f(x, b), x), x, a)`` becomes ``f_d1(a, b)``, matching
+    the call convention of the code generators, so user-supplied derivative
+    implementations bind by name.
+    """
+    replacements = {}
+    for node in expr.atoms(sp.Subs) | expr.atoms(sp.Derivative):
+        call = match_derivative_call(node)
+        if call is not None:
+            fn = sp.Function(f"{call.func_name}_d{call.argindex}")
+            replacements[node] = fn(*call.args)
+    return expr.xreplace(replacements) if replacements else expr
+
+
+def _compile_statement(
+    stmt: Statement,
+    counters: Sequence[sp.Symbol],
+    bindings: Bindings,
+) -> CompiledStatement:
+    dim = len(counters)
+    axis_of = {c: d for d, c in enumerate(counters)}
+
+    lhs_pat = extract_access(stmt.lhs, counters)
+    target = CompiledAccess(
+        name=lhs_pat.name,
+        slots=tuple(
+            (axis_of[c], o) for c, o in zip(lhs_pat.counters, lhs_pat.offsets)
+        ),
+    )
+
+    rhs = bindings.substitute(_rewrite_derivative_calls(stmt.rhs))
+    accesses, _calls = classify_applied(rhs, counters)
+    placeholders: list[sp.Symbol] = []
+    reads: list[CompiledAccess] = []
+    repl: dict[AppliedUndef, sp.Symbol] = {}
+    for idx, acc in enumerate(accesses):
+        ph = sp.Symbol(f"__acc{idx}")
+        pat = extract_access(acc, counters)
+        reads.append(
+            CompiledAccess(
+                name=pat.name,
+                slots=tuple(
+                    (axis_of[c], o) for c, o in zip(pat.counters, pat.offsets)
+                ),
+            )
+        )
+        placeholders.append(ph)
+        repl[acc] = ph
+    rhs_sub = rhs.xreplace(repl)
+
+    bare = sorted(
+        (s for s in rhs_sub.free_symbols if s in axis_of), key=lambda s: axis_of[s]
+    )
+    bare_axes = tuple(axis_of[s] for s in bare)
+
+    leftover = rhs_sub.free_symbols - set(placeholders) - set(bare)
+    if leftover:
+        raise KernelError(
+            f"unbound symbols {sorted(leftover, key=str)} in statement "
+            f"{stmt}; bind them via Bindings.params/sizes"
+        )
+
+    modules = [dict(_NUMPY_FALLBACKS), dict(bindings.functions), "numpy"]
+    eval_fn = sp.lambdify(placeholders + bare, rhs_sub, modules=modules)
+
+    guard_box = None
+    if stmt.guard is not None:
+        guard_box = _concrete_guard_box(stmt.guard, counters, bindings)
+
+    return CompiledStatement(
+        target=target,
+        op=stmt.op,
+        eval_fn=eval_fn,
+        reads=tuple(reads),
+        bare_axes=bare_axes,
+        guard_box=guard_box,
+        dim=dim,
+    )
+
+
+def _concrete_guard_box(
+    guard: sp.Basic, counters: Sequence[sp.Symbol], bindings: Bindings
+) -> tuple[tuple[int, int], ...]:
+    """Evaluate a guard condition to a concrete per-axis interval box."""
+    conds = list(guard.args) if isinstance(guard, sp.And) else [guard]
+    lo = {c: -np.inf for c in counters}
+    hi = {c: np.inf for c in counters}
+    for cond in conds:
+        if isinstance(cond, sp.Ge) and cond.lhs in counters:
+            lo[cond.lhs] = max(lo[cond.lhs], bindings.int_bound(cond.rhs))
+        elif isinstance(cond, sp.Le) and cond.lhs in counters:
+            hi[cond.lhs] = min(hi[cond.lhs], bindings.int_bound(cond.rhs))
+        else:
+            raise KernelError(f"unsupported guard condition {cond}")
+    box = []
+    for c in counters:
+        l = int(lo[c]) if np.isfinite(lo[c]) else -(2**62)
+        h = int(hi[c]) if np.isfinite(hi[c]) else 2**62
+        box.append((l, h))
+    return tuple(box)
+
+
+@dataclass
+class RegionKernel:
+    """Executable form of one loop nest (one region of an adjoint)."""
+
+    name: str
+    bounds: tuple[tuple[int, int], ...]  # inclusive, per frame axis
+    statements: tuple[CompiledStatement, ...]
+    dtype: type = np.float64
+
+    @property
+    def is_empty(self) -> bool:
+        return any(lo > hi for lo, hi in self.bounds)
+
+    def iteration_count(self, bounds: Sequence[tuple[int, int]] | None = None) -> int:
+        bounds = self.bounds if bounds is None else bounds
+        total = 1
+        for lo, hi in bounds:
+            total *= max(0, hi - lo + 1)
+        return total
+
+    def execute(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        bounds: Sequence[tuple[int, int]] | None = None,
+    ) -> None:
+        """Run the region's statements over ``bounds`` (default: full region).
+
+        ``bounds`` must be a sub-box of the region bounds; this is what the
+        parallel executor uses to hand disjoint blocks to threads.
+        """
+        eff_region = self.bounds if bounds is None else tuple(bounds)
+        if any(lo > hi for lo, hi in eff_region):
+            return
+        for st in self.statements:
+            eff = eff_region
+            if st.guard_box is not None:
+                eff = tuple(
+                    (max(lo, glo), min(hi, ghi))
+                    for (lo, hi), (glo, ghi) in zip(eff_region, st.guard_box)
+                )
+                if any(lo > hi for lo, hi in eff):
+                    continue
+            args = [
+                _frame_view(arrays[acc.name], acc, eff, st.dim) for acc in st.reads
+            ]
+            for axis in st.bare_axes:
+                lo, hi = eff[axis]
+                shape = [1] * st.dim
+                shape[axis] = -1
+                args.append(np.arange(lo, hi + 1).reshape(shape))
+            rhs = st.eval_fn(*args)
+            tview, missing = _target_view_and_missing(
+                arrays[st.target.name], st.target, eff, st.dim
+            )
+            if missing:
+                if st.op == "+=":
+                    rhs = np.asarray(rhs).sum(axis=missing)
+                else:
+                    sel = tuple(
+                        -1 if d in missing else slice(None) for d in range(st.dim)
+                    )
+                    rhs = np.broadcast_to(
+                        np.asarray(rhs), tuple(hi - lo + 1 for lo, hi in eff)
+                    )[sel]
+            if st.op == "+=":
+                tview += rhs
+            else:
+                tview[...] = rhs
+
+    def write_boxes(self) -> list[tuple[str, tuple[tuple[int, int], ...]]]:
+        """Concrete index boxes written by each statement (array space)."""
+        out = []
+        for st in self.statements:
+            eff = self.bounds
+            if st.guard_box is not None:
+                eff = tuple(
+                    (max(lo, glo), min(hi, ghi))
+                    for (lo, hi), (glo, ghi) in zip(self.bounds, st.guard_box)
+                )
+            if any(lo > hi for lo, hi in eff):
+                continue
+            box = tuple(
+                (eff[axis][0] + off, eff[axis][1] + off)
+                for axis, off in st.target.slots
+            )
+            out.append((st.target.name, box))
+        return out
+
+
+@dataclass
+class CompiledKernel:
+    """A sequence of region kernels implementing a full computation."""
+
+    name: str
+    regions: tuple[RegionKernel, ...]
+    counters: tuple[sp.Symbol, ...]
+
+    def __call__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        for rk in self.regions:
+            rk.execute(arrays)
+
+    def total_iterations(self) -> int:
+        return sum(rk.iteration_count() for rk in self.regions)
+
+
+def compile_nests(
+    nests: Sequence[LoopNest],
+    bindings: Bindings,
+    name: str = "kernel",
+) -> CompiledKernel:
+    """Compile loop nests sharing one counter frame into a kernel."""
+    nests = list(nests)
+    if not nests:
+        raise KernelError("no loop nests to compile")
+    counters = nests[0].counters
+    for nest in nests:
+        if nest.counters != counters:
+            raise KernelError("all nests of a kernel must share their counters")
+    regions = []
+    for nest in nests:
+        bounds = tuple(
+            (bindings.int_bound(nest.bounds[c][0]), bindings.int_bound(nest.bounds[c][1]))
+            for c in counters
+        )
+        stmts = tuple(
+            _compile_statement(st, counters, bindings) for st in nest.statements
+        )
+        regions.append(
+            RegionKernel(
+                name=nest.name or name,
+                bounds=bounds,
+                statements=stmts,
+                dtype=bindings.dtype,
+            )
+        )
+    return CompiledKernel(name=name, regions=tuple(regions), counters=counters)
+
+
+def _boxes_overlap(
+    a: tuple[tuple[int, int], ...], b: tuple[tuple[int, int], ...]
+) -> bool:
+    return all(alo <= bhi and blo <= ahi for (alo, ahi), (blo, bhi) in zip(a, b))
+
+
+def assert_disjoint_writes(kernel: CompiledKernel) -> None:
+    """Verify that no two *regions* write overlapping index boxes.
+
+    This is the property that lets the adjoint stencil run without any
+    synchronisation between region loop nests (Section 3.3.4).  Violations
+    indicate a grid too small for the disjoint split (each dimension must
+    be at least as wide as the stencil's offset spread) or a transformation
+    bug.  Raises :class:`KernelError` on overlap.
+    """
+    per_region: list[list[tuple[str, tuple[tuple[int, int], ...]]]] = [
+        rk.write_boxes() if not rk.is_empty else [] for rk in kernel.regions
+    ]
+    for ia in range(len(per_region)):
+        for ib in range(ia + 1, len(per_region)):
+            for name_a, box_a in per_region[ia]:
+                for name_b, box_b in per_region[ib]:
+                    if name_a == name_b and _boxes_overlap(box_a, box_b):
+                        raise KernelError(
+                            f"regions {kernel.regions[ia].name!r} and "
+                            f"{kernel.regions[ib].name!r} both write "
+                            f"{name_a} on overlapping boxes {box_a} / {box_b}"
+                        )

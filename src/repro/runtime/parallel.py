@@ -1,0 +1,156 @@
+"""Shared-memory parallel execution of compiled kernels.
+
+``ParallelExecutor`` is the OpenMP analogue for this reproduction: each
+region's iteration box is statically chunked (:mod:`.scheduler`) and the
+chunks run on a thread pool.  NumPy releases the GIL inside large slice
+operations, so on a multi-core machine this achieves real concurrency; on
+any machine it exercises exactly the decomposition and synchronisation
+structure whose *cost model* :mod:`repro.machine` evaluates at the paper's
+core counts.
+
+Two execution disciplines are provided:
+
+* **gather** (``run``): regions have disjoint writes (PerforAD adjoints and
+  primal stencils), so all blocks of all regions are submitted at once with
+  no locking and a single join at the end — "no additional synchronisation
+  barriers" (Section 1).
+* **serialised scatter** (``run_scatter``): for conventional adjoints whose
+  statements scatter into overlapping locations, every write-back takes a
+  per-array lock, emulating the serialisation that atomic updates impose;
+  the values are still computed concurrently, which is the best case for
+  the atomics baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .compiler import CompiledKernel, RegionKernel
+from .scheduler import split_box
+
+__all__ = ["ParallelExecutor"]
+
+
+def _safe_split_axis(region: RegionKernel) -> int | None:
+    """Widest axis indexed by *every* statement's write target.
+
+    Splitting along an axis a target does not use would make two blocks
+    write the same reduced locations — a race.  Returns None when no axis
+    is safe (pure-reduction region), in which case the region runs serially.
+    """
+    common: set[int] | None = None
+    for st in region.statements:
+        axes = {axis for axis, _ in st.target.slots}
+        common = axes if common is None else (common & axes)
+    if not common:
+        return None
+    extents = {a: region.bounds[a][1] - region.bounds[a][0] + 1 for a in common}
+    return max(sorted(common), key=lambda a: extents[a])
+
+
+class ParallelExecutor:
+    """Thread-pool execution of compiled kernels with static chunking."""
+
+    def __init__(self, num_threads: int = 2, min_block_iterations: int = 1024):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self.min_block_iterations = min_block_iterations
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
+        return self._pool
+
+    # -- gather (race-free) execution ---------------------------------------
+
+    def run(self, kernel: CompiledKernel, arrays: Mapping[str, np.ndarray]) -> None:
+        """Execute a gather kernel: all blocks concurrent, one final join.
+
+        Caller is responsible for the kernel having disjoint writes across
+        regions *and* along the split axis within each region (true for all
+        stencil gather kernels; use
+        :func:`repro.runtime.compiler.assert_disjoint_writes` to verify the
+        inter-region part).
+        """
+        if self.num_threads == 1:
+            kernel(arrays)
+            return
+        pool = self._ensure_pool()
+        futures = []
+        for region in kernel.regions:
+            if region.is_empty:
+                continue
+            if region.iteration_count() < self.min_block_iterations:
+                region.execute(arrays)
+                continue
+            axis = _safe_split_axis(region)
+            if axis is None:
+                region.execute(arrays)  # reduction target: no safe split
+                continue
+            for block in split_box(region.bounds, self.num_threads, axis=axis):
+                futures.append(pool.submit(region.execute, arrays, block))
+        done, _ = wait(futures)
+        for f in done:
+            f.result()  # propagate exceptions
+
+    # -- scatter (lock-serialised) execution ---------------------------------
+
+    def run_scatter(
+        self, kernel: CompiledKernel, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Execute a scatter kernel with per-array write locks.
+
+        Emulates the parallel structure of the paper's atomics baseline:
+        partial results are computed concurrently per block, but updates to
+        each output array are serialised by a lock, so writers contend
+        exactly as atomic increments do.
+        """
+        if self.num_threads == 1:
+            kernel(arrays)
+            return
+        pool = self._ensure_pool()
+        locks: dict[str, threading.Lock] = {}
+        for region in kernel.regions:
+            for st in region.statements:
+                locks.setdefault(st.target.name, threading.Lock())
+
+        def run_block(region: RegionKernel, block) -> None:
+            # Compute into private scratch copies of the written arrays,
+            # then merge under the lock (a thread-private reduction with
+            # serialised commit — the practical upper bound for atomics).
+            written = {st.target.name for st in region.statements}
+            scratch = {
+                name: (np.zeros_like(arrays[name]) if name in written else arr)
+                for name, arr in arrays.items()
+            }
+            region.execute(scratch, block)
+            for name in written:
+                with locks[name]:
+                    arrays[name] += scratch[name]
+
+        futures = []
+        for region in kernel.regions:
+            if region.is_empty:
+                continue
+            for block in split_box(region.bounds, self.num_threads):
+                futures.append(pool.submit(run_block, region, block))
+        done, _ = wait(futures)
+        for f in done:
+            f.result()

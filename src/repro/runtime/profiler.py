@@ -1,0 +1,104 @@
+"""Per-region profiling of compiled kernels.
+
+"No optimization without measuring": the profiler wraps a
+:class:`~repro.runtime.compiler.CompiledKernel` and records wall-clock
+time and iteration counts per region, so the boundary/core cost split the
+paper argues about ("the time spent executing the remainder statements
+will be insignificant compared with that spent inside the [core] loop",
+Section 3.2) can be *measured* rather than assumed.  The
+``bench_ablation_strategies`` benchmark and the EXPERIMENTS.md notes use
+these numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .compiler import CompiledKernel
+
+__all__ = ["RegionProfile", "KernelProfile", "profile_kernel"]
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Timing record for one region loop nest."""
+
+    name: str
+    iterations: int
+    seconds: float
+
+    @property
+    def ns_per_iteration(self) -> float:
+        return 1e9 * self.seconds / max(1, self.iterations)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Aggregated per-region profile of one kernel execution."""
+
+    kernel_name: str
+    regions: tuple[RegionProfile, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.regions)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.regions)
+
+    def core_fraction(self) -> float:
+        """Fraction of time spent in the largest (core) region.
+
+        The paper's Section 3.2 claim is that this approaches 1 for grids
+        much larger than the stencil.
+        """
+        if not self.regions:
+            return 0.0
+        core = max(self.regions, key=lambda r: r.iterations)
+        total = self.total_seconds
+        return core.seconds / total if total > 0 else 0.0
+
+    def report(self) -> str:
+        lines = [f"kernel {self.kernel_name}: {self.total_seconds * 1e3:.3f} ms total"]
+        for r in sorted(self.regions, key=lambda r: -r.seconds):
+            lines.append(
+                f"  {r.name:24s} {r.iterations:>12d} it "
+                f"{r.seconds * 1e3:>9.3f} ms  {r.ns_per_iteration:>8.1f} ns/it"
+            )
+        return "\n".join(lines)
+
+
+def profile_kernel(
+    kernel: CompiledKernel,
+    arrays: Mapping[str, np.ndarray],
+    repeats: int = 1,
+) -> KernelProfile:
+    """Execute *kernel* region by region, timing each (best of *repeats*).
+
+    Mutates *arrays* exactly like ``kernel(arrays)`` would, once per
+    repeat; use fresh arrays when values matter.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best: dict[int, float] = {}
+    for _ in range(repeats):
+        for idx, region in enumerate(kernel.regions):
+            t0 = time.perf_counter()
+            region.execute(arrays)
+            dt = time.perf_counter() - t0
+            if idx not in best or dt < best[idx]:
+                best[idx] = dt
+    profiles = tuple(
+        RegionProfile(
+            name=region.name,
+            iterations=region.iteration_count(),
+            seconds=best[idx],
+        )
+        for idx, region in enumerate(kernel.regions)
+    )
+    return KernelProfile(kernel_name=kernel.name, regions=profiles)

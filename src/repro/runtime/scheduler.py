@@ -1,0 +1,53 @@
+"""Static block scheduling of iteration boxes over threads.
+
+Mirrors OpenMP's static schedule: the outermost parallelisable axis of a
+region is divided into near-equal contiguous chunks, one per thread.  The
+chunks partition the box, so for gather kernels (distinct write indices
+per iteration) chunk execution is race-free — the property that makes the
+PerforAD adjoint parallelisable "in the same way as the primal".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["split_box", "choose_split_axis"]
+
+Box = tuple[tuple[int, int], ...]
+
+
+def choose_split_axis(bounds: Box) -> int:
+    """Pick the axis with the largest extent (ties -> outermost)."""
+    extents = [hi - lo + 1 for lo, hi in bounds]
+    best = max(extents)
+    return extents.index(best)
+
+
+def split_box(bounds: Box, nblocks: int, axis: int | None = None) -> list[Box]:
+    """Partition an inclusive box into up to *nblocks* disjoint sub-boxes.
+
+    The split is along *axis* (default: the widest).  Returns fewer blocks
+    when the axis extent is smaller than ``nblocks``.  Empty input boxes
+    yield an empty list.
+    """
+    if any(lo > hi for lo, hi in bounds):
+        return []
+    if nblocks <= 1:
+        return [tuple(bounds)]
+    if axis is None:
+        axis = choose_split_axis(bounds)
+    lo, hi = bounds[axis]
+    extent = hi - lo + 1
+    nblocks = min(nblocks, extent)
+    base, rem = divmod(extent, nblocks)
+    out: list[Box] = []
+    start = lo
+    for b in range(nblocks):
+        size = base + (1 if b < rem else 0)
+        stop = start + size - 1
+        block = tuple(
+            (start, stop) if d == axis else bd for d, bd in enumerate(bounds)
+        )
+        out.append(block)
+        start = stop + 1
+    return out

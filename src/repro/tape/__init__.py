@@ -1,0 +1,6 @@
+"""Tape-based reverse AD with stencil loops as custom primitives."""
+
+from .core import Variable, constant
+from .stencil_op import StencilOp
+
+__all__ = ["StencilOp", "Variable", "constant"]

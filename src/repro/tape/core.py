@@ -1,0 +1,221 @@
+"""Tape-based reverse-mode AD over NumPy arrays.
+
+The paper positions PerforAD as a loop-level specialist: "A general-
+purpose AD tool is currently necessary to differentiate the entire
+program, except for the stencil loops that can be handled by PerforAD"
+(Section 3.1), and lists combining the two as planned work (Section 6).
+This package is that general-purpose side: a small operator-overloading
+reverse-mode AD framework (the conventional technique of ADOL-C et al.,
+[9] in the paper) whose tape records elementwise NumPy operations — and
+into which PerforAD-generated adjoint stencil kernels plug as custom
+primitives (:mod:`repro.tape.stencil_op`).
+
+Design: a :class:`Variable` wraps an ``ndarray`` (or scalar); arithmetic
+builds a tape of :class:`Node` records, each holding a list of
+``(parent, vjp)`` pairs where ``vjp`` maps the upstream gradient to the
+parent's gradient contribution.  :meth:`Variable.backward` replays the
+tape in reverse.  Broadcasting is handled by summing gradients over
+broadcast axes (``_unbroadcast``), so scalars and arrays mix freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Variable", "constant"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* to *shape* by summing over broadcast axes."""
+    grad = np.asarray(grad)
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Variable:
+    """A node in the reverse-mode computation graph."""
+
+    __slots__ = ("value", "grad", "_parents", "_order")
+
+    _counter = 0
+
+    def __init__(
+        self,
+        value,
+        parents: Sequence[tuple["Variable", Callable[[np.ndarray], np.ndarray]]] = (),
+    ):
+        self.value = np.asarray(value, dtype=float)
+        self.grad: np.ndarray | None = None
+        self._parents = tuple(parents)
+        Variable._counter += 1
+        self._order = Variable._counter
+
+    # -- graph construction helpers -------------------------------------------
+
+    @staticmethod
+    def _lift(other) -> "Variable":
+        return other if isinstance(other, Variable) else Variable(other)
+
+    def _binary(self, other, fwd, vjp_self, vjp_other) -> "Variable":
+        other = Variable._lift(other)
+        out_val = fwd(self.value, other.value)
+        parents = [
+            (self, lambda g: _unbroadcast(vjp_self(g, self.value, other.value),
+                                          self.value.shape)),
+            (other, lambda g: _unbroadcast(vjp_other(g, self.value, other.value),
+                                           other.value.shape)),
+        ]
+        return Variable(out_val, parents)
+
+    def _unary(self, fwd, vjp) -> "Variable":
+        out_val = fwd(self.value)
+        return Variable(out_val, [(self, lambda g: vjp(g, self.value))])
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binary(other, np.add, lambda g, a, b: g, lambda g, a, b: g)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract, lambda g, a, b: g, lambda g, a, b: -g)
+
+    def __rsub__(self, other):
+        return Variable._lift(other).__sub__(self)
+
+    def __mul__(self, other):
+        return self._binary(
+            other, np.multiply, lambda g, a, b: g * b, lambda g, a, b: g * a
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary(
+            other,
+            np.divide,
+            lambda g, a, b: g / b,
+            lambda g, a, b: -g * a / (b * b),
+        )
+
+    def __rtruediv__(self, other):
+        return Variable._lift(other).__truediv__(self)
+
+    def __neg__(self):
+        return self._unary(np.negative, lambda g, a: -g)
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        return self._unary(
+            lambda a: a**exponent,
+            lambda g, a: g * exponent * a ** (exponent - 1),
+        )
+
+    # -- elementwise functions --------------------------------------------------
+
+    def sin(self):
+        return self._unary(np.sin, lambda g, a: g * np.cos(a))
+
+    def cos(self):
+        return self._unary(np.cos, lambda g, a: -g * np.sin(a))
+
+    def exp(self):
+        return self._unary(np.exp, lambda g, a: g * np.exp(a))
+
+    def log(self):
+        return self._unary(np.log, lambda g, a: g / a)
+
+    def tanh(self):
+        return self._unary(np.tanh, lambda g, a: g * (1.0 - np.tanh(a) ** 2))
+
+    def relu(self):
+        return self._unary(
+            lambda a: np.maximum(a, 0.0),
+            lambda g, a: g * np.where(a >= 0, 1.0, 0.0),
+        )
+
+    # -- reductions / contractions ---------------------------------------------
+
+    def sum(self):
+        return Variable(
+            self.value.sum(),
+            [(self, lambda g: np.broadcast_to(g, self.value.shape).copy())],
+        )
+
+    def mean(self):
+        n = self.value.size
+        return Variable(
+            self.value.mean(),
+            [(self, lambda g: np.broadcast_to(g / n, self.value.shape).copy())],
+        )
+
+    def dot(self, other):
+        other = Variable._lift(other)
+        return Variable(
+            float(np.vdot(self.value, other.value)),
+            [
+                (self, lambda g: g * other.value),
+                (other, lambda g: g * self.value),
+            ],
+        )
+
+    # -- reverse sweep ------------------------------------------------------------
+
+    def backward(self, seed=None) -> None:
+        """Accumulate ``d self / d x`` into ``x.grad`` for every ancestor x.
+
+        ``seed`` defaults to 1 (scalar outputs).  Gradients of previous
+        ``backward`` calls are cleared on the visited subgraph first.
+        """
+        order = _topo_order(self)
+        for node in order:
+            node.grad = None
+        self.grad = (
+            np.ones_like(self.value) if seed is None else np.asarray(seed, dtype=float)
+        )
+        for node in reversed(order):
+            if node.grad is None:
+                continue
+            for parent, vjp in node._parents:
+                contrib = vjp(node.grad)
+                if parent.grad is None:
+                    parent.grad = np.zeros_like(parent.value)
+                parent.grad = parent.grad + contrib
+
+
+def _topo_order(root: Variable) -> list[Variable]:
+    seen: set[int] = set()
+    order: list[Variable] = []
+
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent, _ in node._parents:
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    order.sort(key=lambda v: v._order)
+    return order
+
+
+def constant(value) -> Variable:
+    """A leaf variable (gradients accumulate but create no further graph)."""
+    return Variable(value)

@@ -1,0 +1,85 @@
+"""Finite-difference gradient verification.
+
+Central differences on the scalar functional ``J(x) = < w, stencil(x) >``
+give a truncation-limited reference for the adjoint gradient:
+
+    dJ/dv  ~=  (J(x + h v) - J(x - h v)) / (2 h)  ==  < v, J^T w >
+
+Complementary to the machine-precision dot-product test: finite
+differences validate against an *independent execution* of the primal
+(no AD machinery involved at all), which is how AD tools are traditionally
+cross-checked — at the price of an O(h^2) truncation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.base import StencilProblem
+from ..core.transform import adjoint_loops
+from ..runtime.compiler import compile_nests
+
+__all__ = ["FinDiffResult", "finite_difference_test"]
+
+
+@dataclass(frozen=True)
+class FinDiffResult:
+    directional_fd: float
+    directional_ad: float
+    rel_error: float
+
+    def passed(self, tol: float = 1e-6) -> bool:
+        return self.rel_error < tol
+
+
+def finite_difference_test(
+    problem: StencilProblem,
+    n: int,
+    h: float = 1e-6,
+    seed: int = 0,
+    strategy: str = "disjoint",
+) -> FinDiffResult:
+    """Central-difference check of the adjoint gradient at grid size *n*.
+
+    Note: for only piecewise-differentiable bodies (Burgers upwinding) the
+    random perturbation direction may straddle a kink for some points; the
+    smooth-field initialisation of :meth:`StencilProblem.allocate` keeps
+    the probability negligible at test sizes, and failures shrink with h.
+    """
+    rng = np.random.default_rng(seed)
+    bindings = problem.bindings(n)
+    base = problem.allocate(n, rng=rng)
+    shape = problem.array_shape(n)
+    out_name = problem.output_name
+    active = problem.active_input_names()
+    name_map = problem.adjoint_name_map()
+
+    w = rng.standard_normal(shape)
+    v = {name: rng.standard_normal(shape) for name in active}
+
+    primal_kernel = compile_nests([problem.primal], bindings, name="primal")
+
+    def J(offset_sign: float) -> float:
+        arrays = {k: a.copy() for k, a in base.items()}
+        for name in active:
+            arrays[name] += offset_sign * h * v[name]
+        arrays[out_name][...] = 0.0
+        primal_kernel(arrays)
+        return float(np.vdot(w, arrays[out_name]))
+
+    fd = (J(+1.0) - J(-1.0)) / (2.0 * h)
+
+    adj_nests = adjoint_loops(problem.primal, problem.adjoint_map, strategy=strategy)
+    arrays = {k: a.copy() for k, a in base.items()}
+    arrays.update(problem.allocate_adjoints(n, seed=w))
+    compile_nests(adj_nests, bindings, name="adjoint")(arrays)
+    ad = 0.0
+    for name in active:
+        ad += float(np.vdot(v[name], arrays[name_map[name]]))
+
+    denom = max(abs(fd), abs(ad), 1e-300)
+    return FinDiffResult(
+        directional_fd=fd, directional_ad=ad, rel_error=abs(fd - ad) / denom
+    )

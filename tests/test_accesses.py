@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.accesses (offset extraction, Section 3.4 forms)."""
+
+import sympy as sp
+import pytest
+
+from repro.core.accesses import (
+    InvalidAccessError,
+    classify_applied,
+    extract_access,
+    is_index_like_access,
+    offset_vector,
+)
+
+i, j, k = sp.symbols("i j k", integer=True)
+u = sp.Function("u")
+f = sp.Function("f")
+
+
+def test_extract_simple_offsets():
+    pat = extract_access(u(i - 1, j + 2), [i, j])
+    assert pat.name == "u"
+    assert pat.counters == (i, j)
+    assert pat.offsets == (-1, 2)
+
+
+def test_extract_zero_offsets():
+    pat = extract_access(u(i, j), [i, j])
+    assert pat.offsets == (0, 0)
+
+
+def test_offset_vector_alignment():
+    assert offset_vector(u(i - 1, j + 2), [i, j]) == (-1, 2)
+    # Permuted subset: the k dimension is constant for this access.
+    assert offset_vector(u(j + 1), [i, j, k]) == (0, 1, 0)
+
+
+def test_permuted_counters():
+    pat = extract_access(u(j, i + 3), [i, j])
+    assert pat.counters == (j, i)
+    assert pat.offsets == (0, 3)
+    assert pat.offset_for([i, j]) == (3, 0)
+
+
+def test_rejects_two_counters_in_one_slot():
+    with pytest.raises(InvalidAccessError):
+        extract_access(u(i + j), [i, j])
+
+
+def test_rejects_scaled_counter():
+    with pytest.raises(InvalidAccessError):
+        extract_access(u(2 * i), [i])
+
+
+def test_rejects_symbolic_offset():
+    m = sp.Symbol("m")
+    with pytest.raises(InvalidAccessError):
+        extract_access(u(i + m), [i])
+
+
+def test_rejects_counterless_index():
+    with pytest.raises(InvalidAccessError):
+        extract_access(u(sp.Integer(3)), [i])
+
+
+def test_rejects_repeated_counter():
+    with pytest.raises(InvalidAccessError):
+        extract_access(u(i, i + 1), [i, j])
+
+
+def test_is_index_like_access():
+    assert is_index_like_access(u(i - 1), [i])
+    assert not is_index_like_access(f(u(i - 1), u(i)), [i])
+
+
+def test_classify_separates_calls_and_accesses():
+    expr = f(u(i - 1), u(i)) + u(i + 1)
+    accesses, calls = classify_applied(expr, [i])
+    assert u(i + 1) in accesses and u(i - 1) in accesses and u(i) in accesses
+    assert calls == [f(u(i - 1), u(i))]
+
+
+def test_classify_rejects_malformed_access():
+    with pytest.raises(InvalidAccessError):
+        classify_applied(u(2 * i) + u(i), [i])
+
+
+def test_classify_allows_scalar_uninterpreted():
+    g = sp.Function("g")
+    C = sp.Symbol("C")
+    accesses, calls = classify_applied(g(C) * u(i), [i])
+    assert accesses == [u(i)]
+    assert calls == [g(C)]
+
+
+def test_rank_property():
+    assert extract_access(u(i, j, k), [i, j, k]).rank == 3

@@ -1,0 +1,135 @@
+"""Tests for the application problem definitions."""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.apps import (
+    burgers_problem,
+    conv_problem,
+    conv_weight_names,
+    heat_problem,
+    wave_problem,
+)
+from repro.runtime import compile_nests
+
+
+def test_wave_dims():
+    for d in (1, 2, 3):
+        prob = wave_problem(d)
+        assert prob.dim == d
+        assert prob.output_name == "u"
+        assert set(prob.input_names()) == {"u_1", "u_2", "c"}
+    with pytest.raises(ValueError):
+        wave_problem(4)
+
+
+def test_wave_active_c_toggle():
+    assert "c" in wave_problem(3, active_c=True).active_input_names()
+    assert "c" not in wave_problem(3, active_c=False).active_input_names()
+
+
+def test_burgers_structure():
+    prob = burgers_problem(1)
+    assert prob.primal.statements[0].rhs.atoms(sp.Max)
+    assert prob.primal.statements[0].rhs.atoms(sp.Min)
+    with pytest.raises(ValueError):
+        burgers_problem(3)
+
+
+def test_heat_dims():
+    for d in (1, 2, 3):
+        assert heat_problem(d).dim == d
+
+
+def test_conv_weights():
+    names = conv_weight_names(3)
+    assert len(names) == 9
+    prob = conv_problem(3)
+    assert set(prob.param_defaults) == set(names)
+    assert abs(sum(prob.param_defaults.values()) - 1.0) < 1e-12
+    with pytest.raises(ValueError):
+        conv_problem(4)  # even kernel size
+
+
+def test_conv_halo():
+    assert conv_problem(5).halo == 2
+
+
+def test_allocate_shapes(any_problem, rng):
+    prob, N = any_problem
+    arrays = prob.allocate(N, rng=rng)
+    shape = prob.array_shape(N)
+    for name, arr in arrays.items():
+        assert arr.shape == shape
+    assert not arrays[prob.output_name].any()
+
+
+def test_allocate_adjoints_seed_zero_outside_interior(any_problem):
+    prob, N = any_problem
+    adj = prob.allocate_adjoints(N)
+    out_adj = prob.adjoint_name_map()[prob.output_name]
+    seed = adj[out_adj]
+    bindings = prob.bindings(N)
+    # Any index outside the primal write box must be zero (one-sided
+    # stencils like advection have a boundary layer on one side only).
+    c0 = prob.primal.counters[0]
+    lo = bindings.int_bound(prob.primal.bounds[c0][0])
+    hi = bindings.int_bound(prob.primal.bounds[c0][1])
+    if lo > 0:
+        assert not seed[tuple([0] + [lo] * (prob.dim - 1))].any()
+    if hi < N:
+        assert not seed[tuple([N] + [lo] * (prob.dim - 1))].any()
+    assert np.abs(seed).max() > 0  # interior is seeded
+
+
+def test_primal_runs_on_all_problems(any_problem, rng):
+    prob, N = any_problem
+    arrays = prob.allocate(N, rng=rng)
+    compile_nests([prob.primal], prob.bindings(N))(arrays)
+    out = arrays[prob.output_name]
+    assert np.isfinite(out).all()
+    assert np.abs(out).max() > 0
+
+
+def test_bindings_param_override():
+    prob = heat_problem(1)
+    b = prob.bindings(10, alpha=0.5)
+    assert b.param_subs()["alpha"] == 0.5
+
+
+def test_with_interior_shrinks_bounds():
+    prob = heat_problem(2)
+    inner = prob.with_interior(1)
+    c0 = prob.primal.counters[0]
+    lo0, hi0 = prob.primal.bounds[c0]
+    lo1, hi1 = inner.primal.bounds[c0]
+    assert sp.expand(lo1 - lo0) == 1
+    assert sp.expand(hi0 - hi1) == 1
+    assert inner.halo == prob.halo + 1
+
+
+def test_wave_physical_sanity():
+    """A point disturbance spreads symmetrically after one step."""
+    prob = wave_problem(2)
+    N = 20
+    arrays = {
+        "u": np.zeros((N + 1, N + 1)),
+        "u_1": np.zeros((N + 1, N + 1)),
+        "u_2": np.zeros((N + 1, N + 1)),
+        "c": np.ones((N + 1, N + 1)),
+    }
+    arrays["u_1"][10, 10] = 1.0
+    compile_nests([prob.primal], prob.bindings(N))(arrays)
+    u = arrays["u"]
+    assert u[10, 10] == pytest.approx(2.0 - 4 * 0.125)
+    assert u[9, 10] == u[11, 10] == u[10, 9] == u[10, 11] == pytest.approx(0.125)
+
+
+def test_conv_constant_field_preserved():
+    """Normalised blur preserves a constant field in the interior."""
+    prob = conv_problem(3)
+    N = 12
+    arrays = {"img": np.ones((N + 1, N + 1)), "out": np.zeros((N + 1, N + 1))}
+    compile_nests([prob.primal], prob.bindings(N))(arrays)
+    np.testing.assert_allclose(arrays["out"][1:N, 1:N], 1.0, rtol=1e-12)

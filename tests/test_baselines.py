@@ -1,0 +1,110 @@
+"""Tests for the conventional-AD baselines (scatter, atomics, C output)."""
+
+import numpy as np
+import sympy as sp
+import pytest
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.baselines import (
+    AtomicScatterKernel,
+    cse_statements,
+    print_function_c_atomic,
+    tapenade_style_adjoint,
+)
+from repro.core import adjoint_loops
+from repro.runtime import Bindings, compile_nests
+from repro.runtime.compiler import KernelError
+
+
+def test_scatter_adjoint_structure():
+    prob = wave_problem(3, active_c=False)
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    # One scattered update per active input access: 7 (u_1 star) + 1 (u_2).
+    assert len(scat.statements) == 8
+    assert scat.bounds == prob.primal.bounds
+    assert all(st.op == "+=" for st in scat.statements)
+
+
+def test_scatter_equals_gather(any_problem, rng):
+    prob, N = any_problem
+    gather = adjoint_loops(prob.primal, prob.adjoint_map)
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    b = prob.bindings(N)
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+    a1 = {k: v.copy() for k, v in base.items()}
+    a2 = {k: v.copy() for k, v in base.items()}
+    compile_nests(gather, b)(a1)
+    compile_nests([scat], b)(a2)
+    name_map = prob.adjoint_name_map()
+    for prim in prob.active_input_names():
+        np.testing.assert_allclose(
+            a1[name_map[prim]], a2[name_map[prim]], rtol=1e-12, atol=1e-13
+        )
+
+
+def test_atomic_kernel_equals_scatter(rng):
+    prob = heat_problem(2)
+    N = 14
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    kernel = compile_nests([scat], prob.bindings(N))
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+    a1 = {k: v.copy() for k, v in base.items()}
+    a2 = {k: v.copy() for k, v in base.items()}
+    kernel(a1)
+    AtomicScatterKernel(kernel)(a2)
+    np.testing.assert_allclose(a1["u_1_b"], a2["u_1_b"], rtol=1e-12, atol=1e-13)
+
+
+def test_atomic_kernel_rejects_assignment():
+    prob = heat_problem(1)
+    kernel = compile_nests([prob.primal], prob.bindings(10))
+    # primal uses '+='; force an '=' to check rejection
+    from repro.core import LoopNest, Statement
+    import sympy as sp
+
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = LoopNest(
+        statements=(Statement(lhs=r(i), rhs=u(i), op="="),),
+        counters=(i,),
+        bounds={i: (1, n - 1)},
+    )
+    k2 = compile_nests([nest], Bindings(sizes={n: 10}))
+    with pytest.raises(KernelError):
+        AtomicScatterKernel(k2)
+
+
+def test_cse_reduces_ops():
+    """Tapenade's tempb factoring: CSE reduces the scatter op count."""
+    prob = wave_problem(3, active_c=False)
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    before, after = cse_statements(scat)
+    assert after < before
+
+
+def test_atomic_c_output_matches_figure5_style():
+    prob = wave_problem(3, active_c=False)
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    code = print_function_c_atomic("wave3d_b_atomic", scat)
+    assert "#pragma omp parallel for private(i,j,k)" in code
+    assert code.count("#pragma omp atomic") == 8
+    # Tapenade iterates backwards.
+    assert "for (i = n - 2; i >= 1; --i)" in code
+    assert "u_1_b[i - 1][j][k] +=" in code
+
+
+def test_atomic_kernel_on_burgers(rng):
+    prob = burgers_problem(1)
+    N = 30
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    kernel = compile_nests([scat], prob.bindings(N))
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+    a1 = {k: v.copy() for k, v in base.items()}
+    a2 = {k: v.copy() for k, v in base.items()}
+    kernel(a1)
+    AtomicScatterKernel(kernel)(a2)
+    np.testing.assert_allclose(a1["u_1_b"], a2["u_1_b"], rtol=1e-12, atol=1e-13)

@@ -1,0 +1,92 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_builtin_c(capsys):
+    assert main(["generate", "--problem", "wave1d", "--backend", "c"]) == 0
+    out = capsys.readouterr().out
+    assert "void wave1d(" in out
+    assert "void wave1d_b(" in out
+
+
+def test_generate_primal_only(capsys):
+    main(["generate", "--problem", "heat2d", "--kind", "primal"])
+    out = capsys.readouterr().out
+    assert "heat2d_b" not in out
+
+
+def test_generate_adjoint_strategy_and_merge(capsys):
+    main(["generate", "--problem", "heat1d", "--kind", "adjoint",
+          "--strategy", "guarded", "--no-merge"])
+    out = capsys.readouterr().out
+    assert "if (" in out
+
+
+def test_generate_cuda_backend(capsys):
+    main(["generate", "--problem", "burgers1d", "--backend", "cuda",
+          "--kind", "adjoint"])
+    out = capsys.readouterr().out
+    assert "__global__" in out
+
+
+def test_generate_to_file(tmp_path, capsys):
+    out_file = tmp_path / "code.c"
+    main(["generate", "--problem", "wave1d", "--output", str(out_file)])
+    assert "void wave1d(" in out_file.read_text()
+    assert capsys.readouterr().out == ""
+
+
+def test_generate_from_frontend_file(tmp_path, capsys):
+    src = tmp_path / "stencil.txt"
+    src.write_text(
+        "stencil lap1d { iterate i = 1 .. n-2 "
+        "  r[i] = u[i-1] - 2*u[i] + u[i+1] }"
+    )
+    assert main(["generate", "--file", str(src), "--kind", "adjoint"]) == 0
+    out = capsys.readouterr().out
+    assert "void lap1d_b(" in out
+    assert "u_b[i] +=" in out
+
+
+def test_verify_command(capsys):
+    assert main(["verify", "--problem", "burgers1d"]) == 0
+    out = capsys.readouterr().out
+    assert "all adjoints agree" in out
+
+
+def test_verify_custom_n(capsys):
+    assert main(["verify", "--problem", "heat1d", "--n", "30"]) == 0
+
+
+def test_figures_single(capsys):
+    assert main(["figures", "--figure", "fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "Runtimes of the Wave Equation on Broadwell" in out
+    assert "4.14" in out  # paper value column
+
+
+def test_figures_all(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for fig in ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15"):
+        assert fig in out
+
+
+def test_loop_counts(capsys):
+    assert main(["loop-counts"]) == 0
+    out = capsys.readouterr().out
+    assert "wave3d" in out and "53" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_problem_rejected():
+    with pytest.raises(SystemExit):
+        main(["generate", "--problem", "nosuch"])

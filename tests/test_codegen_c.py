@@ -1,0 +1,109 @@
+"""C back-end tests: the generated code of Figures 5 and 7."""
+
+import sympy as sp
+import pytest
+
+from repro.apps import burgers_problem, wave_problem
+from repro.codegen import CodegenError, print_function_c
+from repro.codegen.c import CPrinter
+from repro.core import adjoint_loops, make_loop_nest
+
+i = sp.Symbol("i", integer=True)
+n = sp.Symbol("n", integer=True)
+u, r = sp.Function("u"), sp.Function("r")
+
+
+def test_access_printed_with_brackets():
+    p = CPrinter()
+    j = sp.Symbol("j", integer=True)
+    assert p.doprint(u(i - 1, j + 2)) == "u[i - 1][j + 2]"
+
+
+def test_heaviside_printed_as_ternary():
+    p = CPrinter()
+    assert p.doprint(sp.Heaviside(u(i))) == "((u[i] >= 0) ? 1.0 : 0.0)"
+
+
+def test_max_min_printed_as_fmax_fmin():
+    p = CPrinter()
+    out = p.doprint(sp.Max(u(i), 0) + sp.Min(u(i), 0))
+    assert "fmax(0, u[i])" in out and "fmin(0, u[i])" in out
+
+
+def test_uninterpreted_derivative_printed_as_call():
+    f = sp.Function("f")
+    x = u(i - 1)
+    expr = sp.diff(f(x, u(i)), x)
+    p = CPrinter()
+    out = p.doprint(expr)
+    assert out == "f_d1(u[i - 1], u[i])"
+
+
+def test_unmatchable_derivative_raises():
+    p = CPrinter()
+    t = sp.Symbol("t")
+    with pytest.raises(CodegenError):
+        p.doprint(sp.Derivative(sp.Function("g")(t), t, 2))
+
+
+def test_wave_primal_matches_figure5():
+    """Structural equivalents of Figure 5's primal stencil code."""
+    prob = wave_problem(3)
+    code = print_function_c("wave3d", [prob.primal])
+    assert "#pragma omp parallel for private(i,j,k)" in code
+    assert "for ( i=1; i<=n - 2; i++ )" in code
+    assert "u[i][j][k] +=" in code
+    assert "u_1[i][j][k - 1]" in code and "u_1[i + 1][j][k]" in code
+    assert "c[i][j][k]" in code
+    assert "int n" in code and "double D" in code
+
+
+def test_wave_adjoint_core_matches_figure5():
+    """The adjoint core loop of Figure 5: bounds [2, n-3], gather reads."""
+    prob = wave_problem(3, active_c=False)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map, merge=False)
+    core = [x for x in nests if x.name.endswith("core")]
+    code = print_function_c("wave3d_perf_b", core)
+    assert "for ( i=2; i<=n - 3; i++ )" in code
+    assert "u_1_b[i][j][k] +=" in code
+    assert "u_2_b[i][j][k] +=" in code
+    assert "u_b[i][j][k + 1]" in code  # gathered neighbour reads
+    assert "u_b[i - 1][j][k]" in code
+
+
+def test_burgers_adjoint_matches_figure7():
+    """Figure 7: ternaries from upwinding, fmax/fmin, core [2, n-3]."""
+    prob = burgers_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    code = print_function_c("burgers1d_perf_b", nests)
+    assert "for ( i=2; i<=n - 3; i++ )" in code
+    assert "? 1.0 : 0.0" in code
+    assert "fmax(0, u_1[i + 1])" in code
+    assert "fmin(0, u_1[i - 1])" in code
+    assert "u_1_b[i] +=" in code
+
+
+def test_remainders_unrolled_in_output():
+    """Single-iteration remainder loops appear as plain statements."""
+    prob = burgers_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    code = print_function_c("b", nests)
+    assert "u_1_b[0] +=" in code
+    assert "u_1_b[n - 1] +=" in code
+
+
+def test_guard_printed_as_if():
+    prob = burgers_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map, strategy="guarded")
+    code = print_function_c("b", nests)
+    assert "if (" in code and "&&" in code
+
+
+def test_coefficient_swap_1d():
+    """Section 3.2's signature effect: constants 2.0 and 4.0 swap sides."""
+    c, u_b, r_b = sp.Function("c"), sp.Function("u_b"), sp.Function("r_b")
+    expr = c(i) * (2.0 * u(i - 1) - 3.0 * u(i) + 4 * u(i + 1))
+    nest = make_loop_nest(lhs=r(i), rhs=expr, counters=[i], bounds={i: [1, n - 1]})
+    code = print_function_c("adj", adjoint_loops(nest, {r: r_b, u: u_b}))
+    assert "4*c[i - 1]*r_b[i - 1]" in code
+    assert "2.0*c[i + 1]*r_b[i + 1]" in code

@@ -1,0 +1,95 @@
+"""CUDA back-end tests (structural: no GPU available in CI)."""
+
+import sympy as sp
+import pytest
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.codegen import CodegenError, print_function_cuda
+from repro.core import adjoint_loops, make_loop_nest
+
+
+def test_wave3d_adjoint_kernels():
+    prob = wave_problem(3, active_c=False)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    code = print_function_cuda("wave3d_b", nests)
+    # One kernel per region nest (53 for the 3-D star).
+    assert code.count("__global__") == 53
+    assert code.count("<<<grid, block>>>") == 53
+    # Single final sync: disjoint regions need no barriers in between.
+    assert code.count("cudaDeviceSynchronize()") == 1
+    # Innermost counter coalesced on threadIdx.x.
+    assert "int k = blockIdx.x * blockDim.x + threadIdx.x" in code
+    assert "dim3 block(32, 4, 2);" in code
+
+
+def test_bounds_guards_emitted():
+    prob = heat_problem(2)
+    code = print_function_cuda("heat2d", [prob.primal])
+    assert "if (j > (n - 2)) return;" in code
+    assert "if (i > (n - 2)) return;" in code
+
+
+def test_flat_indexing_row_major():
+    prob = heat_problem(2)
+    code = print_function_cuda("heat2d", [prob.primal])
+    assert "u_1[(i)*(n + 1) + j]" in code
+
+
+def test_1d_launch_configuration():
+    prob = burgers_problem(1)
+    code = print_function_cuda("burgers1d", [prob.primal])
+    assert "dim3 block(256);" in code
+    assert "fmax" in code and "fmin" in code
+
+
+def test_ternary_in_device_code():
+    prob = burgers_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    code = print_function_cuda("burgers1d_b", nests)
+    assert "? 1.0 : 0.0" in code
+
+
+def test_guarded_strategy_emits_device_ifs():
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map, strategy="guarded")
+    code = print_function_cuda("heat2d_b", nests)
+    assert "if ((" in code and "&&" in code
+
+
+def test_scalar_and_size_parameters():
+    prob = wave_problem(1)
+    code = print_function_cuda("wave1d", [prob.primal])
+    assert "double D" in code and "int n" in code
+
+
+def test_rejects_too_many_dims():
+    i, j, k, l = sp.symbols("i j k l", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = make_loop_nest(
+        lhs=r(i, j, k, l), rhs=u(i, j, k, l),
+        counters=[i, j, k, l],
+        bounds={c: [0, n] for c in (i, j, k, l)},
+    )
+    with pytest.raises(CodegenError):
+        print_function_cuda("x", [nest])
+
+
+def test_rejects_empty():
+    with pytest.raises(CodegenError):
+        print_function_cuda("x", [])
+
+
+def test_gpu_preset_extension_predictions():
+    """The V100 extension preset: PerforAD adjoint stays within ~2x of the
+    primal and atomics remain catastrophic — the paper's expectation for
+    GPUs stated in the conclusion."""
+    from repro.experiments import wave_descriptors
+    from repro.machine import V100
+
+    d = wave_descriptors()
+    t_primal = V100.best_time(d.primal, "gather")[1]
+    t_adjoint = V100.best_time(d.perforad, "gather")[1]
+    t_atomic = V100.best_time(d.scatter, "atomic")[1]
+    assert t_adjoint < 3.0 * t_primal
+    assert t_atomic > 10.0 * t_adjoint

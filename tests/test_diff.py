@@ -1,0 +1,135 @@
+"""Unit tests for the differentiation engine (Section 3.3.1)."""
+
+import sympy as sp
+import pytest
+
+from repro.core import make_loop_nest
+from repro.core.diff import (
+    ActivityError,
+    adjoint_scatter_loop,
+    adjoint_scatter_statements,
+    tangent_loop,
+)
+
+i = sp.Symbol("i", integer=True)
+n = sp.Symbol("n", integer=True)
+u, c, r = sp.Function("u"), sp.Function("c"), sp.Function("r")
+u_b, r_b = sp.Function("u_b"), sp.Function("r_b")
+
+
+def section32_nest():
+    expr = c(i) * (2.0 * u(i - 1) - 3.0 * u(i) + 4 * u(i + 1))
+    return make_loop_nest(lhs=r(i), rhs=expr, counters=[i], bounds={i: [1, n - 1]})
+
+
+def test_scatter_statements_match_section32():
+    """The three scatter updates of Section 3.2, with exact coefficients."""
+    contribs = adjoint_scatter_statements(section32_nest(), {r: r_b, u: u_b})
+    assert len(contribs) == 3
+    by_offset = {cb.offset: cb.statement for cb in contribs}
+    assert set(by_offset) == {(-1,), (0,), (1,)}
+    assert sp.expand(by_offset[(-1,)].rhs - 2.0 * c(i) * r_b(i)) == 0
+    assert sp.expand(by_offset[(0,)].rhs - (-3.0) * c(i) * r_b(i)) == 0
+    assert sp.expand(by_offset[(1,)].rhs - 4 * c(i) * r_b(i)) == 0
+    assert all(cb.statement.op == "+=" for cb in contribs)
+    assert by_offset[(-1,)].lhs == u_b(i - 1)
+
+
+def test_passive_arrays_skipped():
+    """c is passive: no c_b statements are generated."""
+    contribs = adjoint_scatter_statements(section32_nest(), {r: r_b, u: u_b})
+    assert all(cb.statement.target_name == "u_b" for cb in contribs)
+
+
+def test_active_coefficient_generates_adjoint():
+    c_b = sp.Function("c_b")
+    contribs = adjoint_scatter_statements(
+        section32_nest(), {r: r_b, u: u_b, c: c_b}
+    )
+    targets = {cb.statement.target_name for cb in contribs}
+    assert targets == {"u_b", "c_b"}
+
+
+def test_missing_output_adjoint_raises():
+    with pytest.raises(ActivityError):
+        adjoint_scatter_statements(section32_nest(), {u: u_b})
+
+
+def test_zero_partial_dropped():
+    # u(i+1) appears with coefficient 0 after simplification.
+    expr = u(i - 1) + 0 * u(i + 1)
+    nest = make_loop_nest(lhs=r(i), rhs=expr, counters=[i], bounds={i: [1, n - 1]})
+    contribs = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    assert len(contribs) == 1
+
+
+def test_nonlinear_partial_reads_primal():
+    """d(u^2)/du = 2u: the adjoint must read the primal value (Section 3.1)."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i - 1) ** 2, counters=[i], bounds={i: [1, n - 1]}
+    )
+    (contrib,) = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    assert sp.expand(contrib.statement.rhs - 2 * u(i - 1) * r_b(i)) == 0
+
+
+def test_minmax_yields_heaviside():
+    """Upwinding derivatives are piecewise: Heaviside factors (Section 4.2)."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=sp.Max(u(i), 0) * u(i), counters=[i], bounds={i: [1, n - 1]}
+    )
+    (contrib,) = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    assert contrib.statement.rhs.atoms(sp.Heaviside)
+
+
+def test_uninterpreted_function_derivative():
+    """Large bodies can use uninterpreted f; partials stay symbolic calls."""
+    f = sp.Function("f")
+    nest = make_loop_nest(
+        lhs=r(i), rhs=f(u(i - 1), u(i)), counters=[i], bounds={i: [1, n - 1]}
+    )
+    contribs = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    assert len(contribs) == 2
+    for cb in contribs:
+        assert cb.statement.rhs.atoms(sp.Subs) or cb.statement.rhs.atoms(sp.Derivative)
+
+
+def test_scatter_loop_keeps_primal_bounds():
+    nest = section32_nest()
+    scat = adjoint_scatter_loop(nest, {r: r_b, u: u_b})
+    assert scat.bounds[i] == nest.bounds[i]
+    assert len(scat.statements) == 3
+
+
+def test_multi_statement_reverse_order():
+    """Reverse-mode AD differentiates body statements in reverse order."""
+    from repro.core import LoopNest, Statement
+
+    s, t = sp.Function("s"), sp.Function("t")
+    nest = LoopNest(
+        statements=(
+            Statement(lhs=s(i), rhs=u(i - 1), op="+="),
+            Statement(lhs=t(i), rhs=u(i + 1), op="+="),
+        ),
+        counters=(i,),
+        bounds={i: (1, n - 1)},
+    )
+    contribs = adjoint_scatter_statements(
+        nest, {s: sp.Function("s_b"), t: sp.Function("t_b"), u: u_b}
+    )
+    # t's contribution (last primal statement) comes first.
+    assert contribs[0].statement.rhs.atoms(sp.Function("t_b")(i))
+
+
+def test_tangent_structure():
+    tan = tangent_loop(section32_nest(), {r: sp.Function("r_d"), u: sp.Function("u_d")})
+    assert len(tan.statements) == 1
+    st = tan.statements[0]
+    assert st.target_name == "r_d"
+    # Tangent gathers from the same offsets as the primal.
+    u_d = sp.Function("u_d")
+    assert u_d(i - 1) in st.rhs.atoms(sp.core.function.AppliedUndef)
+
+
+def test_tangent_missing_output_raises():
+    with pytest.raises(ActivityError):
+        tangent_loop(section32_nest(), {u: sp.Function("u_d")})

@@ -1,0 +1,187 @@
+"""Tests for revolve checkpointing and the adjoint time-stepping driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import burgers_problem, heat_problem
+from repro.core import adjoint_loops
+from repro.driver import (
+    AdjointTimeStepper,
+    optimal_cost,
+    schedule,
+    schedule_cost,
+)
+from repro.runtime import compile_nests
+
+
+# -- revolve schedule ------------------------------------------------------------
+
+
+def test_optimal_cost_base_cases():
+    assert optimal_cost(0, 1) == 0
+    assert optimal_cost(1, 1) == 1
+    assert optimal_cost(5, 1) == 15  # triangular
+    assert optimal_cost(1, 10) == 1
+
+
+def test_optimal_cost_enough_snaps_is_linear():
+    # With snaps >= steps, each step is advanced once and re-evaluated
+    # once inside its reverse: 2l - 1 evaluations (the last step is never
+    # advanced past).
+    assert optimal_cost(10, 10) == 19
+    assert optimal_cost(10, 64) == 19
+
+
+def test_optimal_cost_monotone_in_snaps():
+    costs = [optimal_cost(30, s) for s in range(1, 10)]
+    assert all(costs[k + 1] <= costs[k] for k in range(len(costs) - 1))
+
+
+def test_optimal_cost_rejects_zero_snaps():
+    with pytest.raises(ValueError):
+        optimal_cost(5, 0)
+
+
+@pytest.mark.parametrize("steps,snaps", [
+    (1, 1), (2, 1), (7, 1), (10, 2), (10, 3), (17, 3), (25, 4), (33, 5), (40, 2),
+])
+def test_schedule_is_optimal(steps, snaps):
+    """The emitted schedule's evaluation count equals the DP optimum."""
+    acts = schedule(steps, snaps)
+    assert schedule_cost(acts) == optimal_cost(steps, snaps)
+
+
+@pytest.mark.parametrize("steps,snaps", [(10, 3), (17, 2), (25, 4), (7, 7)])
+def test_schedule_semantics_by_simulation(steps, snaps):
+    """Simulate the schedule: slot budget respected, every step reversed
+    exactly once in descending order, states consistent."""
+    acts = schedule(steps, snaps)
+    slots: dict[int, int] = {}
+    live = 0
+    reversed_steps = []
+    max_resident = 0
+    for a in acts:
+        if a.kind == "snapshot":
+            assert a.slot not in slots or slots[a.slot] is not None
+            slots[a.slot] = live
+            assert a.step == live
+            max_resident = max(max_resident, len(slots))
+        elif a.kind == "advance":
+            assert a.step == live
+            assert a.step2 > a.step
+            live = a.step2
+        elif a.kind == "restore":
+            assert slots[a.slot] == a.step
+            live = a.step
+        elif a.kind == "reverse":
+            assert a.step == live
+            reversed_steps.append(a.step)
+    assert reversed_steps == list(range(steps - 1, -1, -1))
+    assert max_resident <= snaps
+
+
+def test_schedule_rejects_bad_args():
+    with pytest.raises(ValueError):
+        schedule(0, 1)
+    with pytest.raises(ValueError):
+        schedule(5, 0)
+
+
+# -- adjoint time-stepping driver -------------------------------------------------
+
+
+def make_burgers_stepper(n=48):
+    prob = burgers_problem(1)
+    bindings = prob.bindings(n)
+    shape = prob.array_shape(n)
+    fwd = compile_nests([prob.primal], bindings)
+    adj = compile_nests(adjoint_loops(prob.primal, prob.adjoint_map), bindings)
+
+    def forward_step(state):
+        arrays = {"u": np.zeros(shape), "u_1": state["u"]}
+        fwd(arrays)
+        return {"u": arrays["u"]}
+
+    def reverse_step(saved, lam):
+        arrays = {
+            "u_b": lam["u"].copy(),
+            "u_1": saved["u"],
+            "u_1_b": np.zeros(shape),
+        }
+        adj(arrays)
+        return {"u": arrays["u_1_b"]}
+
+    return AdjointTimeStepper(forward_step, reverse_step), prob, n, shape
+
+
+def test_forward_run_matches_manual(rng):
+    stepper, prob, n, shape = make_burgers_stepper()
+    u0 = rng.standard_normal(shape) * 0.1
+    final = stepper.run_forward({"u": u0}, steps=5)
+    # manual
+    u = u0.copy()
+    fwd = compile_nests([prob.primal], prob.bindings(n))
+    for _ in range(5):
+        arrays = {"u": np.zeros(shape), "u_1": u}
+        fwd(arrays)
+        u = arrays["u"]
+    np.testing.assert_array_equal(final["u"], u)
+
+
+@pytest.mark.parametrize("steps,snaps", [(6, 2), (9, 3), (12, 2), (5, 5)])
+def test_checkpointed_equals_store_all(rng, steps, snaps):
+    """Revolve-checkpointed adjoint is bitwise identical to store-all."""
+    stepper, prob, n, shape = make_burgers_stepper()
+    u0 = rng.standard_normal(shape) * 0.1
+    seed = {"u": rng.standard_normal(shape)}
+    ref = stepper.run_store_all({"u": u0}, steps, seed)
+    chk = stepper.run_checkpointed({"u": u0}, steps, seed, snaps=snaps)
+    np.testing.assert_array_equal(ref["u"], chk["u"])
+
+
+def test_checkpointed_gradient_verified_by_fd(rng):
+    """d(0.5||u^T||^2)/du^0 via checkpointed sweep matches FD."""
+    stepper, prob, n, shape = make_burgers_stepper()
+    steps, snaps = 8, 3
+    u0 = rng.standard_normal(shape) * 0.1
+
+    def J(u_init):
+        return 0.5 * float(
+            np.sum(stepper.run_forward({"u": u_init}, steps)["u"] ** 2)
+        )
+
+    final = stepper.run_forward({"u": u0}, steps)
+    grad = stepper.run_checkpointed({"u": u0}, steps, {"u": final["u"]}, snaps)
+    v = rng.standard_normal(shape)
+    h = 1e-7
+    fd = (J(u0 + h * v) - J(u0 - h * v)) / (2 * h)
+    ad = float(np.vdot(grad["u"], v))
+    assert abs(fd - ad) / max(abs(fd), 1e-30) < 1e-6
+
+
+def test_heat_two_array_state(rng):
+    """Driver works for states with several arrays (heat with sources)."""
+    prob = heat_problem(2)
+    N = 12
+    bindings = prob.bindings(N)
+    shape = prob.array_shape(N)
+    fwd = compile_nests([prob.primal], bindings)
+    adj = compile_nests(adjoint_loops(prob.primal, prob.adjoint_map), bindings)
+
+    def forward_step(state):
+        arrays = {"u": np.zeros(shape), "u_1": state["u"]}
+        fwd(arrays)
+        return {"u": arrays["u"]}
+
+    def reverse_step(saved, lam):
+        arrays = {"u_b": lam["u"].copy(), "u_1": saved["u"],
+                  "u_1_b": np.zeros(shape)}
+        adj(arrays)
+        return {"u": arrays["u_1_b"]}
+
+    stepper = AdjointTimeStepper(forward_step, reverse_step)
+    u0 = rng.standard_normal(shape) * 0.1
+    seed = {"u": rng.standard_normal(shape)}
+    ref = stepper.run_store_all({"u": u0}, 7, seed)
+    chk = stepper.run_checkpointed({"u": u0}, 7, seed, snaps=2)
+    np.testing.assert_array_equal(ref["u"], chk["u"])

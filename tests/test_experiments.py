@@ -1,0 +1,110 @@
+"""Tests for the experiment-regeneration module (Figures 8-15 tables)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER,
+    burgers_descriptors,
+    fig08_wave_broadwell,
+    fig09_burgers_broadwell,
+    fig10_wave_runtimes_broadwell,
+    fig11_burgers_runtimes_broadwell,
+    fig12_wave_knl,
+    fig13_burgers_knl,
+    fig14_wave_runtimes_knl,
+    fig15_burgers_runtimes_knl,
+    render_all,
+    render_bars,
+    render_factors,
+    render_speedup,
+    wave_descriptors,
+)
+
+SPEEDUP_FIGS = [
+    fig08_wave_broadwell,
+    fig09_burgers_broadwell,
+    fig12_wave_knl,
+    fig13_burgers_knl,
+]
+BAR_FIGS = [
+    fig10_wave_runtimes_broadwell,
+    fig11_burgers_runtimes_broadwell,
+    fig14_wave_runtimes_knl,
+    fig15_burgers_runtimes_knl,
+]
+
+
+@pytest.mark.parametrize("build", SPEEDUP_FIGS)
+def test_speedup_series_structure(build):
+    fig = build()
+    assert set(fig.series) == {"Primal", "Adjoint", "Atomics", "PerforAD", "Ideal"}
+    for series in fig.series.values():
+        assert len(series) == len(fig.threads)
+    # Speedups normalised: every series starts near 1 except Atomics
+    # (plotted relative to the serial conventional adjoint) and Ideal.
+    assert fig.series["Primal"][0] == pytest.approx(1.0)
+    assert fig.series["PerforAD"][0] == pytest.approx(1.0)
+    assert fig.series["Ideal"] == tuple(float(p) for p in fig.threads)
+
+
+@pytest.mark.parametrize("build", SPEEDUP_FIGS)
+def test_rows_and_header_consistent(build):
+    fig = build()
+    rows = fig.rows()
+    hdr = fig.header()
+    assert len(rows) == len(fig.threads)
+    assert len(hdr) == 1 + len(fig.series)
+    assert rows[0][0] == fig.threads[0]
+
+
+@pytest.mark.parametrize("build", BAR_FIGS)
+def test_bar_figures_have_all_five_bars(build):
+    fig = build()
+    assert set(fig.bars) == {
+        "Primal Serial",
+        "PerforAD Serial",
+        "Adjoint Serial",
+        "Primal Parallel",
+        "PerforAD Parallel",
+    }
+    for model, paper in fig.bars.values():
+        assert model > 0 and paper > 0
+
+
+def test_paper_constants_complete():
+    for key in ("fig10", "fig11", "fig14", "fig15"):
+        assert len(PAPER[key]) == 5
+    assert PAPER["fig10"]["Primal Serial"] == 4.14
+    assert PAPER["fig15"]["Adjoint Serial"] == 95.74
+    assert PAPER["factors"]["burgers_knl_best_vs_conventional"] == 125.0
+
+
+def test_descriptors_at_paper_scale():
+    w = wave_descriptors()
+    assert w.primal.points == 998**3
+    b = burgers_descriptors()
+    assert b.primal.points == 10**9 - 2
+    assert b.stack.stack_bytes_per_point == 32.0
+
+
+def test_render_speedup_contains_table():
+    text = render_speedup(fig08_wave_broadwell())
+    assert "fig08" in text and "threads" in text and "PerforAD" in text
+    assert text.count("\n") >= 7
+
+
+def test_render_bars_contains_ratios():
+    text = render_bars(fig10_wave_runtimes_broadwell())
+    assert "ratio" in text and "4.14" in text
+
+
+def test_render_factors_lists_all_cases():
+    text = render_factors()
+    assert "125.0" in text and "19.0" in text
+
+
+def test_render_all_covers_every_figure():
+    text = render_all()
+    for fig in ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15"):
+        assert fig in text

@@ -1,0 +1,192 @@
+"""Tests for the textual stencil front-end (lexer + parser)."""
+
+import numpy as np
+import sympy as sp
+import pytest
+
+from repro.apps import burgers_problem, wave_problem
+from repro.core import StencilRestrictionError, adjoint_loops
+from repro.frontend import LexError, ParseError, parse_stencil, parse_stencils, tokenize
+from repro.runtime import Bindings, compile_nests
+
+WAVE3D_SRC = """
+# 3-D wave equation, Figure 4 of the paper, in the textual front-end.
+stencil wave3d {
+  iterate i = 1 .. n-2, j = 1 .. n-2, k = 1 .. n-2
+  u[i,j,k] += 2.0*u_1[i,j,k] - u_2[i,j,k]
+              + c[i,j,k]*D*(u_1[i-1,j,k] + u_1[i+1,j,k]
+                          + u_1[i,j-1,k] + u_1[i,j+1,k]
+                          + u_1[i,j,k-1] + u_1[i,j,k+1]
+                          - 6*u_1[i,j,k])
+}
+"""
+
+BURGERS_SRC = """
+stencil burgers1d {
+  iterate i = 1 .. n-2
+  u[i] += u_1[i]
+          - C*(max(u_1[i], 0)*(u_1[i] - u_1[i-1])
+             + min(u_1[i], 0)*(u_1[i+1] - u_1[i]))
+          + D*(u_1[i+1] + u_1[i-1] - 2.0*u_1[i])
+}
+"""
+
+
+# -- lexer ---------------------------------------------------------------
+
+
+def test_tokenize_basics():
+    toks = tokenize("a[i+1] += 2.5*b")
+    kinds = [t.kind for t in toks]
+    assert kinds == ["ident", "op", "ident", "op", "number", "op", "op",
+                     "number", "op", "ident", "end"]
+
+
+def test_tokenize_range_not_float():
+    toks = tokenize("1 .. n")
+    assert [t.text for t in toks[:3]] == ["1", "..", "n"]
+    toks2 = tokenize("1..n")
+    assert [t.text for t in toks2[:3]] == ["1", "..", "n"]
+
+
+def test_tokenize_comments_and_positions():
+    toks = tokenize("a # comment\nb")
+    assert [t.text for t in toks[:2]] == ["a", "b"]
+    assert toks[1].line == 2
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(LexError):
+        tokenize("a ? b")
+
+
+def test_float_literal():
+    toks = tokenize("2.75")
+    assert toks[0].kind == "number" and toks[0].text == "2.75"
+
+
+# -- parser ---------------------------------------------------------------
+
+
+def test_parse_wave3d_equivalent_to_programmatic():
+    nest = parse_stencil(WAVE3D_SRC)
+    ref = wave_problem(3).primal
+    assert nest.name == "wave3d"
+    assert len(nest.counters) == 3
+    # Semantically identical statement.
+    st, ref_st = nest.statements[0], ref.statements[0]
+    # Rename the parser's symbols onto the reference's before comparing.
+    ren = {s: sp.Symbol(s.name, integer=True) for s in nest.counters}
+    ren.update({sp.Symbol("D", real=True): sp.Symbol("D", real=True)})
+    diff = sp.expand(st.rhs.subs(ren) - ref_st.rhs)
+    # D symbols differ only in assumptions; normalise by string round trip.
+    assert sp.simplify(sp.sympify(str(st.rhs)) - sp.sympify(str(ref_st.rhs))) == 0
+    assert st.op == ref_st.op == "+="
+
+
+def test_parsed_wave_differentiates_to_53_nests():
+    nest = parse_stencil(WAVE3D_SRC)
+    u = sp.Function("u"); u_1 = sp.Function("u_1"); u_2 = sp.Function("u_2")
+    amap = {u: sp.Function("u_b"), u_1: sp.Function("u_1_b"),
+            u_2: sp.Function("u_2_b")}
+    assert len(adjoint_loops(nest, amap)) == 53
+
+
+def test_parsed_burgers_executes_like_reference(rng):
+    nest = parse_stencil(BURGERS_SRC)
+    ref = burgers_problem(1)
+    N = 40
+    n = sp.Symbol("n")
+    bind = Bindings(sizes={n: N}, params={"C": 0.2, "D": 0.1})
+    a1 = ref.allocate(N, rng=rng)
+    a2 = {k: v.copy() for k, v in a1.items()}
+    compile_nests([nest], bind)(a1)
+    compile_nests([ref.primal], ref.bindings(N))(a2)
+    np.testing.assert_allclose(a1["u"], a2["u"], rtol=1e-12, atol=1e-14)
+
+
+def test_parse_multiple_stencils():
+    src = """
+    stencil a { iterate i = 1 .. n-1  r[i] = u[i-1] }
+    stencil b { iterate i = 1 .. n-1  s[i] = u[i+1] }
+    """
+    nests = parse_stencils(src)
+    assert [x.name for x in nests] == ["a", "b"]
+
+
+def test_parse_multi_statement_stencil():
+    src = """
+    stencil two {
+      iterate i = 1 .. n-1
+      r[i] += u[i-1]
+      s[i] += u[i+1]
+    }
+    """
+    nest = parse_stencils(src)[0]
+    assert len(nest.statements) == 2
+
+
+def test_power_operator():
+    nest = parse_stencil("stencil p { iterate i = 1 .. n-1  r[i] = u[i]^2 }")
+    u = sp.Function("u")
+    assert nest.statements[0].rhs.atoms(sp.Pow)
+
+
+def test_unary_minus_and_parens():
+    nest = parse_stencil("stencil p { iterate i = 1 .. n-1  r[i] = -(u[i-1] - u[i+1])/2 }")
+    assert nest.statements[0].rhs != 0
+
+
+def test_parse_error_missing_bracket():
+    with pytest.raises(ParseError):
+        parse_stencil("stencil p { iterate i = 1 .. n-1  r[i = u[i] }")
+
+
+def test_parse_error_bare_statement():
+    with pytest.raises(ParseError):
+        parse_stencil("stencil p { iterate i = 1 .. n-1  x = u[i] }")
+
+
+def test_parse_error_empty_body():
+    with pytest.raises(ParseError):
+        parse_stencil("stencil p { iterate i = 1 .. n-1 }")
+
+
+def test_parse_error_no_stencil():
+    with pytest.raises(ParseError):
+        parse_stencils("   # nothing here\n")
+
+
+def test_parse_error_scalar_reused_as_counter():
+    # C is used as a scalar in the first range, then declared as a counter.
+    with pytest.raises(ParseError):
+        parse_stencil("stencil p { iterate i = C .. n-1, C = 1 .. 5  r[i,C] = 0 }")
+
+
+def test_parse_error_array_in_index():
+    with pytest.raises(ParseError):
+        parse_stencil("stencil p { iterate i = 1 .. n-1  r[u[i]] = 1 }")
+
+
+def test_restrictions_apply_to_parsed_stencils():
+    """Section 3.4 checks run on front-end input too."""
+    with pytest.raises(StencilRestrictionError):
+        parse_stencil("stencil p { iterate i = 1 .. n-1  u[i] = u[i-1] }")
+
+
+def test_parsed_adjoint_matches_programmatic_adjoint(rng):
+    """End to end: parse -> diff -> compile -> execute == programmatic."""
+    nest = parse_stencil(BURGERS_SRC)
+    ref = burgers_problem(1)
+    N = 36
+    u = sp.Function("u"); u_1 = sp.Function("u_1")
+    amap = {u: sp.Function("u_b"), u_1: sp.Function("u_1_b")}
+    n = sp.Symbol("n")
+    bind = Bindings(sizes={n: N}, params={"C": 0.2, "D": 0.1})
+    base = ref.allocate(N, rng=rng)
+    base.update(ref.allocate_adjoints(N, rng=rng))
+    a1 = {k: v.copy() for k, v in base.items()}
+    a2 = {k: v.copy() for k, v in base.items()}
+    compile_nests(adjoint_loops(nest, amap), bind)(a1)
+    compile_nests(adjoint_loops(ref.primal, ref.adjoint_map), ref.bindings(N))(a2)
+    np.testing.assert_allclose(a1["u_1_b"], a2["u_1_b"], rtol=1e-12, atol=1e-14)

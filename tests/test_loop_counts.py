@@ -1,0 +1,91 @@
+"""Experiment loops334: the loop-nest counts stated in Section 3.3.4.
+
+"With a primal stencil that gathers data from n points in each of d
+dimensions, the number of generated adjoint loop nests is at most
+(2n-1)^d.  For the one-dimensional three-point stencil in Section 3.2,
+this resulted in five adjoint loops ... For a dense 3x3 stencil in two
+dimensions, the number of adjoint loops would be 25, and for a dense
+three-dimensional 3x3x3 stencil, 125.  If the primal stencil is ... a
+star-shaped stencil such as the one shown in Section 4.1, then 53 loop
+nests are needed."
+"""
+
+import itertools
+
+import sympy as sp
+import pytest
+
+from repro.apps import burgers_problem, wave_problem
+from repro.core import adjoint_loops, make_loop_nest
+
+n = sp.Symbol("n", integer=True)
+
+
+def dense_nest(dim, width):
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    u, r = sp.Function("u"), sp.Function("r")
+    half = width // 2
+    offs = range(-half, half + 1)
+    expr = sum(
+        u(*[c + o for c, o in zip(counters, combo)])
+        for combo in itertools.product(offs, repeat=dim)
+    )
+    return make_loop_nest(
+        lhs=r(*counters), rhs=expr, counters=list(counters),
+        bounds={c: [half, n - half] for c in counters},
+    ), {r: sp.Function("r_b"), u: sp.Function("u_b")}
+
+
+@pytest.mark.parametrize(
+    "dim,width,expected",
+    [(1, 3, 5), (2, 3, 25), (3, 3, 125), (1, 5, 9), (2, 5, 81)],
+)
+def test_dense_counts_match_formula(dim, width, expected):
+    nest, amap = dense_nest(dim, width)
+    assert len(adjoint_loops(nest, amap)) == expected == (2 * width - 1) ** dim
+
+
+def test_wave_star_is_53():
+    prob = wave_problem(3)
+    assert len(adjoint_loops(prob.primal, prob.adjoint_map)) == 53
+
+
+def test_burgers_1d_is_5():
+    prob = burgers_problem(1)
+    assert len(adjoint_loops(prob.primal, prob.adjoint_map)) == 5
+
+
+def test_star_2d_is_17():
+    """Figure 3's 2-D five-point star decomposes into 17 nests.
+
+    Consistent with the paper's 53 for the 3-D star: the hierarchical
+    split gives 53 = 1 + 17 + 17 + 17 + 1 across the five i-segments,
+    where 17 is exactly the 2-D five-point star count.
+    """
+    i, j = sp.symbols("i j", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    expr = u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1) + u(i, j)
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=expr, counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+    )
+    nests = adjoint_loops(nest, {r: sp.Function("r_b"), u: sp.Function("u_b")})
+    assert len(nests) == 17
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_counts_bounded_by_formula_for_stars(dim):
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    u, r = sp.Function("u"), sp.Function("r")
+    expr = u(*counters)
+    for d in range(dim):
+        for off in (-1, 1):
+            idx = list(counters)
+            idx[d] = idx[d] + off
+            expr = expr + u(*idx)
+    nest = make_loop_nest(
+        lhs=r(*counters), rhs=expr, counters=list(counters),
+        bounds={c: [1, n - 2] for c in counters},
+    )
+    count = len(adjoint_loops(nest, {r: sp.Function("r_b"), u: sp.Function("u_b")}))
+    assert count <= (2 * 3 - 1) ** dim

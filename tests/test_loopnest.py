@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.loopnest (Statement, LoopNest, make_loop_nest)."""
+
+import sympy as sp
+import pytest
+
+from repro.core import LoopNest, Statement, make_loop_nest
+
+i, j = sp.symbols("i j", integer=True)
+n = sp.Symbol("n", integer=True)
+C = sp.Symbol("C", real=True)
+u, r, c = sp.Function("u"), sp.Function("r"), sp.Function("c")
+
+
+def make_simple():
+    return make_loop_nest(
+        lhs=r(i), rhs=C * u(i - 1) + u(i + 1), counters=[i], bounds={i: [1, n - 1]}
+    )
+
+
+def test_statement_rejects_bad_op():
+    with pytest.raises(ValueError):
+        Statement(lhs=r(i), rhs=u(i), op="*=")
+
+
+def test_statement_rejects_non_access_target():
+    with pytest.raises(TypeError):
+        Statement(lhs=sp.Symbol("x"), rhs=u(i))
+
+
+def test_statement_reads_and_target():
+    st = Statement(lhs=r(i), rhs=u(i - 1) + u(i + 1), op="+=")
+    assert st.target_name == "r"
+    assert st.read_accesses() == sorted([u(i - 1), u(i + 1)], key=sp.default_sort_key)
+
+
+def test_statement_subs():
+    st = Statement(lhs=r(i), rhs=u(i - 1), op="+=")
+    st2 = st.subs({i: i + 1})
+    assert st2.lhs == r(i + 1)
+    assert st2.rhs == u(i)
+
+
+def test_statement_str_with_guard():
+    st = Statement(lhs=r(i), rhs=u(i), op="+=", guard=sp.Ge(i, 1))
+    assert "if" in str(st)
+
+
+def test_loopnest_requires_bounds_for_counters():
+    with pytest.raises(ValueError):
+        LoopNest(statements=(Statement(lhs=r(i), rhs=u(i)),), counters=(i,), bounds={})
+
+
+def test_make_loop_nest_basic_queries():
+    nest = make_simple()
+    assert nest.dim == 1
+    assert nest.written_arrays() == ["r"]
+    assert nest.read_arrays() == ["u"]
+    assert nest.size_symbols() == [n]
+    assert nest.scalar_parameters() == [C]
+    assert nest.bound(i) == (sp.Integer(1), n - 1)
+
+
+def test_iteration_count():
+    nest = make_simple()
+    assert sp.expand(nest.iteration_count()) == n - 1
+    assert nest.iteration_count({n: 11}) == 10
+
+
+def test_subs_applies_to_bounds_and_body():
+    nest = make_simple()
+    nest2 = nest.subs({n: 21})
+    assert nest2.bounds[i] == (sp.Integer(1), sp.Integer(20))
+
+
+def test_multidim_nest():
+    nest = make_loop_nest(
+        lhs=r(i, j),
+        rhs=u(i - 1, j) + u(i, j + 1),
+        counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+    )
+    assert nest.dim == 2
+    assert sp.expand(nest.iteration_count()) == sp.expand((n - 2) ** 2)
+
+
+def test_str_contains_bounds_and_statement():
+    s = str(make_simple())
+    assert "u(i - 1)" in s and "[1, n - 1]" in s
+
+
+def test_with_name():
+    assert make_simple().with_name("foo").name == "foo"
+
+
+def test_diff_entrypoint_returns_nests(example_1d):
+    nest, amap = example_1d
+    out = nest.diff(amap)
+    assert len(out) == 5
+    assert all(isinstance(x, LoopNest) for x in out)
+
+
+def test_tangent_entrypoint(example_1d):
+    nest, amap = example_1d
+    tmap = {k: sp.Function(k.__name__ + "_d") for k in amap}
+    tan = nest.tangent(tmap)
+    assert tan.written_arrays() == ["r_d"]

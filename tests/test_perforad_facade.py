@@ -1,0 +1,90 @@
+"""The original PerforAD input scripts (Figures 4 and 6) must run
+against the compatibility facade."""
+
+import io
+
+import sympy as sp
+
+from repro.perforad import LoopNest, makeLoopNest, printfunction
+
+
+def test_figure4_wave_script(tmp_path):
+    """Figure 4's wave-equation generation script, verbatim API."""
+    c = sp.Function("c")
+    u_1 = sp.Function("u_1"); u_1_b = sp.Function("u_1_b")
+    u_2 = sp.Function("u_2"); u_2_b = sp.Function("u_2_b")
+    u = sp.Function("u"); u_b = sp.Function("u_b")
+    i, j, k, C, D, n = sp.symbols("i,j,k,C,D,n")
+
+    u_xx = u_1(i - 1, j, k) - 2 * u_1(i, j, k) + u_1(i + 1, j, k)
+    u_yy = u_1(i, j - 1, k) - 2 * u_1(i, j, k) + u_1(i, j + 1, k)
+    u_zz = u_1(i, j, k - 1) - 2 * u_1(i, j, k) + u_1(i, j, k + 1)
+    expr = 2.0 * u_1(i, j, k) - u_2(i, j, k) + c(i, j, k) * D * (u_xx + u_yy + u_zz)
+
+    lp = makeLoopNest(
+        lhs=u(i, j, k), rhs=expr, counters=[i, j, k],
+        bounds={i: [1, n - 2], j: [1, n - 2], k: [1, n - 2]},
+    )
+    assert isinstance(lp, LoopNest)
+
+    out = io.StringIO()
+    printfunction(name="wave3d", loopnestlist=[lp], file=out)
+    assert "void wave3d(" in out.getvalue()
+
+    out2 = io.StringIO()
+    printfunction(
+        name="wave3d_perf_b",
+        loopnestlist=lp.diff({u: u_b, u_1: u_1_b, u_2: u_2_b}),
+        file=out2,
+    )
+    code = out2.getvalue()
+    assert "u_1_b[i][j][k] +=" in code
+    assert "for ( i=2; i<=n - 3; i++ )" in code
+
+
+def test_figure6_burgers_script(tmp_path):
+    """Figure 6's Burgers-equation generation script, verbatim API."""
+    u_1 = sp.Function("u_1"); u_1_b = sp.Function("u_1_b")
+    u = sp.Function("u"); u_b = sp.Function("u_b")
+    i, C, D, n = sp.symbols("i,C,D,n")
+
+    ap = sp.functions.Max(u_1(i), 0)
+    am = sp.functions.Min(u_1(i), 0)
+    uxm = u_1(i) - u_1(i - 1)
+    uxp = u_1(i + 1) - u_1(i)
+    ux = ap * uxm + am * uxp
+    expr = u_1(i) - C * ux + D * (u_1(i + 1) + u_1(i - 1) - 2.0 * u_1(i))
+
+    lp = makeLoopNest(lhs=u(i), rhs=expr, counters=[i], bounds={i: [1, n - 2]})
+
+    path = tmp_path / "burgers1d_perf_b.c"
+    code = printfunction(
+        name="burgers1d_perf_b",
+        loopnestlist=lp.diff({u: u_b, u_1: u_1_b}),
+        filename=str(path),
+    )
+    assert path.read_text() == code
+    assert "fmax(0, u_1[i + 1])" in code
+    assert "? 1.0 : 0.0" in code
+
+
+def test_backend_selection(tmp_path):
+    u, r, u_b, r_b = (sp.Function(s) for s in ["u", "r", "u_b", "r_b"])
+    i, n = sp.symbols("i n")
+    lp = makeLoopNest(lhs=r(i), rhs=u(i - 1), counters=[i], bounds={i: [1, n - 1]})
+    out = io.StringIO()
+    printfunction("r1", [lp], backend="fortran", file=out)
+    assert "subroutine r1" in out.getvalue()
+    out = io.StringIO()
+    printfunction("r1", [lp], backend="python", file=out)
+    assert "def r1(" in out.getvalue()
+
+
+def test_unknown_backend():
+    import pytest
+
+    u, r = sp.Function("u"), sp.Function("r")
+    i, n = sp.symbols("i n")
+    lp = makeLoopNest(lhs=r(i), rhs=u(i - 1), counters=[i], bounds={i: [1, n - 1]})
+    with pytest.raises(ValueError):
+        printfunction("x", [lp], backend="cobol")

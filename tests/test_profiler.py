@@ -1,0 +1,60 @@
+"""Tests for the per-region kernel profiler."""
+
+import pytest
+
+from repro.apps import heat_problem, wave_problem
+from repro.core import adjoint_loops
+from repro.runtime import compile_nests, profile_kernel
+
+
+def make(prob, n):
+    kernel = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(n),
+        name=prob.name + "_b",
+    )
+    arrays = prob.allocate(n)
+    arrays.update(prob.allocate_adjoints(n))
+    return kernel, arrays
+
+
+def test_profile_covers_all_regions():
+    prob = heat_problem(2)
+    kernel, arrays = make(prob, 32)
+    prof = profile_kernel(kernel, arrays)
+    assert len(prof.regions) == len(kernel.regions) == 17
+    assert prof.total_iterations == kernel.total_iterations()
+    assert all(r.seconds >= 0 for r in prof.regions)
+
+
+def test_core_dominates_large_grid():
+    """Section 3.2: remainder time is insignificant for large grids."""
+    prob = heat_problem(2)
+    kernel, arrays = make(prob, 512)
+    prof = profile_kernel(kernel, arrays, repeats=3)
+    assert prof.core_fraction() > 0.5
+    core = max(prof.regions, key=lambda r: r.iterations)
+    assert core.iterations > 0.98 * prof.total_iterations
+
+
+def test_report_format():
+    prob = wave_problem(1)
+    kernel, arrays = make(prob, 64)
+    prof = profile_kernel(kernel, arrays)
+    text = prof.report()
+    assert "wave1d_b" in text and "ns/it" in text
+    assert text.count("\n") == len(prof.regions)
+
+
+def test_repeats_validation():
+    prob = heat_problem(1)
+    kernel, arrays = make(prob, 16)
+    with pytest.raises(ValueError):
+        profile_kernel(kernel, arrays, repeats=0)
+
+
+def test_ns_per_iteration_positive():
+    prob = heat_problem(1)
+    kernel, arrays = make(prob, 64)
+    prof = profile_kernel(kernel, arrays)
+    core = max(prof.regions, key=lambda r: r.iterations)
+    assert core.ns_per_iteration > 0

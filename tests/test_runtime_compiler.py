@@ -1,0 +1,244 @@
+"""Unit tests for the NumPy kernel compiler."""
+
+import numpy as np
+import sympy as sp
+import pytest
+
+from repro.core import adjoint_loops, make_loop_nest
+from repro.runtime import Bindings, assert_disjoint_writes, compile_nests
+from repro.runtime.compiler import KernelError
+
+i, j = sp.symbols("i j", integer=True)
+n = sp.Symbol("n", integer=True)
+C = sp.Symbol("C", real=True)
+u, r, c = sp.Function("u"), sp.Function("r"), sp.Function("c")
+
+
+def test_simple_gather_kernel(rng):
+    nest = make_loop_nest(
+        lhs=r(i), rhs=2 * u(i - 1) - u(i + 1), counters=[i], bounds={i: [1, n - 1]}
+    )
+    N = 20
+    k = compile_nests([nest], Bindings(sizes={n: N}))
+    uv = rng.standard_normal(N + 1)
+    arrays = {"u": uv, "r": np.zeros(N + 1)}
+    k(arrays)
+    expected = 2 * uv[0 : N - 1] - uv[2 : N + 1]
+    np.testing.assert_allclose(arrays["r"][1:N], expected)
+
+
+def test_scalar_parameter_binding(rng):
+    nest = make_loop_nest(
+        lhs=r(i), rhs=C * u(i), counters=[i], bounds={i: [0, n]}
+    )
+    N = 8
+    k = compile_nests([nest], Bindings(sizes={n: N}, params={C: 2.5}))
+    uv = rng.standard_normal(N + 1)
+    arrays = {"u": uv.copy(), "r": np.zeros(N + 1)}
+    k(arrays)
+    np.testing.assert_allclose(arrays["r"], 2.5 * uv)
+
+
+def test_unbound_symbol_raises():
+    nest = make_loop_nest(lhs=r(i), rhs=C * u(i), counters=[i], bounds={i: [0, n]})
+    with pytest.raises(KernelError, match="unbound"):
+        compile_nests([nest], Bindings(sizes={n: 8}))
+
+
+def test_nonint_bound_raises():
+    nest = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [0, n]})
+    with pytest.raises(ValueError):
+        compile_nests([nest], Bindings(sizes={}))
+
+
+def test_bare_counter_in_body(rng):
+    """Counters may appear in the body (e.g. coordinate-dependent terms)."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i) + i, counters=[i], bounds={i: [0, n]}
+    )
+    N = 9
+    uv = rng.standard_normal(N + 1)
+    arrays = {"u": uv.copy(), "r": np.zeros(N + 1)}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    np.testing.assert_allclose(arrays["r"], uv + np.arange(N + 1))
+
+
+def test_bare_counter_2d_broadcasting(rng):
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=u(i, j) * 0 + i * 10 + j, counters=[i, j],
+        bounds={i: [0, n], j: [0, n]},
+    )
+    N = 4
+    arrays = {"u": np.zeros((N + 1, N + 1)), "r": np.zeros((N + 1, N + 1))}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    I, J = np.meshgrid(np.arange(N + 1), np.arange(N + 1), indexing="ij")
+    np.testing.assert_allclose(arrays["r"], 10 * I + J)
+
+
+def test_transposed_read(rng):
+    """Reads with permuted counters are transposed into the frame."""
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=u(j, i), counters=[i, j], bounds={i: [0, n], j: [0, n]}
+    )
+    N = 5
+    uv = rng.standard_normal((N + 1, N + 1))
+    arrays = {"u": uv, "r": np.zeros((N + 1, N + 1))}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    np.testing.assert_allclose(arrays["r"], uv.T)
+
+
+def test_broadcast_read_lower_rank(rng):
+    """A 1-D array read inside a 2-D nest broadcasts along the other axis."""
+    v = sp.Function("v")
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=v(i), counters=[i, j], bounds={i: [0, n], j: [0, n]}
+    )
+    N = 4
+    vv = rng.standard_normal(N + 1)
+    arrays = {"v": vv, "r": np.zeros((N + 1, N + 1))}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    np.testing.assert_allclose(arrays["r"], vv[:, None] * np.ones((1, N + 1)))
+
+
+def test_reduction_write(rng):
+    """Writing r(i) from a 2-D nest with += sums over the j axis."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i, j), counters=[i, j],
+        bounds={i: [0, n], j: [0, n]}, op="+=",
+    )
+    N = 6
+    uv = rng.standard_normal((N + 1, N + 1))
+    arrays = {"u": uv, "r": np.zeros(N + 1)}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    np.testing.assert_allclose(arrays["r"], uv.sum(axis=1))
+
+
+def test_reduction_assign_takes_last(rng):
+    """'=' with a reduced target keeps the last iteration's value."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i, j), counters=[i, j],
+        bounds={i: [0, n], j: [0, n]}, op="=",
+    )
+    N = 6
+    uv = rng.standard_normal((N + 1, N + 1))
+    arrays = {"u": uv, "r": np.zeros(N + 1)}
+    compile_nests([nest], Bindings(sizes={n: N}))(arrays)
+    np.testing.assert_allclose(arrays["r"], uv[:, N])
+
+
+def test_out_of_bounds_read_raises():
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i - 1), counters=[i], bounds={i: [0, n]}
+    )
+    k = compile_nests([nest], Bindings(sizes={n: 8}))
+    with pytest.raises(KernelError, match="out of bounds"):
+        k({"u": np.zeros(9), "r": np.zeros(9)})
+
+
+def test_no_silent_wraparound():
+    """Negative slice starts must never silently wrap (NumPy would)."""
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i - 3), counters=[i], bounds={i: [0, n]}
+    )
+    k = compile_nests([nest], Bindings(sizes={n: 5}))
+    with pytest.raises(KernelError):
+        k({"u": np.arange(6.0), "r": np.zeros(6)})
+
+
+def test_empty_region_skipped():
+    nest = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [5, n]})
+    k = compile_nests([nest], Bindings(sizes={n: 3}))  # 5 > 3: empty
+    arrays = {"u": np.ones(10), "r": np.zeros(10)}
+    k(arrays)
+    assert not arrays["r"].any()
+
+
+def test_mismatched_counters_raise():
+    a = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [0, n]})
+    b = make_loop_nest(lhs=r(j), rhs=u(j), counters=[j], bounds={j: [0, n]})
+    with pytest.raises(KernelError):
+        compile_nests([a, b], Bindings(sizes={n: 4}))
+
+
+def test_no_nests_raises():
+    with pytest.raises(KernelError):
+        compile_nests([], Bindings())
+
+
+def test_assert_disjoint_accepts_adjoint():
+    from repro.apps import heat_problem
+
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    k = compile_nests(nests, prob.bindings(16))
+    assert_disjoint_writes(k)
+
+
+def test_assert_disjoint_rejects_overlap():
+    a = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [0, 5]}, op="+=")
+    b = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [5, 9]}, op="+=")
+    k = compile_nests([a, b], Bindings(sizes={n: 10}))
+    with pytest.raises(KernelError, match="overlapping"):
+        assert_disjoint_writes(k)
+
+
+def test_assert_disjoint_small_grid_detects_violation():
+    """On a grid smaller than the stencil spread the split overlaps and
+    the disjointness check must catch it."""
+    from repro.apps import heat_problem
+
+    prob = heat_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    k = compile_nests(nests, prob.bindings(3))  # interior [1, 1]: too small
+    with pytest.raises(KernelError):
+        assert_disjoint_writes(k)
+
+
+def test_total_iterations():
+    nest = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [1, n - 1]})
+    k = compile_nests([nest], Bindings(sizes={n: 11}))
+    assert k.total_iterations() == 10
+
+
+def test_uninterpreted_function_execution(rng):
+    """User-provided implementations bind to uninterpreted calls."""
+    f = sp.Function("f")
+    nest = make_loop_nest(
+        lhs=r(i), rhs=f(u(i - 1), u(i + 1)), counters=[i], bounds={i: [1, n - 1]}
+    )
+    N = 12
+    impl = {"f": lambda a, b: a * a + 3 * b}
+    k = compile_nests([nest], Bindings(sizes={n: N}, functions=impl))
+    uv = rng.standard_normal(N + 1)
+    arrays = {"u": uv, "r": np.zeros(N + 1)}
+    k(arrays)
+    np.testing.assert_allclose(
+        arrays["r"][1:N], uv[0 : N - 1] ** 2 + 3 * uv[2 : N + 1]
+    )
+
+
+def test_uninterpreted_derivative_execution(rng):
+    """Adjoints of uninterpreted bodies call user derivative routines."""
+    f = sp.Function("f")
+    nest = make_loop_nest(
+        lhs=r(i), rhs=f(u(i - 1), u(i + 1)), counters=[i], bounds={i: [1, n - 1]}
+    )
+    amap = {r: sp.Function("r_b"), u: sp.Function("u_b")}
+    nests = adjoint_loops(nest, amap)
+    N = 12
+    impl = {
+        "f": lambda a, b: a * a + 3 * b,
+        "f_d1": lambda a, b: 2 * a,
+        "f_d2": lambda a, b: 3.0 * np.ones_like(np.asarray(b)),
+    }
+    k = compile_nests(nests, Bindings(sizes={n: N}, functions=impl))
+    uv = rng.standard_normal(N + 1)
+    seed = rng.standard_normal(N + 1)
+    arrays = {"u": uv, "r_b": seed, "u_b": np.zeros(N + 1)}
+    k(arrays)
+    # Analytic adjoint: u_b[j] += 2 u[j] rb[j+1] + 3 rb[j-1] where valid.
+    expected = np.zeros(N + 1)
+    for it in range(1, N):
+        expected[it - 1] += 2 * uv[it - 1] * seed[it]
+        expected[it + 1] += 3 * seed[it]
+    np.testing.assert_allclose(arrays["u_b"], expected, rtol=1e-12, atol=1e-14)

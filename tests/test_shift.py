@@ -1,0 +1,79 @@
+"""Unit tests for the index-shift transformation (Section 3.3.2)."""
+
+import sympy as sp
+
+from repro.core import make_loop_nest
+from repro.core.diff import adjoint_scatter_statements
+from repro.core.shift import shift_all, shift_contribution
+
+i, j = sp.symbols("i j", integer=True)
+n = sp.Symbol("n", integer=True)
+u, c, r = sp.Function("u"), sp.Function("c"), sp.Function("r")
+u_b, r_b = sp.Function("u_b"), sp.Function("r_b")
+
+
+def contribs_1d():
+    expr = c(i) * (2.0 * u(i - 1) - 3.0 * u(i) + 4 * u(i + 1))
+    nest = make_loop_nest(lhs=r(i), rhs=expr, counters=[i], bounds={i: [1, n - 1]})
+    return adjoint_scatter_statements(nest, {r: r_b, u: u_b}), nest
+
+
+def test_all_shifted_statements_write_bare_counters():
+    contribs, nest = contribs_1d()
+    for sh in shift_all(contribs, nest.counters):
+        assert sh.statement.lhs == u_b(i)
+
+
+def test_shift_matches_section32_loops():
+    """After shifting, the three loops read exactly as in Section 3.2."""
+    contribs, nest = contribs_1d()
+    shifted = {sh.offset: sh.statement for sh in shift_all(contribs, nest.counters)}
+    # offset -1 loop: ub[j] += 2.0*c[j+1]*rb[j+1]
+    assert sp.expand(shifted[(-1,)].rhs - 2.0 * c(i + 1) * r_b(i + 1)) == 0
+    # offset 0 loop: ub[j] -= 3.0*c[j]*rb[j]
+    assert sp.expand(shifted[(0,)].rhs + 3.0 * c(i) * r_b(i)) == 0
+    # offset +1 loop: ub[j] += 4.0*c[j-1]*rb[j-1]
+    assert sp.expand(shifted[(1,)].rhs - 4 * c(i - 1) * r_b(i - 1)) == 0
+
+
+def test_shift_preserves_offset_record():
+    contribs, nest = contribs_1d()
+    offsets = {sh.offset for sh in shift_all(contribs, nest.counters)}
+    assert offsets == {(-1,), (0,), (1,)}
+
+
+def test_zero_offset_is_identity():
+    contribs, nest = contribs_1d()
+    zero = [cb for cb in contribs if cb.offset == (0,)][0]
+    sh = shift_contribution(zero, nest.counters)
+    assert sh.statement.rhs == zero.statement.rhs
+
+
+def test_shift_moves_nonlinear_primal_reads():
+    """Primal reads inside derivatives shift too (Section 3.3.2's example:
+    shifted derivatives may read indices that never occur in the primal)."""
+    expr = u(i - 1, j) * u(i, j - 1)
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=expr, counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+    )
+    contribs = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    shifted = {sh.offset: sh.statement for sh in shift_all(contribs, nest.counters)}
+    # d/du(i-1,j) = u(i,j-1); shifted by +(1,0): reads u(i+1, j-1), an index
+    # the primal never touches.
+    st = shifted[(-1, 0)]
+    accs = st.rhs.atoms(sp.core.function.AppliedUndef)
+    assert u(i + 1, j - 1) in accs
+
+
+def test_shift_2d_mixed_offsets():
+    expr = u(i - 1, j + 1)
+    nest = make_loop_nest(
+        lhs=r(i, j), rhs=expr, counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+    )
+    contribs = adjoint_scatter_statements(nest, {r: r_b, u: u_b})
+    (sh,) = shift_all(contribs, nest.counters)
+    assert sh.offset == (-1, 1)
+    assert sh.statement.lhs == u_b(i, j)
+    assert r_b(i + 1, j - 1) in sh.statement.rhs.atoms(sp.core.function.AppliedUndef)

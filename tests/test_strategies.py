@@ -1,0 +1,113 @@
+"""Unit tests for the guarded and padded boundary strategies (Section 3.3.4)."""
+
+import itertools
+
+import sympy as sp
+import pytest
+
+from repro.core import make_loop_nest
+from repro.core.diff import adjoint_scatter_statements
+from repro.core.regions import union_bounds
+from repro.core.shift import shift_all
+from repro.core.strategies import (
+    guard_condition,
+    split_guarded,
+    split_padded,
+    statement_valid_box,
+)
+
+n = sp.Symbol("n", integer=True)
+
+
+def build(offsets_list, dim):
+    counters = sp.symbols("i j k", integer=True)[:dim]
+    u, r = sp.Function("u"), sp.Function("r")
+    expr = sum(u(*[c + o for c, o in zip(counters, offs)]) for offs in offsets_list)
+    nest = make_loop_nest(
+        lhs=r(*counters), rhs=expr, counters=list(counters),
+        bounds={c: [1, n - 2] for c in counters},
+    )
+    contribs = adjoint_scatter_statements(
+        nest, {r: sp.Function("r_b"), u: sp.Function("u_b")}
+    )
+    return shift_all(contribs, nest.counters), nest
+
+
+def test_statement_valid_box_translation():
+    shifted, nest = build([(2,)], 1)
+    (sh,) = shifted
+    box = statement_valid_box(sh, nest.counters, nest.bounds)
+    i = nest.counters[0]
+    assert box[i] == (3, n)
+
+
+def test_guard_condition_bounds_both_sides():
+    shifted, nest = build([(1,)], 1)
+    cond = guard_condition(shifted[0], nest.counters, nest.bounds)
+    i = nest.counters[0]
+    assert cond == sp.And(sp.Ge(i, 2), sp.Le(i, n - 1))
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_guarded_region_count_is_2d_plus_1(dim):
+    """The guarded strategy emits one slab per side per dim plus the core."""
+    offsets = [tuple(0 for _ in range(dim))]
+    offsets += [
+        tuple(1 if d == dd else 0 for d in range(dim)) for dd in range(dim)
+    ]
+    offsets += [
+        tuple(-1 if d == dd else 0 for d in range(dim)) for dd in range(dim)
+    ]
+    shifted, nest = build(offsets, dim)
+    regions = split_guarded(shifted, nest.counters, nest.bounds)
+    assert len(regions) == 2 * dim + 1
+
+
+def test_guarded_core_has_no_guards():
+    shifted, nest = build([(-1,), (0,), (1,)], 1)
+    regions = split_guarded(shifted, nest.counters, nest.bounds)
+    core = [r for r in regions if r.is_core][0]
+    assert all(s.statement.guard is None for s in core.statements)
+
+
+def test_guarded_slabs_carry_all_statements():
+    shifted, nest = build([(-1,), (0,), (1,)], 1)
+    regions = split_guarded(shifted, nest.counters, nest.bounds)
+    for region in regions:
+        assert len(region.statements) == len(shifted)
+
+
+def test_guarded_cover_is_disjoint_2d():
+    shifted, nest = build([(-1, 0), (1, 0), (0, -1), (0, 1), (0, 0)], 2)
+    regions = split_guarded(shifted, nest.counters, nest.bounds)
+    nval = 10
+    seen = set()
+    for region in regions:
+        box = []
+        for c in nest.counters:
+            lo, hi = region.bounds[c]
+            box.append((int(lo.subs({n: nval})), int(hi.subs({n: nval}))))
+        pts = set(itertools.product(*[range(lo, hi + 1) for lo, hi in box]))
+        assert not (pts & seen)
+        seen |= pts
+    # Cover equals the union bounding box.
+    ub = union_bounds(shifted, nest.counters, nest.bounds)
+    expected = set(
+        itertools.product(
+            *[
+                range(int(ub[c][0].subs({n: nval})), int(ub[c][1].subs({n: nval})) + 1)
+                for c in nest.counters
+            ]
+        )
+    )
+    assert seen == expected
+
+
+def test_padded_single_region_over_union():
+    shifted, nest = build([(-1,), (0,), (1,)], 1)
+    regions = split_padded(shifted, nest.counters, nest.bounds)
+    assert len(regions) == 1
+    i = nest.counters[0]
+    assert regions[0].bounds[i] == (0, n - 1)
+    assert regions[0].is_core
+    assert all(s.statement.guard is None for s in regions[0].statements)

@@ -1,0 +1,55 @@
+"""All three boundary strategies (Section 3.3.4) must compute the same
+adjoint: disjoint split, guarded slabs, and zero-padded single loop."""
+
+import numpy as np
+import pytest
+
+from repro.apps import burgers_problem, conv_problem, heat_problem, wave_problem
+from repro.core import adjoint_loops
+from repro.runtime import compile_nests
+
+CASES = [
+    (lambda: wave_problem(1), 30),
+    (lambda: wave_problem(2), 14),
+    (lambda: burgers_problem(1), 30),
+    (lambda: heat_problem(2), 14),
+    (lambda: conv_problem(3), 14),
+]
+
+
+def run_strategy(prob, N, strategy, rng_seed=7):
+    rng = np.random.default_rng(rng_seed)
+    # The padded strategy's union space reaches one cell beyond the primal
+    # space on each side; shrink the iteration space so reads stay in the
+    # allocated arrays (this is the "AD tool controls allocation" premise
+    # of Section 3.3.4).
+    margin = prob.halo
+    inner = prob.with_interior(margin)
+    nests = adjoint_loops(inner.primal, inner.adjoint_map, strategy=strategy)
+    arrays = inner.allocate(N, rng=rng)
+    arrays.update(inner.allocate_adjoints(N, rng=rng))
+    compile_nests(nests, inner.bindings(N))(arrays)
+    name_map = inner.adjoint_name_map()
+    return {name_map[a]: arrays[name_map[a]] for a in inner.active_input_names()}
+
+
+@pytest.mark.parametrize("factory,N", CASES, ids=[f"{k}" for k in range(len(CASES))])
+@pytest.mark.parametrize("strategy", ["guarded", "padded"])
+def test_strategy_matches_disjoint(factory, N, strategy):
+    prob = factory()
+    ref = run_strategy(prob, N, "disjoint")
+    got = run_strategy(prob, N, strategy)
+    for name in ref:
+        np.testing.assert_allclose(got[name], ref[name], rtol=1e-12, atol=1e-13)
+
+
+def test_nest_count_ordering():
+    """Code-size trade-off: padded (1) < guarded (2d+1) < disjoint."""
+    prob = wave_problem(3)
+    n_dis = len(adjoint_loops(prob.primal, prob.adjoint_map, strategy="disjoint"))
+    n_gua = len(adjoint_loops(prob.primal, prob.adjoint_map, strategy="guarded"))
+    n_pad = len(adjoint_loops(prob.primal, prob.adjoint_map, strategy="padded"))
+    assert n_pad == 1
+    assert n_gua == 7
+    assert n_dis == 53
+    assert n_pad < n_gua < n_dis

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.symbols."""
+
+import sympy as sp
+import pytest
+
+from repro.core.symbols import (
+    accesses_of,
+    adjoint_name,
+    all_array_accesses,
+    array,
+    array_name,
+    arrays,
+    counters,
+    free_counters,
+    is_array_access,
+    make_adjoint_function,
+    scalars,
+)
+
+
+def test_array_creates_undefined_function():
+    u = array("u")
+    i = sp.Symbol("i")
+    assert is_array_access(u(i))
+    assert array_name(u(i)) == "u"
+    assert array_name(u) == "u"
+
+
+def test_arrays_splits_names():
+    u, v, w = arrays("u v w")
+    assert array_name(u) == "u" and array_name(w) == "w"
+    a, b = arrays("a,b")
+    assert array_name(b) == "b"
+
+
+def test_counters_are_integer():
+    i, j = counters("i j")
+    assert i.is_integer and j.is_integer
+
+
+def test_scalars_are_real():
+    (c,) = scalars("c")
+    assert c.is_real
+
+
+def test_is_array_access_rejects_interpreted():
+    i = sp.Symbol("i")
+    assert not is_array_access(sp.sin(i))
+    assert not is_array_access(sp.Max(i, 0))
+    assert not is_array_access(i)
+
+
+def test_array_name_raises_on_non_access():
+    with pytest.raises(TypeError):
+        array_name(sp.Symbol("x"))
+
+
+def test_adjoint_name_and_function():
+    assert adjoint_name("u") == "u_b"
+    assert adjoint_name("u", "_d") == "u_d"
+    u = array("u")
+    ub = make_adjoint_function(u)
+    assert array_name(ub) == "u_b"
+
+
+def test_free_counters_ordering():
+    i, j, k = counters("i j k")
+    u = array("u")
+    expr = u(j, k) + 1
+    assert free_counters(expr, [i, j, k]) == [j, k]
+
+
+def test_all_array_accesses_deterministic():
+    i = sp.Symbol("i", integer=True)
+    u, v = arrays("u v")
+    expr = v(i) + u(i + 1) + u(i - 1)
+    accs = all_array_accesses(expr)
+    assert len(accs) == 3
+    assert accs == all_array_accesses(expr)  # stable
+
+
+def test_accesses_of_filters_by_function():
+    i = sp.Symbol("i", integer=True)
+    u, v = arrays("u v")
+    expr = v(i) + u(i + 1)
+    assert accesses_of(expr, [u]) == [u(i + 1)]

@@ -1,0 +1,241 @@
+"""Tests for the tape AD framework and the stencil primitive."""
+
+import numpy as np
+import pytest
+
+from repro.apps import burgers_problem, conv_problem, heat_problem, wave_problem
+from repro.tape import StencilOp, Variable
+
+
+def fd_grad(f, x, h=1e-6):
+    """Dense central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    flat = x.ravel()
+    gf = g.ravel()
+    for k in range(flat.size):
+        old = flat[k]
+        flat[k] = old + h
+        fp = f(x)
+        flat[k] = old - h
+        fm = f(x)
+        flat[k] = old
+        gf[k] = (fp - fm) / (2 * h)
+    return g
+
+
+# -- core tape ------------------------------------------------------------------
+
+
+def test_add_mul_gradients():
+    x = Variable(np.array([1.0, 2.0]))
+    y = Variable(np.array([3.0, 4.0]))
+    z = (x * y + x).sum()
+    z.backward()
+    np.testing.assert_allclose(x.grad, [4.0, 5.0])
+    np.testing.assert_allclose(y.grad, [1.0, 2.0])
+
+
+def test_broadcast_scalar_gradient():
+    x = Variable(np.ones((2, 3)))
+    s = Variable(2.0)
+    z = (x * s).sum()
+    z.backward()
+    assert s.grad.shape == ()
+    np.testing.assert_allclose(s.grad, 6.0)
+
+
+def test_division_and_power():
+    x = Variable(np.array([2.0, 4.0]))
+    z = (1.0 / x + x**3).sum()
+    z.backward()
+    np.testing.assert_allclose(x.grad, -1.0 / x.value**2 + 3 * x.value**2)
+
+
+def test_unary_chain():
+    x = Variable(np.array([0.3, -0.7]))
+    z = x.sin().exp().sum()
+    z.backward()
+    np.testing.assert_allclose(
+        x.grad, np.exp(np.sin(x.value)) * np.cos(x.value), rtol=1e-12
+    )
+
+
+def test_relu_kink_convention():
+    x = Variable(np.array([-1.0, 0.0, 2.0]))
+    x.relu().sum().backward()
+    np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+
+def test_reused_variable_accumulates():
+    x = Variable(3.0)
+    z = x * x + x * 2.0
+    z.backward()
+    np.testing.assert_allclose(x.grad, 2 * 3.0 + 2.0)
+
+
+def test_dot_and_mean():
+    x = Variable(np.array([1.0, 2.0, 3.0]))
+    y = Variable(np.array([4.0, 5.0, 6.0]))
+    z = x.dot(y) + x.mean()
+    z.backward()
+    np.testing.assert_allclose(x.grad, y.value + 1.0 / 3.0)
+
+
+def test_backward_twice_resets():
+    x = Variable(np.array([1.0, 2.0]))
+    z = (x * x).sum()
+    z.backward()
+    g1 = x.grad.copy()
+    z.backward()
+    np.testing.assert_allclose(x.grad, g1)
+
+
+def test_tanh_log():
+    x = Variable(np.array([0.5, 1.5]))
+    z = (x.tanh() + x.log()).sum()
+    z.backward()
+    np.testing.assert_allclose(
+        x.grad, 1 - np.tanh(x.value) ** 2 + 1 / x.value, rtol=1e-12
+    )
+
+
+def test_nonscalar_exponent_rejected():
+    x = Variable(np.ones(3))
+    with pytest.raises(TypeError):
+        x ** np.ones(3)
+
+
+# -- stencil primitive ---------------------------------------------------------
+
+
+def test_stencil_op_forward_matches_kernel(rng):
+    prob = heat_problem(2)
+    N = 14
+    op = StencilOp(prob, N)
+    arrays = prob.allocate(N, rng=rng)
+    out = op(u_1=Variable(arrays["u_1"]))
+    from repro.runtime import compile_nests
+
+    ref = dict(arrays)
+    compile_nests([prob.primal], prob.bindings(N))(ref)
+    np.testing.assert_allclose(out.value, ref["u"], rtol=1e-13)
+
+
+def test_stencil_op_gradient_matches_fd(rng):
+    prob = heat_problem(1)
+    N = 12
+    op = StencilOp(prob, N)
+    u0 = rng.standard_normal(prob.array_shape(N)) * 0.1
+
+    def loss_np(u_arr):
+        out = op(u_1=u_arr)
+        return float((out * out).sum().value)
+
+    u = Variable(u0.copy())
+    loss = (op(u_1=u) * op(u_1=u)).sum()
+    loss.backward()
+    np.testing.assert_allclose(u.grad, fd_grad(loss_np, u0.copy()), atol=1e-6)
+
+
+def test_stencil_composed_with_elementwise(rng):
+    """J = sum(tanh(stencil(u))^2): taped ops around the stencil primitive."""
+    prob = burgers_problem(1)
+    N = 24
+    op = StencilOp(prob, N)
+    u0 = rng.standard_normal(prob.array_shape(N)) * 0.1
+
+    def loss_np(u_arr):
+        v = Variable(u_arr.copy())
+        return float((op(u_1=v).tanh() ** 2).sum().value)
+
+    u = Variable(u0.copy())
+    loss = (op(u_1=u).tanh() ** 2).sum()
+    loss.backward()
+    np.testing.assert_allclose(u.grad, fd_grad(loss_np, u0.copy()), atol=1e-6)
+
+
+def test_stencil_time_loop_through_tape(rng):
+    """Several taped stencil steps: the tape handles the time loop, the
+    stencil adjoint handles each step — the paper's division of labour."""
+    prob = heat_problem(1)
+    N = 16
+    op = StencilOp(prob, N)
+    u0 = rng.standard_normal(prob.array_shape(N)) * 0.1
+    steps = 4
+
+    def loss_np(u_arr):
+        u_curr = u_arr.copy()
+        for _ in range(steps):
+            v = op(u_1=u_curr)
+            u_curr = v.value
+        return float(0.5 * np.sum(u_curr**2))
+
+    u = Variable(u0.copy())
+    state = u
+    for _ in range(steps):
+        state = op(u_1=state)
+    loss = (state * state).sum() * 0.5
+    loss.backward()
+    np.testing.assert_allclose(u.grad, fd_grad(loss_np, u0.copy()), atol=1e-6)
+
+
+def test_stencil_op_multiple_active_inputs(rng):
+    """Wave with active c: gradients flow to both u_1 and c."""
+    prob = wave_problem(1, active_c=True)
+    N = 18
+    op = StencilOp(prob, N)
+    shape = prob.array_shape(N)
+    arrays = prob.allocate(N, rng=rng)
+    u1 = Variable(arrays["u_1"])
+    c = Variable(arrays["c"])
+    out = op(u_1=u1, u_2=arrays["u_2"], c=c)
+    (out * out).sum().backward()
+    assert np.abs(u1.grad).max() > 0
+    assert np.abs(c.grad).max() > 0
+
+    def loss_np_c(c_arr):
+        o = op(u_1=arrays["u_1"], u_2=arrays["u_2"], c=c_arr)
+        return float((o * o).sum().value)
+
+    np.testing.assert_allclose(
+        c.grad, fd_grad(loss_np_c, arrays["c"].copy()), atol=1e-6
+    )
+
+
+def test_stencil_op_rejects_passive_variable(rng):
+    prob = wave_problem(1, active_c=False)
+    op = StencilOp(prob, 12)
+    arrays = prob.allocate(12, rng=rng)
+    with pytest.raises(TypeError):
+        op(u_1=arrays["u_1"], u_2=arrays["u_2"], c=Variable(arrays["c"]))
+
+
+def test_stencil_op_rejects_missing_input(rng):
+    prob = wave_problem(1)
+    op = StencilOp(prob, 12)
+    with pytest.raises(TypeError):
+        op(u_1=np.zeros(13))
+
+
+def test_stencil_op_rejects_bad_shape():
+    prob = heat_problem(1)
+    op = StencilOp(prob, 12)
+    with pytest.raises(ValueError):
+        op(u_1=np.zeros(5))
+
+
+def test_conv_layer_in_tape(rng):
+    """CNN-flavoured: conv -> relu -> sum, gradient checked by FD."""
+    prob = conv_problem(3)
+    N = 10
+    op = StencilOp(prob, N)
+    img0 = rng.standard_normal(prob.array_shape(N)) * 0.5
+
+    def loss_np(img_arr):
+        v = Variable(img_arr.copy())
+        return float(op(img=v).relu().sum().value)
+
+    img = Variable(img0.copy())
+    loss = op(img=img).relu().sum()
+    loss.backward()
+    np.testing.assert_allclose(img.grad, fd_grad(loss_np, img0.copy()), atol=1e-6)

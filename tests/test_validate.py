@@ -1,0 +1,102 @@
+"""Unit tests for the Section 3.4 restriction checker."""
+
+import sympy as sp
+import pytest
+
+from repro.core import LoopNest, Statement, StencilRestrictionError, make_loop_nest
+from repro.core.validate import validate_loop_nest
+
+i, j = sp.symbols("i j", integer=True)
+n, m = sp.symbols("n m", integer=True)
+u, r = sp.Function("u"), sp.Function("r")
+
+
+def test_valid_nest_passes():
+    make_loop_nest(lhs=r(i), rhs=u(i - 1), counters=[i], bounds={i: [1, n - 1]})
+
+
+def test_output_offset_rejected():
+    """Outputs must be written at bare loop counters."""
+    with pytest.raises(StencilRestrictionError):
+        make_loop_nest(lhs=r(i + 1), rhs=u(i), counters=[i], bounds={i: [1, n - 1]})
+
+
+def test_read_write_overlap_rejected():
+    """No array may be both read and written (Section 3.4)."""
+    with pytest.raises(StencilRestrictionError):
+        make_loop_nest(lhs=u(i), rhs=u(i - 1), counters=[i], bounds={i: [1, n - 1]})
+
+
+def test_cross_statement_read_write_overlap_rejected():
+    nest = LoopNest(
+        statements=(
+            Statement(lhs=r(i), rhs=u(i - 1)),
+            Statement(lhs=u(i), rhs=r(i)),  # writes u, which stmt 1 reads
+        ),
+        counters=(i,),
+        bounds={i: (1, n - 1)},
+    )
+    with pytest.raises(StencilRestrictionError):
+        validate_loop_nest(nest)
+
+
+def test_nonaffine_bound_rejected():
+    with pytest.raises(StencilRestrictionError):
+        make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [1, n * n]})
+
+
+def test_bound_with_two_sizes_allowed():
+    make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [1, n + m - 2]})
+
+
+def test_counter_dependent_bound_rejected():
+    with pytest.raises(StencilRestrictionError):
+        make_loop_nest(
+            lhs=r(i, j),
+            rhs=u(i, j),
+            counters=[i, j],
+            bounds={i: [1, n - 1], j: [1, i]},  # triangular space
+        )
+
+
+def test_nonconstant_offset_rejected():
+    with pytest.raises(StencilRestrictionError):
+        make_loop_nest(lhs=r(i), rhs=u(2 * i), counters=[i], bounds={i: [1, n - 1]})
+
+
+def test_duplicate_counters_rejected():
+    nest = LoopNest(
+        statements=(Statement(lhs=r(i), rhs=u(i - 1)),),
+        counters=(i, i),
+        bounds={i: (1, n - 1)},
+    )
+    with pytest.raises(StencilRestrictionError):
+        validate_loop_nest(nest)
+
+
+def test_permuted_output_counters_allowed():
+    """r[i_1][i_3][i_2]-style permuted writes are allowed (Section 3.4)."""
+    k = sp.Symbol("k", integer=True)
+    make_loop_nest(
+        lhs=r(i, k, j),
+        rhs=u(i + 1, j - 1, k),
+        counters=[i, j, k],
+        bounds={i: [1, n - 2], j: [1, n - 2], k: [1, n - 2]},
+    )
+
+
+def test_reduction_output_subset_allowed():
+    make_loop_nest(
+        lhs=r(i),
+        rhs=u(i, j),
+        counters=[i, j],
+        bounds={i: [1, n - 2], j: [1, n - 2]},
+        op="+=",
+    )
+
+
+def test_uninterpreted_function_body_allowed():
+    f = sp.Function("f")
+    make_loop_nest(
+        lhs=r(i), rhs=f(u(i - 1), u(i)), counters=[i], bounds={i: [1, n - 1]}
+    )
