@@ -26,7 +26,13 @@ BURGERS_N_MEASURED = 2_000_000
 
 
 class MeasuredCase:
-    """Compiled primal/adjoint kernels plus fresh-array factories."""
+    """Compiled primal/adjoint kernels plus fresh-array factories.
+
+    Kernels come out of the content-addressed kernel cache, and every
+    call (``CompiledKernel.__call__`` included) executes through the
+    kernel's memoised :class:`~repro.runtime.plan.ExecutionPlan`,
+    mirroring the paper's compile-once/run-many workflow.
+    """
 
     def __init__(self, problem, n: int):
         self.problem = problem

@@ -56,9 +56,14 @@ from .frontend import parse_stencil, parse_stencils
 from .machine import BROADWELL, KNL, V100, MachineModel, analyze_nests, analyze_scatter
 from .runtime import (
     Bindings,
+    ExecutionConfig,
+    ExecutionPlan,
+    KernelCache,
     ParallelExecutor,
     assert_disjoint_writes,
+    clear_kernel_cache,
     compile_nests,
+    get_kernel_cache,
     interpret_nests,
     run_tiled,
 )
@@ -89,9 +94,14 @@ __all__ = [
     "analyze_scatter",
     "assert_disjoint_writes",
     "burgers_problem",
+    "clear_kernel_cache",
     "compare_adjoints",
     "compile_nests",
     "conv_problem",
+    "ExecutionConfig",
+    "ExecutionPlan",
+    "KernelCache",
+    "get_kernel_cache",
     "dot_product_test",
     "finite_difference_test",
     "heat_problem",

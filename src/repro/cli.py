@@ -60,6 +60,28 @@ _DEFAULT_N = {
 }
 
 
+def _thread_count(value: str) -> int:
+    try:
+        threads = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid thread count {value!r}")
+    if threads < 1:
+        raise argparse.ArgumentTypeError("thread count must be >= 1")
+    return threads
+
+
+def _tile_shape(value: str) -> tuple[int, ...]:
+    try:
+        tile = tuple(int(t) for t in value.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid tile shape {value!r}; expected comma-separated ints"
+        )
+    if not tile or any(t < 1 for t in tile):
+        raise argparse.ArgumentTypeError("tile extents must be >= 1")
+    return tile
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -88,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--n", type=int, default=None, help="grid size")
     ver.add_argument(
         "--strategy", choices=["disjoint", "guarded"], default="disjoint"
+    )
+    ver.add_argument(
+        "--threads", type=_thread_count, default=1,
+        help="also verify the planned thread-parallel execution at this "
+        "thread count (must match the serial adjoint bitwise)",
+    )
+    ver.add_argument(
+        "--tile", type=_tile_shape, default=None, metavar="T0,T1,...",
+        help="also verify planned tiled execution with this tile shape",
     )
 
     fig = sub.add_parser("figures", help="regenerate Figures 8-15")
@@ -142,6 +173,36 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _plan_vs_serial_diff(prob, n: int, strategy: str, threads: int, tile) -> float:
+    """Max |planned - serial| over active adjoints for one plan config."""
+    import numpy as np
+
+    from .core import adjoint_loops
+    from .runtime import ExecutionConfig, ExecutionPlan, compile_nests
+
+    bindings = prob.bindings(n)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map, strategy=strategy)
+    kernel = compile_nests(nests, bindings, name="gather")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(n, rng=rng)
+    base.update(prob.allocate_adjoints(n, rng=rng))
+    serial = {k: v.copy() for k, v in base.items()}
+    kernel(serial)
+    planned = {k: v.copy() for k, v in base.items()}
+    # A private (non-memoised) plan: closing its pool afterwards cannot
+    # affect other holders of the kernel's shared plans.
+    config = ExecutionConfig(
+        num_threads=threads, tile_shape=tile, min_block_iterations=1
+    )
+    with ExecutionPlan.build(kernel, config) as plan:
+        plan.run(planned)
+    name_map = prob.adjoint_name_map()
+    return max(
+        float(np.max(np.abs(serial[name_map[a]] - planned[name_map[a]])))
+        for a in prob.active_input_names()
+    )
+
+
 def _cmd_verify(args) -> int:
     from .verify import compare_adjoints, dot_product_test, finite_difference_test
 
@@ -157,6 +218,12 @@ def _cmd_verify(args) -> int:
     print(f"  dot-product rel. error : {dp.rel_error:.3e}")
     print(f"  finite-diff rel. error : {fd.rel_error:.3e}")
     ok = cmp_.passed() and dp.passed and fd.passed(5e-5)
+    if args.threads > 1 or args.tile:
+        tile = args.tile
+        diff = _plan_vs_serial_diff(prob, n, args.strategy, args.threads, tile)
+        desc = f"{args.threads} thread(s)" + (f", tile {tile}" if tile else "")
+        print(f"  plan [{desc}] vs serial: {diff:.3e}")
+        ok = ok and diff == 0.0
     print("  VERDICT: " + ("all adjoints agree" if ok else "MISMATCH"))
     return 0 if ok else 1
 

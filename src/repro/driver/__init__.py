@@ -1,11 +1,12 @@
 """Adjoint time-stepping drivers and revolve checkpointing."""
 
 from .revolve import Action, optimal_cost, schedule, schedule_cost
-from .timestepping import AdjointTimeStepper
+from .timestepping import AdjointTimeStepper, make_stencil_steps
 
 __all__ = [
     "Action",
     "AdjointTimeStepper",
+    "make_stencil_steps",
     "optimal_cost",
     "schedule",
     "schedule_cost",

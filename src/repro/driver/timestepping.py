@@ -30,9 +30,53 @@ import numpy as np
 
 from .revolve import Action, schedule
 
-__all__ = ["AdjointTimeStepper"]
+__all__ = ["AdjointTimeStepper", "make_stencil_steps"]
 
 State = dict[str, np.ndarray]
+
+
+def make_stencil_steps(
+    forward_run: Callable[[dict[str, np.ndarray]], object],
+    reverse_run: Callable[[dict[str, np.ndarray]], object],
+    shape: tuple[int, ...],
+    output: str = "u",
+    prev: str = "u_1",
+    adjoint_map: Mapping[str, str] | None = None,
+    dtype: type = np.float64,
+) -> tuple[Callable[[State], State], Callable[[State, State], State]]:
+    """Build ``(forward_step, reverse_step)`` around stencil runners.
+
+    Covers the common single-field timestepping layout of the benchmarks
+    and examples: the primal kernel reads ``prev`` and writes ``output``;
+    the adjoint kernel reads the saved primal state plus the incoming
+    adjoint of ``output`` and accumulates the adjoint of ``prev``.
+
+    ``forward_run``/``reverse_run`` are any array-dict runners — a
+    :class:`~repro.runtime.compiler.CompiledKernel`, a bound
+    :meth:`~repro.runtime.plan.ExecutionPlan.run`, or a partial over a
+    :class:`~repro.runtime.parallel.ParallelExecutor` — so one time loop
+    composes with every execution discipline the runtime offers.  The
+    fresh work arrays are allocated in ``dtype``, keeping reduced-precision
+    sweeps reduced-precision end to end.
+    """
+    adjoint_map = dict(adjoint_map or {output: f"{output}_b", prev: f"{prev}_b"})
+    out_adj, prev_adj = adjoint_map[output], adjoint_map[prev]
+
+    def forward_step(state: State) -> State:
+        arrays = {output: np.zeros(shape, dtype=dtype), prev: state[output]}
+        forward_run(arrays)
+        return {output: arrays[output]}
+
+    def reverse_step(saved: State, lam: State) -> State:
+        arrays = {
+            out_adj: lam[output].copy(),
+            prev: saved[output],
+            prev_adj: np.zeros(shape, dtype=dtype),
+        }
+        reverse_run(arrays)
+        return {output: arrays[prev_adj]}
+
+    return forward_step, reverse_step
 
 
 def _copy(state: State) -> State:

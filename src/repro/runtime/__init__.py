@@ -1,6 +1,7 @@
-"""Execution substrate: kernel compiler, interpreter, parallel executors."""
+"""Execution substrate: kernel compiler, plan/cache runtime, executors."""
 
 from .bindings import Bindings
+from .cache import KernelCache, clear_kernel_cache, get_kernel_cache, kernel_key
 from .distributed import DistributedExecutor, RankSlab, decompose
 from .compiler import (
     CompiledKernel,
@@ -11,14 +12,18 @@ from .compiler import (
 )
 from .interpreter import interpret_nests
 from .parallel import ParallelExecutor
+from .plan import ExecutionConfig, ExecutionPlan, validate_scatter_kernel
 from .profiler import KernelProfile, RegionProfile, profile_kernel
-from .scheduler import choose_split_axis, split_box
-from .tiling import run_tiled, tile_box
+from .scheduler import choose_split_axis, safe_split_axis, split_box
+from .tiling import run_tiled, safe_to_tile, tile_box
 
 __all__ = [
     "Bindings",
     "CompiledKernel",
     "DistributedExecutor",
+    "ExecutionConfig",
+    "ExecutionPlan",
+    "KernelCache",
     "RankSlab",
     "decompose",
     "KernelError",
@@ -29,9 +34,15 @@ __all__ = [
     "RegionKernel",
     "assert_disjoint_writes",
     "choose_split_axis",
+    "clear_kernel_cache",
     "compile_nests",
+    "get_kernel_cache",
     "interpret_nests",
+    "kernel_key",
     "run_tiled",
+    "safe_split_axis",
+    "safe_to_tile",
     "split_box",
     "tile_box",
+    "validate_scatter_kernel",
 ]

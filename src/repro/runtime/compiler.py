@@ -16,7 +16,7 @@ iteration space, which is how the shared-memory parallel executor
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -218,6 +218,40 @@ def _compile_statement(
     )
 
 
+def _normalise_guard_cond(
+    cond: sp.Basic, counters: Sequence[sp.Symbol], bindings: Bindings
+) -> tuple[sp.Symbol, str, int] | None:
+    """Reduce one relational guard to ``(counter, "lo"|"hi", bound)``.
+
+    Accepts the full inequality language the pointwise interpreter
+    evaluates: non-strict and strict comparisons, with the counter on
+    either side.  Strict forms are normalised to inclusive integer bounds
+    (``i > a`` -> ``i >= a + 1``); mirrored forms are flipped
+    (``a >= i`` -> ``i <= a``).  Returns None for unsupported shapes.
+    """
+    if not isinstance(cond, (sp.Ge, sp.Gt, sp.Le, sp.Lt)):
+        return None
+    if cond.lhs in counters and not cond.rhs.free_symbols & set(counters):
+        c, bound = cond.lhs, bindings.int_bound(cond.rhs)
+        if isinstance(cond, sp.Ge):
+            return c, "lo", bound
+        if isinstance(cond, sp.Gt):
+            return c, "lo", bound + 1
+        if isinstance(cond, sp.Le):
+            return c, "hi", bound
+        return c, "hi", bound - 1
+    if cond.rhs in counters and not cond.lhs.free_symbols & set(counters):
+        c, bound = cond.rhs, bindings.int_bound(cond.lhs)
+        if isinstance(cond, sp.Ge):  # a >= i  <=>  i <= a
+            return c, "hi", bound
+        if isinstance(cond, sp.Gt):  # a > i  <=>  i <= a - 1
+            return c, "hi", bound - 1
+        if isinstance(cond, sp.Le):  # a <= i  <=>  i >= a
+            return c, "lo", bound
+        return c, "lo", bound + 1  # a < i  <=>  i >= a + 1
+    return None
+
+
 def _concrete_guard_box(
     guard: sp.Basic, counters: Sequence[sp.Symbol], bindings: Bindings
 ) -> tuple[tuple[int, int], ...]:
@@ -226,12 +260,14 @@ def _concrete_guard_box(
     lo = {c: -np.inf for c in counters}
     hi = {c: np.inf for c in counters}
     for cond in conds:
-        if isinstance(cond, sp.Ge) and cond.lhs in counters:
-            lo[cond.lhs] = max(lo[cond.lhs], bindings.int_bound(cond.rhs))
-        elif isinstance(cond, sp.Le) and cond.lhs in counters:
-            hi[cond.lhs] = min(hi[cond.lhs], bindings.int_bound(cond.rhs))
-        else:
+        norm = _normalise_guard_cond(cond, counters, bindings)
+        if norm is None:
             raise KernelError(f"unsupported guard condition {cond}")
+        c, side, bound = norm
+        if side == "lo":
+            lo[c] = max(lo[c], bound)
+        else:
+            hi[c] = min(hi[c], bound)
     box = []
     for c in counters:
         l = int(lo[c]) if np.isfinite(lo[c]) else -(2**62)
@@ -260,6 +296,32 @@ class RegionKernel:
             total *= max(0, hi - lo + 1)
         return total
 
+    def statement_boxes(
+        self, bounds: Sequence[tuple[int, int]] | None = None
+    ) -> tuple[tuple[tuple[int, int], ...] | None, ...]:
+        """Guard-intersected effective box per statement over *bounds*.
+
+        ``None`` entries mark statements whose guard excludes the whole
+        box.  This is the per-execution geometry the
+        :class:`~repro.runtime.plan.ExecutionPlan` precomputes once.
+        """
+        eff_region = self.bounds if bounds is None else tuple(bounds)
+        if any(lo > hi for lo, hi in eff_region):
+            return tuple(None for _ in self.statements)
+        boxes: list[tuple[tuple[int, int], ...] | None] = []
+        for st in self.statements:
+            eff = eff_region
+            if st.guard_box is not None:
+                eff = tuple(
+                    (max(lo, glo), min(hi, ghi))
+                    for (lo, hi), (glo, ghi) in zip(eff_region, st.guard_box)
+                )
+                if any(lo > hi for lo, hi in eff):
+                    boxes.append(None)
+                    continue
+            boxes.append(eff)
+        return tuple(boxes)
+
     def execute(
         self,
         arrays: Mapping[str, np.ndarray],
@@ -270,44 +332,63 @@ class RegionKernel:
         ``bounds`` must be a sub-box of the region bounds; this is what the
         parallel executor uses to hand disjoint blocks to threads.
         """
-        eff_region = self.bounds if bounds is None else tuple(bounds)
-        if any(lo > hi for lo, hi in eff_region):
-            return
-        for st in self.statements:
-            eff = eff_region
-            if st.guard_box is not None:
-                eff = tuple(
-                    (max(lo, glo), min(hi, ghi))
-                    for (lo, hi), (glo, ghi) in zip(eff_region, st.guard_box)
-                )
-                if any(lo > hi for lo, hi in eff):
-                    continue
-            args = [
-                _frame_view(arrays[acc.name], acc, eff, st.dim) for acc in st.reads
-            ]
-            for axis in st.bare_axes:
-                lo, hi = eff[axis]
-                shape = [1] * st.dim
-                shape[axis] = -1
-                args.append(np.arange(lo, hi + 1).reshape(shape))
-            rhs = st.eval_fn(*args)
-            tview, missing = _target_view_and_missing(
-                arrays[st.target.name], st.target, eff, st.dim
-            )
-            if missing:
-                if st.op == "+=":
-                    rhs = np.asarray(rhs).sum(axis=missing)
-                else:
-                    sel = tuple(
-                        -1 if d in missing else slice(None) for d in range(st.dim)
-                    )
-                    rhs = np.broadcast_to(
-                        np.asarray(rhs), tuple(hi - lo + 1 for lo, hi in eff)
-                    )[sel]
+        self.execute_boxes(arrays, self.statement_boxes(bounds))
+
+    def execute_boxes(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        stmt_boxes: Sequence[tuple[tuple[int, int], ...] | None],
+    ) -> None:
+        """Run the statements over precomputed per-statement boxes.
+
+        ``stmt_boxes`` aligns with ``self.statements`` (see
+        :meth:`statement_boxes`); ``None`` entries are skipped.  Execution
+        plans call this directly so guard intersection happens once per
+        plan instead of once per run.
+        """
+        for st, eff in zip(self.statements, stmt_boxes):
+            if eff is None:
+                continue
+            self._execute_statement(st, arrays, eff)
+
+    def _execute_statement(
+        self,
+        st: CompiledStatement,
+        arrays: Mapping[str, np.ndarray],
+        eff: tuple[tuple[int, int], ...],
+    ) -> None:
+        args = [
+            _frame_view(arrays[acc.name], acc, eff, st.dim) for acc in st.reads
+        ]
+        for axis in st.bare_axes:
+            lo, hi = eff[axis]
+            shape = [1] * st.dim
+            shape[axis] = -1
+            # Counter values enter the expression in the kernel dtype:
+            # an int64 arange would silently promote float32 math to
+            # float64 mid-expression.
+            args.append(np.arange(lo, hi + 1, dtype=self.dtype).reshape(shape))
+        rhs = st.eval_fn(*args)
+        tview, missing = _target_view_and_missing(
+            arrays[st.target.name], st.target, eff, st.dim
+        )
+        if missing:
             if st.op == "+=":
-                tview += rhs
+                rhs = np.asarray(rhs).sum(axis=missing)
             else:
-                tview[...] = rhs
+                sel = tuple(
+                    -1 if d in missing else slice(None) for d in range(st.dim)
+                )
+                rhs = np.broadcast_to(
+                    np.asarray(rhs), tuple(hi - lo + 1 for lo, hi in eff)
+                )[sel]
+        rhs = np.asarray(rhs)
+        if rhs.dtype != tview.dtype:
+            rhs = rhs.astype(tview.dtype)
+        if st.op == "+=":
+            tview += rhs
+        else:
+            tview[...] = rhs
 
     def write_boxes(self) -> list[tuple[str, tuple[tuple[int, int], ...]]]:
         """Concrete index boxes written by each statement (array space)."""
@@ -336,28 +417,51 @@ class CompiledKernel:
     name: str
     regions: tuple[RegionKernel, ...]
     counters: tuple[sp.Symbol, ...]
+    _plans: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __call__(self, arrays: Mapping[str, np.ndarray]) -> None:
-        for rk in self.regions:
-            rk.execute(arrays)
+        # Serial execution also goes through the (memoised) plan, so the
+        # guard-intersected statement boxes are computed once per kernel
+        # rather than once per call.
+        self.plan().run(arrays)
 
     def total_iterations(self) -> int:
         return sum(rk.iteration_count() for rk in self.regions)
 
+    def plan(
+        self,
+        num_threads: int = 1,
+        tile_shape: Sequence[int] | None = None,
+        scatter: bool = False,
+        min_block_iterations: int = 1024,
+    ) -> "ExecutionPlan":
+        """The cached :class:`~repro.runtime.plan.ExecutionPlan` for a config.
 
-def compile_nests(
+        Plans precompute guard boxes, split axes, thread blocks and tiles
+        once; repeated calls with an equal configuration return the same
+        plan object, so every timestep of a run reuses the decomposition.
+        """
+        from .plan import ExecutionConfig, ExecutionPlan  # avoids cycle
+
+        config = ExecutionConfig(
+            num_threads=num_threads,
+            tile_shape=tuple(tile_shape) if tile_shape is not None else None,
+            scatter=scatter,
+            min_block_iterations=min_block_iterations,
+        )
+        plan = self._plans.get(config)
+        if plan is None:
+            plan = ExecutionPlan.build(self, config)
+            self._plans[config] = plan
+        return plan
+
+
+def _compile_nests_uncached(
     nests: Sequence[LoopNest],
     bindings: Bindings,
-    name: str = "kernel",
+    name: str,
+    counters: tuple[sp.Symbol, ...],
 ) -> CompiledKernel:
-    """Compile loop nests sharing one counter frame into a kernel."""
-    nests = list(nests)
-    if not nests:
-        raise KernelError("no loop nests to compile")
-    counters = nests[0].counters
-    for nest in nests:
-        if nest.counters != counters:
-            raise KernelError("all nests of a kernel must share their counters")
     regions = []
     for nest in nests:
         bounds = tuple(
@@ -376,6 +480,41 @@ def compile_nests(
             )
         )
     return CompiledKernel(name=name, regions=tuple(regions), counters=counters)
+
+
+def compile_nests(
+    nests: Sequence[LoopNest],
+    bindings: Bindings,
+    name: str = "kernel",
+    cache: "KernelCache | bool | None" = None,
+) -> CompiledKernel:
+    """Compile loop nests sharing one counter frame into a kernel.
+
+    Compilation (SymPy printing + ``exec`` via ``lambdify``) dominates
+    small-kernel run time, so results are memoised in a content-addressed
+    cache: calling again with structurally equal nests, equal bindings and
+    the same name returns the identical :class:`CompiledKernel` object.
+
+    ``cache`` selects the cache: ``None`` (default) uses the process-wide
+    cache, a :class:`~repro.runtime.cache.KernelCache` instance uses that
+    cache, and ``False`` bypasses caching entirely.
+    """
+    nests = list(nests)
+    if not nests:
+        raise KernelError("no loop nests to compile")
+    counters = nests[0].counters
+    for nest in nests:
+        if nest.counters != counters:
+            raise KernelError("all nests of a kernel must share their counters")
+    if cache is False:
+        return _compile_nests_uncached(nests, bindings, name, counters)
+    from .cache import get_kernel_cache, kernel_key  # avoids import cycle
+
+    store = get_kernel_cache() if cache is None or cache is True else cache
+    key = kernel_key(nests, bindings, name=name)
+    return store.get_or_compile(
+        key, lambda: _compile_nests_uncached(nests, bindings, name, counters)
+    )
 
 
 def _boxes_overlap(

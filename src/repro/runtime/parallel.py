@@ -8,48 +8,39 @@ any machine it exercises exactly the decomposition and synchronisation
 structure whose *cost model* :mod:`repro.machine` evaluates at the paper's
 core counts.
 
-Two execution disciplines are provided:
+Both execution disciplines delegate to the kernel's memoised
+:class:`~repro.runtime.plan.ExecutionPlan`, so the decomposition is
+computed once per (kernel, configuration) and every subsequent run only
+submits precomputed tasks:
 
 * **gather** (``run``): regions have disjoint writes (PerforAD adjoints and
   primal stencils), so all blocks of all regions are submitted at once with
   no locking and a single join at the end — "no additional synchronisation
   barriers" (Section 1).
 * **serialised scatter** (``run_scatter``): for conventional adjoints whose
-  statements scatter into overlapping locations, every write-back takes a
-  per-array lock, emulating the serialisation that atomic updates impose;
-  the values are still computed concurrently, which is the best case for
-  the atomics baseline.
+  statements scatter into overlapping locations, each block accumulates
+  into thread-private scratch and the merge takes a per-array lock,
+  emulating the serialisation that atomic updates impose.  The discipline
+  is only exact for pure ``+=`` scatter kernels, which
+  :func:`~repro.runtime.plan.validate_scatter_kernel` enforces at plan
+  build time.
 """
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping
 
 import numpy as np
 
-from .compiler import CompiledKernel, RegionKernel
-from .scheduler import split_box
+from .compiler import CompiledKernel
+from .scheduler import safe_split_axis
 
 __all__ = ["ParallelExecutor"]
 
-
-def _safe_split_axis(region: RegionKernel) -> int | None:
-    """Widest axis indexed by *every* statement's write target.
-
-    Splitting along an axis a target does not use would make two blocks
-    write the same reduced locations — a race.  Returns None when no axis
-    is safe (pure-reduction region), in which case the region runs serially.
-    """
-    common: set[int] | None = None
-    for st in region.statements:
-        axes = {axis for axis, _ in st.target.slots}
-        common = axes if common is None else (common & axes)
-    if not common:
-        return None
-    extents = {a: region.bounds[a][1] - region.bounds[a][0] + 1 for a in common}
-    return max(sorted(common), key=lambda a: extents[a])
+# Backwards-compatible alias: the safe-axis analysis now lives with the
+# other scheduling decisions in :mod:`.scheduler`.
+_safe_split_axis = safe_split_axis
 
 
 class ParallelExecutor:
@@ -78,6 +69,13 @@ class ParallelExecutor:
             self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
         return self._pool
 
+    def _plan(self, kernel: CompiledKernel, scatter: bool):
+        return kernel.plan(
+            num_threads=self.num_threads,
+            scatter=scatter,
+            min_block_iterations=self.min_block_iterations,
+        )
+
     # -- gather (race-free) execution ---------------------------------------
 
     def run(self, kernel: CompiledKernel, arrays: Mapping[str, np.ndarray]) -> None:
@@ -92,23 +90,7 @@ class ParallelExecutor:
         if self.num_threads == 1:
             kernel(arrays)
             return
-        pool = self._ensure_pool()
-        futures = []
-        for region in kernel.regions:
-            if region.is_empty:
-                continue
-            if region.iteration_count() < self.min_block_iterations:
-                region.execute(arrays)
-                continue
-            axis = _safe_split_axis(region)
-            if axis is None:
-                region.execute(arrays)  # reduction target: no safe split
-                continue
-            for block in split_box(region.bounds, self.num_threads, axis=axis):
-                futures.append(pool.submit(region.execute, arrays, block))
-        done, _ = wait(futures)
-        for f in done:
-            f.result()  # propagate exceptions
+        self._plan(kernel, scatter=False).run(arrays, pool=self._ensure_pool())
 
     # -- scatter (lock-serialised) execution ---------------------------------
 
@@ -118,39 +100,16 @@ class ParallelExecutor:
         """Execute a scatter kernel with per-array write locks.
 
         Emulates the parallel structure of the paper's atomics baseline:
-        partial results are computed concurrently per block, but updates to
-        each output array are serialised by a lock, so writers contend
-        exactly as atomic increments do.
+        partial results are computed concurrently per block into private
+        scratch, and the merge into each output array is serialised by a
+        lock, so writers contend exactly as atomic increments do.
+
+        Raises :class:`~repro.runtime.compiler.KernelError` for kernels the
+        discipline cannot execute exactly — any ``=``-op statement, or a
+        statement reading an array its region writes (the zero-seeded
+        scratch would corrupt both).
         """
         if self.num_threads == 1:
             kernel(arrays)
             return
-        pool = self._ensure_pool()
-        locks: dict[str, threading.Lock] = {}
-        for region in kernel.regions:
-            for st in region.statements:
-                locks.setdefault(st.target.name, threading.Lock())
-
-        def run_block(region: RegionKernel, block) -> None:
-            # Compute into private scratch copies of the written arrays,
-            # then merge under the lock (a thread-private reduction with
-            # serialised commit — the practical upper bound for atomics).
-            written = {st.target.name for st in region.statements}
-            scratch = {
-                name: (np.zeros_like(arrays[name]) if name in written else arr)
-                for name, arr in arrays.items()
-            }
-            region.execute(scratch, block)
-            for name in written:
-                with locks[name]:
-                    arrays[name] += scratch[name]
-
-        futures = []
-        for region in kernel.regions:
-            if region.is_empty:
-                continue
-            for block in split_box(region.bounds, self.num_threads):
-                futures.append(pool.submit(run_block, region, block))
-        done, _ = wait(futures)
-        for f in done:
-            f.result()
+        self._plan(kernel, scatter=True).run(arrays, pool=self._ensure_pool())

@@ -1,0 +1,309 @@
+"""Precomputed execution plans: decompose once, run many.
+
+The paper's measured workflow fixes the execution configuration (thread
+count, problem size) once and then runs the compiled kernel for every
+timestep and repetition.  The reproduction previously redid the per-run
+bookkeeping — guard-box intersection, safe-split-axis selection, thread
+blocking, tile decomposition — inside every ``execute`` call, through
+four separate dispatch paths (serial ``CompiledKernel.__call__``,
+``ParallelExecutor.run``/``run_scatter``, ``run_tiled``).
+
+An :class:`ExecutionPlan` is built once per ``(kernel, ExecutionConfig)``
+(PyOP2's parallel-plan idea): it freezes the full work decomposition —
+per-region thread tasks, per-task tiles, per-tile guard-intersected
+statement boxes — and exposes a single :meth:`ExecutionPlan.run` entry
+point covering all four disciplines, including fused tiled+threaded
+execution.  Plans are memoised on the kernel via
+:meth:`~repro.runtime.compiler.CompiledKernel.plan`.
+
+Results are bitwise identical to the serial path for every discipline:
+gather regions write disjoint locations per task (the Section 3.3.4
+property), tiles partition full-rank regions element-wise, and the
+scatter discipline is validated up front (see
+:func:`validate_scatter_kernel`) so thread-private accumulation is exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .compiler import CompiledKernel, KernelError, RegionKernel
+from .scheduler import safe_split_axis, split_box
+from .tiling import safe_to_tile, tile_box
+
+__all__ = ["ExecutionConfig", "ExecutionPlan", "validate_scatter_kernel"]
+
+Box = tuple[tuple[int, int], ...]
+StmtBoxes = tuple[Box | None, ...]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything that selects an execution discipline for a kernel.
+
+    ``num_threads`` > 1 runs thread-parallel (gather: race-free blocks;
+    scatter: thread-private accumulation with locked merge).
+    ``tile_shape`` cache-blocks each task's box.  ``scatter`` selects the
+    conventional-adjoint discipline.  ``min_block_iterations`` keeps tiny
+    regions on the submitting thread.
+    """
+
+    num_threads: int = 1
+    tile_shape: tuple[int, ...] | None = None
+    scatter: bool = False
+    min_block_iterations: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.scatter and self.tile_shape is not None:
+            raise ValueError("tiling is not supported for scatter plans")
+
+
+@dataclass(frozen=True)
+class RegionPlan:
+    """Frozen decomposition of one region under one config.
+
+    ``tasks`` is the parallel dimension: each task is a sequence of work
+    units executed in order by one worker, and each unit is the
+    per-statement guard-intersected boxes of one sub-box (tile).
+    ``parallel`` marks whether the tasks may run concurrently; serial
+    regions (too small, or no race-free split axis) hold a single task.
+    """
+
+    region: RegionKernel
+    tasks: tuple[tuple[StmtBoxes, ...], ...]
+    parallel: bool
+
+    @property
+    def unit_count(self) -> int:
+        return sum(len(task) for task in self.tasks)
+
+
+def validate_scatter_kernel(kernel: CompiledKernel) -> None:
+    """Check that thread-private scatter accumulation is exact for *kernel*.
+
+    The scatter discipline computes each block into zero-seeded private
+    copies of the written arrays and merges them with ``+=`` under a
+    lock.  That merge is only correct when every statement is a pure
+    ``+=`` scatter and no statement reads an array its region writes:
+    an ``=`` statement's value would be *added* to the global array
+    instead of stored, and a read of a written array would observe the
+    zeroed scratch instead of the accumulated values.  Raises
+    :class:`~repro.runtime.compiler.KernelError` on either violation.
+    """
+    for region in kernel.regions:
+        written = {st.target.name for st in region.statements}
+        for st in region.statements:
+            if st.op != "+=":
+                raise KernelError(
+                    f"scatter execution requires pure '+=' statements, but "
+                    f"region {region.name!r} writes {st.target.name!r} with "
+                    f"'{st.op}'; the thread-private zero-seeded merge would "
+                    f"add the value instead of storing it"
+                )
+            for acc in st.reads:
+                if acc.name in written:
+                    raise KernelError(
+                        f"scatter execution forbids reading an array the "
+                        f"region writes, but region {region.name!r} reads "
+                        f"{acc.name!r}; the read would observe the zeroed "
+                        f"thread-private scratch"
+                    )
+
+
+class ExecutionPlan:
+    """A kernel frozen together with its full work decomposition.
+
+    Build via :meth:`CompiledKernel.plan` (memoised) or
+    :meth:`ExecutionPlan.build`; execute with :meth:`run`.  The plan owns
+    a lazily created thread pool for standalone parallel runs; callers
+    with their own pool (e.g. ``ParallelExecutor``) pass it to ``run``.
+    """
+
+    def __init__(
+        self,
+        kernel: CompiledKernel,
+        config: ExecutionConfig,
+        region_plans: tuple[RegionPlan, ...],
+    ):
+        self.kernel = kernel
+        self.config = config
+        self.region_plans = region_plans
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+        self._locks: dict[str, threading.Lock] = {}
+        if config.scatter:
+            for rp in region_plans:
+                for st in rp.region.statements:
+                    self._locks.setdefault(st.target.name, threading.Lock())
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, kernel: CompiledKernel, config: ExecutionConfig) -> "ExecutionPlan":
+        if config.scatter and config.num_threads > 1:
+            validate_scatter_kernel(kernel)
+        region_plans = []
+        for region in kernel.regions:
+            if region.is_empty:
+                continue
+            region_plans.append(cls._plan_region(region, config))
+        return cls(kernel, config, tuple(region_plans))
+
+    @staticmethod
+    def _plan_region(region: RegionKernel, config: ExecutionConfig) -> RegionPlan:
+        if config.scatter:
+            blocks = split_box(region.bounds, config.num_threads)
+            tasks = tuple((region.statement_boxes(block),) for block in blocks)
+            return RegionPlan(region, tasks, parallel=config.num_threads > 1)
+
+        parallel = False
+        blocks: list[Box] = [region.bounds]
+        if config.num_threads > 1 and (
+            region.iteration_count() >= config.min_block_iterations
+        ):
+            axis = safe_split_axis(region)
+            if axis is not None:
+                blocks = split_box(region.bounds, config.num_threads, axis=axis)
+                parallel = True
+
+        tile = config.tile_shape
+        tileable = tile is not None and safe_to_tile(region)
+        tasks = []
+        for block in blocks:
+            boxes = tile_box(block, tile) if tileable else [block]
+            tasks.append(tuple(region.statement_boxes(box) for box in boxes))
+        return RegionPlan(region, tuple(tasks), parallel=parallel)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def unit_count(self) -> int:
+        """Total number of serially-executed work units (e.g. tiles)."""
+        return sum(rp.unit_count for rp in self.region_plans)
+
+    @property
+    def task_count(self) -> int:
+        """Total number of schedulable tasks across regions."""
+        return sum(len(rp.tasks) for rp in self.region_plans)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        pool: ThreadPoolExecutor | None = None,
+    ) -> None:
+        """Execute the planned kernel on *arrays*.
+
+        One entry point for all disciplines; which one runs was fixed at
+        plan-build time by the :class:`ExecutionConfig`.
+        """
+        if self.config.scatter and self.config.num_threads > 1:
+            self._run_scatter(arrays, pool)
+        elif self.config.num_threads > 1:
+            self._run_threaded(arrays, pool)
+        else:
+            self._run_serial(arrays)
+
+    def _run_serial(self, arrays: Mapping[str, np.ndarray]) -> None:
+        for rp in self.region_plans:
+            for task in rp.tasks:
+                for unit in task:
+                    rp.region.execute_boxes(arrays, unit)
+
+    @staticmethod
+    def _run_task(
+        region: RegionKernel,
+        task: tuple[StmtBoxes, ...],
+        arrays: Mapping[str, np.ndarray],
+    ) -> None:
+        for unit in task:
+            region.execute_boxes(arrays, unit)
+
+    def _run_threaded(
+        self, arrays: Mapping[str, np.ndarray], pool: ThreadPoolExecutor | None
+    ) -> None:
+        """Gather discipline: all parallel tasks in flight, one final join."""
+        pool = pool or self._ensure_pool()
+        futures = []
+        for rp in self.region_plans:
+            if rp.parallel:
+                for task in rp.tasks:
+                    futures.append(pool.submit(self._run_task, rp.region, task, arrays))
+            else:
+                for task in rp.tasks:
+                    self._run_task(rp.region, task, arrays)
+        done, _ = wait(futures)
+        for f in done:
+            f.result()  # propagate exceptions
+
+    def _run_scatter(
+        self, arrays: Mapping[str, np.ndarray], pool: ThreadPoolExecutor | None
+    ) -> None:
+        """Scatter discipline: thread-private accumulation, locked merge."""
+        pool = pool or self._ensure_pool()
+
+        def run_task(region: RegionKernel, task: tuple[StmtBoxes, ...]) -> None:
+            written = {st.target.name for st in region.statements}
+            scratch = {
+                name: (np.zeros_like(arr) if name in written else arr)
+                for name, arr in arrays.items()
+            }
+            for unit in task:
+                region.execute_boxes(scratch, unit)
+            for name in written:
+                with self._locks[name]:
+                    arrays[name] += scratch[name]
+
+        futures = []
+        for rp in self.region_plans:
+            for task in rp.tasks:
+                futures.append(pool.submit(run_task, rp.region, task))
+        done, _ = wait(futures)
+        for f in done:
+            f.result()
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.config.num_threads)
+            # Plans memoised on cached kernels can outlive their users;
+            # the finalizer releases the worker threads as soon as the
+            # plan itself is collected (e.g. on kernel-cache eviction).
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the plan's own thread pool (if one was created).
+
+        The pool otherwise lives as long as the plan — which, for plans
+        memoised via :meth:`CompiledKernel.plan` on a cached kernel, can
+        be the whole process.  Call ``close`` (or use the plan as a
+        context manager) when a burst of parallel runs is over; the pool
+        is lazily recreated on the next run.  Callers that manage their
+        own pool (``ParallelExecutor``) pass it to :meth:`run` and are
+        unaffected.
+        """
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

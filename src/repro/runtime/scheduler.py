@@ -11,9 +11,28 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["split_box", "choose_split_axis"]
+__all__ = ["split_box", "choose_split_axis", "safe_split_axis"]
 
 Box = tuple[tuple[int, int], ...]
+
+
+def safe_split_axis(region) -> int | None:
+    """Widest axis indexed by *every* statement's write target of *region*.
+
+    Splitting along an axis a target does not use would make two blocks
+    write the same reduced locations — a race.  Returns None when no axis
+    is safe (pure-reduction region), in which case the region runs
+    serially.  *region* is a :class:`~repro.runtime.compiler.RegionKernel`
+    (typed loosely to keep this module free of compiler imports).
+    """
+    common: set[int] | None = None
+    for st in region.statements:
+        axes = {axis for axis, _ in st.target.slots}
+        common = axes if common is None else (common & axes)
+    if not common:
+        return None
+    extents = {a: region.bounds[a][1] - region.bounds[a][0] + 1 for a in common}
+    return max(sorted(common), key=lambda a: extents[a])
 
 
 def choose_split_axis(bounds: Box) -> int:

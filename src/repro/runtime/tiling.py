@@ -8,9 +8,10 @@ a region's iteration box executes the same element-wise expressions and
 is bitwise identical to the untiled execution — which the tests assert —
 while improving temporal locality for grids larger than cache.
 
-``run_tiled`` composes with :class:`~repro.runtime.parallel.ParallelExecutor`
-conceptually (tiles are the same sub-box mechanism the thread executor
-uses); here tiles are executed in lexicographic order on one thread.
+``run_tiled`` is a thin wrapper over the plan layer: it builds (or
+reuses) the kernel's serial tiled :class:`~repro.runtime.plan.ExecutionPlan`
+and runs it.  Fused tiled+threaded execution is available by planning
+with both ``tile_shape`` and ``num_threads``.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ import numpy as np
 
 from .compiler import CompiledKernel, RegionKernel
 
-__all__ = ["tile_box", "run_tiled"]
+__all__ = ["tile_box", "run_tiled", "safe_to_tile"]
 
 Box = tuple[tuple[int, int], ...]
 
@@ -60,26 +61,29 @@ def run_tiled(
 
     Only regions whose statements all write at full rank are tiled (a
     reduced write target would accumulate differently across tiles for
-    '=' semantics); other regions run untiled.
+    '=' semantics); other regions run untiled.  Delegates to the memoised
+    serial tiled :class:`~repro.runtime.plan.ExecutionPlan`, so the tile
+    decomposition is computed once per (kernel, tile shape).
     """
-    tiles_run = 0
-    for region in kernel.regions:
-        if region.is_empty:
-            continue
-        if _safe_to_tile(region):
-            for tile in tile_box(region.bounds, tile_shape):
-                region.execute(arrays, tile)
-                tiles_run += 1
-        else:
-            region.execute(arrays)
-            tiles_run += 1
-    return tiles_run
+    plan = kernel.plan(tile_shape=tuple(tile_shape))
+    plan.run(arrays)
+    return plan.unit_count
 
 
-def _safe_to_tile(region: RegionKernel) -> bool:
+def safe_to_tile(region: RegionKernel) -> bool:
+    """True when every statement of *region* writes at full rank.
+
+    A reduced write target (fewer target axes than frame axes) would
+    accumulate differently across tiles for '=' semantics, so such
+    regions run untiled.
+    """
     dim = len(region.bounds)
     for st in region.statements:
         axes = {axis for axis, _ in st.target.slots}
         if len(axes) != dim:
             return False
     return True
+
+
+# Backwards-compatible alias (pre-plan internal name).
+_safe_to_tile = safe_to_tile

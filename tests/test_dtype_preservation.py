@@ -1,0 +1,95 @@
+"""Dtype-preservation tests.
+
+Regression cases for the bare-counter promotion bug: counter values used
+to enter expressions as an int64 ``np.arange``, which NumPy promotion
+silently upcast float32 kernels to float64 mid-expression.  Counters now
+materialise in the kernel dtype and the RHS is cast to the target dtype
+before write-back, so a float32 run stays float32 end to end.
+"""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.core import adjoint_loops, make_loop_nest
+from repro.runtime import Bindings, compile_nests
+
+i = sp.Symbol("i", integer=True)
+n = sp.Symbol("n", integer=True)
+u, r = sp.Function("u"), sp.Function("r")
+
+
+def test_bare_counter_stays_in_kernel_dtype(rng):
+    """float32 kernel math with a bare counter happens in float32.
+
+    The rhs ``u(i) * (i + 2**24)`` distinguishes the dtypes sharply:
+    2**24 + i is exact in int64/float64 but rounds in float32 for odd i,
+    so the int64-arange bug produced (more accurate but) different values
+    than genuine float32 evaluation.
+    """
+    N = 63
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i) * (i + 2**24), counters=[i], bounds={i: [0, n]}
+    )
+    kernel = compile_nests(
+        [nest], Bindings(sizes={n: N}, dtype=np.float32), cache=False
+    )
+    uv = rng.standard_normal(N + 1).astype(np.float32)
+    arrays = {"u": uv.copy(), "r": np.zeros(N + 1, dtype=np.float32)}
+    kernel(arrays)
+    counters = np.arange(0, N + 1, dtype=np.float32)
+    expected = uv * (counters + np.float32(2**24))
+    np.testing.assert_array_equal(arrays["r"], expected)
+    # And the float64 path (the buggy intermediate) disagrees, so this
+    # test genuinely pins the dtype of the computation.
+    promoted = (
+        uv.astype(np.float64) * (np.arange(0, N + 1) + 2**24)
+    ).astype(np.float32)
+    assert (arrays["r"] != promoted).any()
+
+
+@pytest.mark.parametrize("op", ["=", "+="])
+def test_writeback_cast_to_target_dtype(rng, op):
+    """A float32 target accepts the RHS without dtype errors for both ops."""
+    N = 16
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i) + i, counters=[i], bounds={i: [0, n]}, op=op
+    )
+    kernel = compile_nests(
+        [nest], Bindings(sizes={n: N}, dtype=np.float32), cache=False
+    )
+    uv = rng.standard_normal(N + 1).astype(np.float32)
+    arrays = {"u": uv.copy(), "r": np.zeros(N + 1, dtype=np.float32)}
+    kernel(arrays)
+    expected = uv + np.arange(0, N + 1, dtype=np.float32)
+    np.testing.assert_array_equal(arrays["r"], expected)
+    assert arrays["r"].dtype == np.float32
+
+
+def test_float32_adjoint_across_all_apps(any_problem, rng):
+    """Every app's adjoint runs in float32 and tracks the float64 result."""
+    prob, N = any_problem
+    name_map = prob.adjoint_name_map()
+
+    results = {}
+    for dtype in (np.float64, np.float32):
+        bindings = prob.bindings(N, dtype=dtype)
+        kernel = compile_nests(
+            adjoint_loops(prob.primal, prob.adjoint_map), bindings, cache=False
+        )
+        arrays = prob.allocate(N, rng=np.random.default_rng(7), dtype=dtype)
+        arrays.update(
+            prob.allocate_adjoints(N, rng=np.random.default_rng(8), dtype=dtype)
+        )
+        kernel(arrays)
+        results[dtype] = arrays
+
+    for prim in prob.active_input_names():
+        adj = name_map[prim]
+        assert results[np.float32][adj].dtype == np.float32
+        np.testing.assert_allclose(
+            results[np.float32][adj].astype(np.float64),
+            results[np.float64][adj],
+            rtol=5e-4,
+            atol=5e-4,
+        )

@@ -200,6 +200,93 @@ def test_total_iterations():
     assert k.total_iterations() == 10
 
 
+# -- guard normalisation (compiler vs interpreter oracle) --------------------
+
+
+GUARDS_1D = [
+    sp.Ge(i, 3),            # i >= 3
+    sp.Gt(i, 3),            # i > 3  ->  i >= 4
+    sp.Le(i, 6),            # i <= 6
+    sp.Lt(i, 6),            # i < 6  ->  i <= 5
+    sp.Ge(6, i),            # 6 >= i  ->  i <= 6
+    sp.Gt(6, i),            # 6 > i  ->  i <= 5
+    sp.Le(3, i),            # 3 <= i  ->  i >= 3
+    sp.Lt(3, i),            # 3 < i  ->  i >= 4
+    sp.And(sp.Gt(i, 1), sp.Lt(i, n - 1)),
+    sp.And(sp.Lt(1, i), sp.Gt(n - 1, i)),
+]
+
+
+@pytest.mark.parametrize("guard", GUARDS_1D, ids=[str(g) for g in GUARDS_1D])
+def test_guard_normalisation_matches_interpreter(rng, guard):
+    """Strict and mirrored guards: compiled box == pointwise evaluation."""
+    from repro.core.loopnest import LoopNest, Statement
+    from repro.runtime import interpret_nests
+
+    N = 12
+    nest = LoopNest(
+        statements=(Statement(lhs=r(i), rhs=2 * u(i), op="=", guard=guard),),
+        counters=(i,),
+        bounds={i: (0, n)},
+    )
+    bindings = Bindings(sizes={n: N})
+    uv = rng.standard_normal(N + 1)
+    compiled = {"u": uv.copy(), "r": np.zeros(N + 1)}
+    compile_nests([nest], bindings, cache=False)(compiled)
+    interp = {"u": uv.copy(), "r": np.zeros(N + 1)}
+    interpret_nests([nest], interp, bindings)
+    np.testing.assert_array_equal(compiled["r"], interp["r"])
+
+
+def test_guard_normalisation_matches_interpreter_2d(rng):
+    from repro.core.loopnest import LoopNest, Statement
+    from repro.runtime import interpret_nests
+
+    N = 8
+    guard = sp.And(sp.Gt(i, 0), sp.Lt(j, n), sp.Le(1, j), sp.Gt(n, i))
+    nest = LoopNest(
+        statements=(Statement(lhs=r(i, j), rhs=u(i, j) + 1, op="=", guard=guard),),
+        counters=(i, j),
+        bounds={i: (0, n), j: (0, n)},
+    )
+    bindings = Bindings(sizes={n: N})
+    uv = rng.standard_normal((N + 1, N + 1))
+    compiled = {"u": uv.copy(), "r": np.zeros((N + 1, N + 1))}
+    compile_nests([nest], bindings, cache=False)(compiled)
+    interp = {"u": uv.copy(), "r": np.zeros((N + 1, N + 1))}
+    interpret_nests([nest], interp, bindings)
+    np.testing.assert_array_equal(compiled["r"], interp["r"])
+
+
+def test_unsupported_guard_still_raises():
+    from repro.core.loopnest import LoopNest, Statement
+
+    nest = LoopNest(
+        statements=(
+            Statement(lhs=r(i), rhs=u(i), op="=", guard=sp.Eq(i, 3)),
+        ),
+        counters=(i,),
+        bounds={i: (0, n)},
+    )
+    with pytest.raises(KernelError, match="unsupported guard"):
+        compile_nests([nest], Bindings(sizes={n: 8}), cache=False)
+
+
+def test_counter_vs_counter_guard_raises():
+    """Guards relating two counters are not interval boxes; reject them."""
+    from repro.core.loopnest import LoopNest, Statement
+
+    nest = LoopNest(
+        statements=(
+            Statement(lhs=r(i, j), rhs=u(i, j), op="=", guard=sp.Ge(i, j)),
+        ),
+        counters=(i, j),
+        bounds={i: (0, n), j: (0, n)},
+    )
+    with pytest.raises(KernelError, match="unsupported guard"):
+        compile_nests([nest], Bindings(sizes={n: 8}), cache=False)
+
+
 def test_uninterpreted_function_execution(rng):
     """User-provided implementations bind to uninterpreted calls."""
     f = sp.Function("f")

@@ -7,10 +7,18 @@ count); the performance claims are the machine model's job.
 
 import numpy as np
 import pytest
+import sympy as sp
 
 from repro.baselines.scatter import tapenade_style_adjoint
 from repro.core import adjoint_loops
-from repro.runtime import Bindings, ParallelExecutor, compile_nests, split_box
+from repro.core.loopnest import LoopNest, Statement
+from repro.runtime import (
+    Bindings,
+    KernelError,
+    ParallelExecutor,
+    compile_nests,
+    split_box,
+)
 from repro.runtime.scheduler import choose_split_axis
 
 
@@ -101,6 +109,68 @@ def test_scatter_locked_execution_matches_serial(rng):
     np.testing.assert_allclose(
         serial["u_1_b"], parallel["u_1_b"], rtol=1e-12, atol=1e-13
     )
+
+
+def _mixed_op_kernel(N: int):
+    """A kernel with one '=' and one '+=' statement on the same target.
+
+    Regression case for the scatter-merge bug: the threaded scatter
+    discipline used to merge thread-private scratch with ``+=``
+    unconditionally, which silently *adds* the '='-statement's values to
+    the global array instead of storing them.
+    """
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = LoopNest(
+        statements=(
+            Statement(lhs=r(i), rhs=u(i), op="="),
+            Statement(lhs=r(i), rhs=2 * u(i - 1), op="+="),
+        ),
+        counters=(i,),
+        bounds={i: (1, n - 1)},
+    )
+    return compile_nests([nest], Bindings(sizes={n: N}), cache=False)
+
+
+def test_scatter_rejects_mixed_assignment_kernel(rng):
+    """run_scatter must refuse kernels whose merge would corrupt results."""
+    N = 64
+    kernel = _mixed_op_kernel(N)
+    arrays = {"u": rng.standard_normal(N + 1), "r": rng.standard_normal(N + 1)}
+    with ParallelExecutor(num_threads=2, min_block_iterations=1) as ex:
+        with pytest.raises(KernelError, match="scatter"):
+            ex.run_scatter(kernel, arrays)
+
+
+def test_scatter_single_thread_runs_mixed_kernel(rng):
+    """Serial scatter execution needs no merge, so mixed kernels are fine."""
+    N = 64
+    kernel = _mixed_op_kernel(N)
+    base = {"u": rng.standard_normal(N + 1), "r": rng.standard_normal(N + 1)}
+    serial = {k: v.copy() for k, v in base.items()}
+    kernel(serial)
+    scat = {k: v.copy() for k, v in base.items()}
+    with ParallelExecutor(num_threads=1) as ex:
+        ex.run_scatter(kernel, scat)
+    np.testing.assert_array_equal(serial["r"], scat["r"])
+
+
+def test_scatter_rejects_read_of_written_array():
+    """Reads of a region-written array would observe zeroed scratch."""
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = LoopNest(
+        statements=(Statement(lhs=r(i), rhs=r(i - 1) + u(i), op="+="),),
+        counters=(i,),
+        bounds={i: (1, n - 1)},
+    )
+    kernel = compile_nests([nest], Bindings(sizes={n: 32}), cache=False)
+    arrays = {"u": np.ones(33), "r": np.zeros(33)}
+    with ParallelExecutor(num_threads=2, min_block_iterations=1) as ex:
+        with pytest.raises(KernelError, match="reads"):
+            ex.run_scatter(kernel, arrays)
 
 
 def test_invalid_thread_count():

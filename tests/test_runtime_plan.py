@@ -1,0 +1,152 @@
+"""ExecutionPlan tests: one entry point, identical results for every
+discipline (serial, tiled, threaded, fused tiled+threaded) on every app.
+
+The pointwise interpreter is the semantic oracle; the compiled kernels
+evaluate the same expression trees element-wise, so agreement is exact
+(bitwise), and every planned discipline must preserve that.
+"""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.core import adjoint_loops, make_loop_nest
+from repro.runtime import (
+    Bindings,
+    ExecutionConfig,
+    KernelError,
+    compile_nests,
+    interpret_nests,
+)
+
+CONFIGS = [
+    ("serial", dict(num_threads=1)),
+    ("tiled", dict(tile_shape=(8, 8, 8))),
+    ("threads1", dict(num_threads=1, min_block_iterations=1)),
+    ("threads2", dict(num_threads=2, min_block_iterations=1)),
+    ("threads4", dict(num_threads=4, min_block_iterations=1)),
+    (
+        "tiled+threads4",
+        dict(num_threads=4, tile_shape=(8, 8, 8), min_block_iterations=1),
+    ),
+]
+
+# Interpreter results per (problem, n): the oracle is deterministic for
+# the fixture rng seed, so it is computed once and shared across configs.
+_ORACLE: dict = {}
+
+
+def _oracle(prob, n, nests, base, bindings):
+    key = (prob.name, n)
+    if key not in _ORACLE:
+        interp = {k: v.copy() for k, v in base.items()}
+        interpret_nests(nests, interp, bindings)
+        _ORACLE[key] = interp
+    return _ORACLE[key]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_plan_matches_interpreter_bitwise(any_problem, rng, label, config):
+    prob, n = any_problem
+    bindings = prob.bindings(n)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, bindings)
+    base = prob.allocate(n, rng=rng)
+    base.update(prob.allocate_adjoints(n, rng=rng))
+    interp = _oracle(prob, n, nests, base, bindings)
+
+    planned = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(**config)
+    try:
+        plan.run(planned)
+    finally:
+        plan.close()
+
+    name_map = prob.adjoint_name_map()
+    for prim in prob.active_input_names():
+        np.testing.assert_array_equal(
+            planned[name_map[prim]], interp[name_map[prim]]
+        )
+
+
+@pytest.mark.parametrize("label,config", CONFIGS[1:], ids=[c[0] for c in CONFIGS[1:]])
+def test_plan_bitwise_identical_to_serial_kernel(any_problem, rng, label, config):
+    """Every planned discipline reproduces the serial path bit for bit."""
+    prob, n = any_problem
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(n))
+    base = prob.allocate(n, rng=rng)
+    base.update(prob.allocate_adjoints(n, rng=rng))
+
+    serial = {k: v.copy() for k, v in base.items()}
+    kernel(serial)
+
+    planned = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(**config)
+    try:
+        plan.run(planned)
+    finally:
+        plan.close()
+
+    for name in serial:
+        np.testing.assert_array_equal(serial[name], planned[name])
+
+
+def test_plan_memoised_per_config():
+    from repro.apps import heat_problem
+
+    prob = heat_problem(1)
+    kernel = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(24)
+    )
+    p1 = kernel.plan(num_threads=2, tile_shape=(8,))
+    p2 = kernel.plan(num_threads=2, tile_shape=[8])
+    p3 = kernel.plan(num_threads=2)
+    assert p1 is p2
+    assert p1 is not p3
+
+
+def test_plan_unit_count_counts_tiles():
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i), counters=[i], bounds={i: [0, n]}
+    )
+    kernel = compile_nests([nest], Bindings(sizes={n: 31}), cache=False)
+    plan = kernel.plan(tile_shape=(8,))
+    assert plan.unit_count == 4  # 32 iterations in tiles of 8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExecutionConfig(num_threads=0)
+    with pytest.raises(ValueError):
+        ExecutionConfig(scatter=True, tile_shape=(8,))
+
+
+def test_empty_region_has_no_plan_work():
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [5, n]})
+    kernel = compile_nests([nest], Bindings(sizes={n: 3}), cache=False)
+    plan = kernel.plan()
+    assert plan.unit_count == 0
+    arrays = {"u": np.ones(10), "r": np.zeros(10)}
+    plan.run(arrays)
+    assert not arrays["r"].any()
+
+
+def test_threaded_plan_propagates_exceptions():
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = make_loop_nest(
+        lhs=r(i), rhs=u(i - 1), counters=[i], bounds={i: [0, n]}
+    )
+    kernel = compile_nests([nest], Bindings(sizes={n: 4000}), cache=False)
+    arrays = {"u": np.zeros(4001), "r": np.zeros(4001)}  # u(i-1) at i=0 OOB
+    with kernel.plan(num_threads=2, min_block_iterations=1) as plan:
+        with pytest.raises(KernelError):
+            plan.run(arrays)
