@@ -1,0 +1,121 @@
+"""Steady-state benchmark for bound execution plans.
+
+The paper's measured regime executes one compiled adjoint stencil for
+thousands of timesteps on fixed arrays, so per-timestep overhead — not
+compilation (amortised by the kernel cache, see ``bench_plan_cache``) —
+decides throughput.  This benchmark pits the bound steady-state path
+(:meth:`ExecutionPlan.bind` + replay) against the PR 1 plan path
+(:meth:`ExecutionPlan.run_unbound`: per-call views, aranges and
+full-box temporaries) on a repeated small-grid adjoint timestep loop.
+
+Acceptance targets:
+
+* >= 2x compile-excluded steady-state speedup for bound runs,
+* bitwise-identical results for the serial, threaded, tiled and scatter
+  disciplines,
+* zero NumPy array allocations per steady-state bound call
+  (``tracemalloc``-verified).
+"""
+
+import numpy as np
+
+from repro.apps import heat_problem
+from repro.baselines.scatter import tapenade_style_adjoint
+from repro.core import adjoint_loops
+from repro.experiments.steady import measure_steady_state
+from repro.runtime import compile_nests
+
+REPS = 200
+N = 24
+
+
+def _gather_case():
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    bindings = prob.bindings(N)
+    kernel = compile_nests(nests, bindings, name="bound_bench")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+    return prob, kernel, base
+
+
+def _assert_bound_matches_unbound(plan, base):
+    """First bound run *and* steady-state replay equal the unbound path."""
+    unbound = {k: v.copy() for k, v in base.items()}
+    plan.run_unbound(unbound)
+    got = {k: v.copy() for k, v in base.items()}
+    bound = plan.bind(got)
+    for _ in range(2):
+        bound.run()
+        for name in got:
+            np.testing.assert_array_equal(unbound[name], got[name])
+        for name, arr in base.items():
+            got[name][...] = arr
+
+
+def test_bound_plan_steady_state_speedup(benchmark, capsys):
+    prob, kernel, base = _gather_case()
+
+    # -- bitwise identity for every discipline -------------------------------
+    configs = {
+        "serial": dict(),
+        "threads2": dict(num_threads=2, min_block_iterations=1),
+        "tiled": dict(tile_shape=(8, 8)),
+        "tiled+threads2": dict(
+            num_threads=2, tile_shape=(8, 8), min_block_iterations=1
+        ),
+    }
+    for cfg in configs.values():
+        with kernel.plan(**cfg) as p:
+            _assert_bound_matches_unbound(p, base)
+
+    scat = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    scat_kernel = compile_nests([scat], prob.bindings(N), name="bound_bench_scat")
+    with scat_kernel.plan(
+        num_threads=2, scatter=True, min_block_iterations=1
+    ) as sp_plan:
+        _assert_bound_matches_unbound(sp_plan, base)
+
+    # -- steady-state timing + allocations (shared harness, also used by
+    #    `python -m repro bench`) --------------------------------------------
+    plan = kernel.plan()
+    arrays = {k: v.copy() for k, v in base.items()}
+    case = measure_steady_state(plan, arrays, base, REPS)
+    bound = plan.bind(arrays)
+
+    def bound_loop():
+        for _ in range(REPS):
+            bound.run()
+
+    iters = kernel.total_iterations()
+    benchmark.pedantic(bound_loop, rounds=3, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nsteady-state adjoint timestep, {prob.name} n={N}, "
+            f"best of {REPS}-call loops:"
+        )
+        print(f"  plan (unbound) run  {case['unbound_us_per_call']:8.1f} us/call "
+              f"({case['unbound_us_per_call'] * 1e3 / iters:6.1f} ns/it)")
+        print(f"  bound run           {case['bound_us_per_call']:8.1f} us/call "
+              f"({case['bound_us_per_call'] * 1e3 / iters:6.1f} ns/it)")
+        print(f"  speedup             {case['speedup']:8.2f}x")
+        print(f"  steady allocations  net {case['steady_net_alloc_bytes']} B, "
+              f"peak {case['steady_peak_alloc_bytes']} B "
+              f"over {case['steady_alloc_calls']} calls")
+    benchmark.extra_info.update(case)
+
+    assert case["bitwise_identical"]
+    assert case["inplace_statements"] == case["total_statements"]
+    assert case["steady_net_alloc_bytes"] == 0, (
+        "steady-state bound run retained memory"
+    )
+    smallest_box = (N - 4) * (N - 4) * 8
+    assert case["steady_peak_alloc_bytes"] < smallest_box, (
+        f"steady-state bound run transiently allocated "
+        f"{case['steady_peak_alloc_bytes']} B"
+    )
+    assert case["speedup"] >= 2.0, (
+        f"expected >=2x steady-state speedup for bound runs, "
+        f"got {case['speedup']:.2f}x"
+    )

@@ -13,6 +13,11 @@ Commands
     Regenerate the paper's performance figures (Figures 8–15).
 ``loop-counts``
     Print the Section 3.3.4 loop-nest counts for the built-in problems.
+``bench``
+    Measure steady-state per-timestep runtime of the bound execution
+    path against the unbound plan path and write ``BENCH_runtime.json``
+    (the perf-trajectory record; CI runs ``bench --quick`` as a smoke
+    job).
 """
 
 from __future__ import annotations
@@ -130,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("loop-counts", help="Section 3.3.4 loop-nest counts")
+
+    ben = sub.add_parser(
+        "bench", help="steady-state runtime benchmark (writes BENCH_runtime.json)"
+    )
+    ben.add_argument("--problem", choices=sorted(_PROBLEMS), default="heat2d")
+    ben.add_argument("--n", type=int, default=24, help="grid size")
+    ben.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions and serial discipline only (CI smoke)",
+    )
+    ben.add_argument(
+        "--output", default="BENCH_runtime.json",
+        help="where to write the JSON record (default: ./BENCH_runtime.json)",
+    )
     return parser
 
 
@@ -249,6 +268,63 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from .core import adjoint_loops
+    from .experiments.steady import measure_steady_state
+    from .runtime import compile_nests
+
+    prob = _PROBLEMS[args.problem]()
+    n = args.n
+    reps = 30 if args.quick else 200
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(n), name="bench")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(n, rng=rng)
+    base.update(prob.allocate_adjoints(n, rng=rng))
+
+    configs = {"serial": {}}
+    if not args.quick:
+        configs["threads2"] = dict(num_threads=2, min_block_iterations=1)
+        tile = tuple([8] * prob.dim)
+        configs["tiled"] = dict(tile_shape=tile)
+
+    cases = {}
+    for label, cfg in configs.items():
+        plan = kernel.plan(**cfg)
+        arrays = {k: v.copy() for k, v in base.items()}
+        cases[label] = measure_steady_state(plan, arrays, base, reps)
+        plan.close()
+
+    record = {
+        "benchmark": "steady_state_bound_plan",
+        "problem": prob.name,
+        "n": n,
+        "reps": reps,
+        "iterations_per_call": kernel.total_iterations(),
+        "unix_time": round(time.time(), 1),
+        "cases": cases,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    for label, case in cases.items():
+        print(
+            f"  {label:10s} unbound {case['unbound_us_per_call']:8.1f} us  "
+            f"bound {case['bound_us_per_call']:8.1f} us  "
+            f"speedup {case['speedup']:5.2f}x  "
+            f"steady alloc {case['steady_net_alloc_bytes']} B  "
+            f"bitwise={'ok' if case['bitwise_identical'] else 'MISMATCH'}"
+        )
+    ok = all(c["bitwise_identical"] for c in cases.values())
+    return 0 if ok else 1
+
+
 def _cmd_loop_counts(args) -> int:
     print(f"{'problem':12s}{'adjoint loop nests':>20s}")
     for name, factory in sorted(_PROBLEMS.items()):
@@ -268,6 +344,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "loop-counts":
         return _cmd_loop_counts(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

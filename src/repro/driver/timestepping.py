@@ -52,29 +52,58 @@ def make_stencil_steps(
     adjoint of ``output`` and accumulates the adjoint of ``prev``.
 
     ``forward_run``/``reverse_run`` are any array-dict runners — a
-    :class:`~repro.runtime.compiler.CompiledKernel`, a bound
+    :class:`~repro.runtime.compiler.CompiledKernel`, a planned
     :meth:`~repro.runtime.plan.ExecutionPlan.run`, or a partial over a
     :class:`~repro.runtime.parallel.ParallelExecutor` — so one time loop
     composes with every execution discipline the runtime offers.  The
-    fresh work arrays are allocated in ``dtype``, keeping reduced-precision
-    sweeps reduced-precision end to end.
+    persistent work arrays are allocated in ``dtype``, keeping
+    reduced-precision sweeps reduced-precision end to end.
+
+    The forward sweep is **double-buffered**: two persistent state
+    arrays alternate between the ``output`` and ``prev`` roles through
+    two fixed arrays dicts, instead of allocating ``np.zeros(shape)``
+    per step.  Array identity is therefore stable across the whole time
+    loop, so an :class:`~repro.runtime.plan.ExecutionPlan` runner binds
+    each parity's arrays once and every subsequent step hits the
+    allocation-free bound path.  The returned state aliases an internal
+    buffer that is overwritten two steps later — the driver's storage
+    policies copy states they keep (``run_store_all`` history, revolve
+    snapshots), so this is only visible to callers that stash a returned
+    state and keep stepping.  The reverse sweep reuses one persistent
+    arrays dict the same way and returns a fresh copy of the adjoint
+    (reverse results are the sweep's *output* and must outlive it).
     """
     adjoint_map = dict(adjoint_map or {output: f"{output}_b", prev: f"{prev}_b"})
     out_adj, prev_adj = adjoint_map[output], adjoint_map[prev]
 
+    buf_a = np.zeros(shape, dtype=dtype)
+    buf_b = np.zeros(shape, dtype=dtype)
+    # Two fixed role assignments: whichever buffer holds the incoming
+    # state plays `prev`, the other is overwritten as `output`.
+    write_a = {output: buf_a, prev: buf_b}
+    write_b = {output: buf_b, prev: buf_a}
+
     def forward_step(state: State) -> State:
-        arrays = {output: np.zeros(shape, dtype=dtype), prev: state[output]}
+        src = state[output]
+        arrays = write_b if src is buf_a else write_a
+        if src is not arrays[prev]:
+            np.copyto(arrays[prev], src)
+        arrays[output][...] = 0
         forward_run(arrays)
         return {output: arrays[output]}
 
+    rev_arrays = {
+        out_adj: np.zeros(shape, dtype=dtype),
+        prev: np.zeros(shape, dtype=dtype),
+        prev_adj: np.zeros(shape, dtype=dtype),
+    }
+
     def reverse_step(saved: State, lam: State) -> State:
-        arrays = {
-            out_adj: lam[output].copy(),
-            prev: saved[output],
-            prev_adj: np.zeros(shape, dtype=dtype),
-        }
-        reverse_run(arrays)
-        return {output: arrays[prev_adj]}
+        np.copyto(rev_arrays[out_adj], lam[output])
+        np.copyto(rev_arrays[prev], saved[output])
+        rev_arrays[prev_adj][...] = 0
+        reverse_run(rev_arrays)
+        return {output: rev_arrays[prev_adj].copy()}
 
     return forward_step, reverse_step
 
@@ -105,7 +134,9 @@ class AdjointTimeStepper:
         state = _copy(state0)
         for _ in range(steps):
             state = self.forward_step(state)
-        return state
+        # forward_step may return a view of double-buffered storage (see
+        # make_stencil_steps); copy so the result survives later sweeps.
+        return _copy(state)
 
     # -- reverse, store-all ---------------------------------------------------
 

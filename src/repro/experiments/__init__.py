@@ -16,8 +16,11 @@ from .figures import (
     wave_descriptors,
 )
 from .report import render_all, render_bars, render_factors, render_speedup
+from .steady import bitwise_equal, measure_steady_state
 
 __all__ = [
+    "bitwise_equal",
+    "measure_steady_state",
     "PAPER",
     "FigureSeries",
     "RuntimeBars",

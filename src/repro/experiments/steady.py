@@ -1,0 +1,93 @@
+"""Shared steady-state measurement harness for bound execution plans.
+
+One protocol — warm-up, best-of timing loops, ``tracemalloc``
+allocation accounting, bitwise verification — used by both the CLI
+(``python -m repro bench``, which writes ``BENCH_runtime.json``) and
+``benchmarks/bench_bound_plan.py`` (the pytest-benchmark acceptance
+gate), so the CI smoke record and the benchmark numbers cannot drift
+apart protocol-wise.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["bitwise_equal", "measure_steady_state"]
+
+_WARMUP_CALLS = 3
+_TIMING_ROUNDS = 3
+_ALLOC_CALLS = 5
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when two arrays hold identical bits.
+
+    Stricter than ``np.array_equal``: NaNs with equal payloads compare
+    equal (they are the same bits) and ``-0.0`` differs from ``+0.0``.
+    """
+    return a.shape == b.shape and a.dtype == b.dtype and a.tobytes() == b.tobytes()
+
+
+def _best_of(fn, reps: int, rounds: int = _TIMING_ROUNDS) -> float:
+    """Best per-call seconds over *rounds* loops of *reps* calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / reps
+
+
+def measure_steady_state(
+    plan,
+    arrays: dict[str, np.ndarray],
+    base: Mapping[str, np.ndarray],
+    reps: int,
+) -> dict:
+    """Steady-state unbound-vs-bound measurement of one plan.
+
+    *arrays* is the mutable working set (same shapes/dtypes as *base*);
+    *base* supplies the pristine values for the bitwise check.  Returns
+    a JSON-ready record: per-call timings, speedup, steady-state
+    allocation counters and the bitwise verdict.
+    """
+    bound = plan.bind(arrays)
+    for _ in range(_WARMUP_CALLS):  # sizes replay buffers, warms caches
+        plan.run_unbound(arrays)
+        bound.run()
+
+    t_unbound = _best_of(lambda: plan.run_unbound(arrays), reps)
+    t_bound = _best_of(bound.run, reps)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    for _ in range(_ALLOC_CALLS):
+        bound.run()
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # Bitwise check on fresh values: bound equals unbound.
+    ref = {name: arr.copy() for name, arr in base.items()}
+    plan.run_unbound(ref)
+    for name, arr in base.items():
+        arrays[name][...] = arr
+    bound.run()
+    bitwise = all(bitwise_equal(ref[name], arrays[name]) for name in ref)
+
+    return {
+        "unbound_us_per_call": round(t_unbound * 1e6, 3),
+        "bound_us_per_call": round(t_bound * 1e6, 3),
+        "speedup": round(t_unbound / t_bound, 3),
+        "steady_alloc_calls": _ALLOC_CALLS,
+        "steady_net_alloc_bytes": current - before,
+        "steady_peak_alloc_bytes": peak - before,
+        "bitwise_identical": bitwise,
+        "inplace_statements": bound.inplace_statement_count,
+        "total_statements": bound.statement_count,
+    }

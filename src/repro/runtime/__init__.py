@@ -1,6 +1,7 @@
 """Execution substrate: kernel compiler, plan/cache runtime, executors."""
 
 from .bindings import Bindings
+from .bound import BoundPlan
 from .cache import KernelCache, clear_kernel_cache, get_kernel_cache, kernel_key
 from .distributed import DistributedExecutor, RankSlab, decompose
 from .compiler import (
@@ -19,6 +20,7 @@ from .tiling import run_tiled, safe_to_tile, tile_box
 
 __all__ = [
     "Bindings",
+    "BoundPlan",
     "CompiledKernel",
     "DistributedExecutor",
     "ExecutionConfig",

@@ -1,0 +1,568 @@
+"""Bound execution plans: allocation-free steady-state kernel runs.
+
+The paper's measured regime is steady state — one compiled adjoint
+stencil executed for thousands of timesteps on fixed-size arrays — where
+per-iteration overhead, not compilation, decides throughput.  The
+:class:`~repro.runtime.plan.ExecutionPlan` (PR 1) froze the work
+*decomposition*; this module freezes the work *bindings*: everything an
+``ExecutionPlan.run`` call used to redo per timestep that is invariant
+for a fixed set of arrays.
+
+:meth:`ExecutionPlan.bind(arrays) <repro.runtime.plan.ExecutionPlan.bind>`
+resolves, once per (plan, arrays):
+
+* every per-unit per-statement ndarray **view** — the slice/moveaxis/
+  reshape geometry ``_frame_view``/``_target_view_and_missing`` used to
+  rebuild on every call;
+* **counter arrays** — bare loop counters materialise as ``np.arange``
+  arrays cached process-wide per ``(axis, lo, hi, dim, dtype)`` instead
+  of being reallocated per statement per call;
+* a per-statement **ufunc slot pool** so the expression itself evaluates
+  through ``out=``-style in-place NumPy ops (see below);
+* for the scatter discipline, **persistent thread-private scratch**
+  arrays that are zeroed in place per run instead of ``np.zeros_like``
+  per task per run.
+
+After a warm-up call (which lets NumPy size and type the slot buffers),
+a steady-state :meth:`BoundPlan.run` performs **zero NumPy array
+allocations** for gather kernels built from ``+``, ``*``, ``**`` and
+plain ufunc math — the benchmark/test suite asserts this with
+``tracemalloc``.
+
+How in-place evaluation stays bitwise identical
+-----------------------------------------------
+
+We do *not* re-derive an evaluation order from the SymPy tree (any
+re-association would change floating-point results).  Instead the bound
+statement calls the *same* ``lambdify``-generated ``eval_fn`` as the
+allocating path, but passes :class:`_Operand` wrappers around the
+pre-resolved views.  Every NumPy operation inside the generated code
+then dispatches through ``_Operand.__array_ufunc__``, which executes the
+identical ufunc on the identical operands — only routing the result into
+a preallocated slot buffer via ``out=``.  The op-site sequence of a
+generated expression is fixed (no data-dependent branches survive
+compilation), so slot ``k`` of a statement always receives the result of
+the same operation on the same shapes and dtypes: the first call
+allocates each slot from the ufunc's own natural result, and subsequent
+calls replay into it.  The computation is therefore bitwise identical to
+the allocating path by construction, for every discipline.
+
+Statements whose expression contains constructs that do not evaluate as
+pure ufunc calls (user-bound functions, ``Heaviside``/``DiracDelta``
+fallbacks, ``Piecewise``) keep the allocating ``eval_fn`` path — still
+through pre-resolved views, so they avoid the per-call geometry work.
+
+Lifetime and invalidation
+-------------------------
+
+A ``BoundPlan`` holds concrete views into the arrays it was bound to.
+It is valid exactly as long as the mapping still contains the *same
+array objects*; :meth:`BoundPlan.matches` checks that cheaply, and
+``ExecutionPlan.run`` rebinds automatically when a caller replaces an
+array (see the plan's bounded bind-memo).  Rebinding is required after
+replacing any array object in the mapping; resizing is impossible
+without replacement, and in-place value updates (``arr[...] = ...``)
+never invalidate a binding.
+
+Threading caveats: slot pools and scatter scratch are private to one
+work task, so one ``BoundPlan`` may run its own tasks concurrently; but
+a single ``BoundPlan`` must not be entered by two *callers* at once (the
+same is true of the unbound path, which mutates the same arrays).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Sequence
+
+import numpy as np
+import sympy as sp
+
+from .compiler import (
+    CompiledStatement,
+    RegionKernel,
+    _frame_view,
+    _target_view_and_missing,
+)
+
+__all__ = ["BoundPlan"]
+
+Box = tuple[tuple[int, int], ...]
+
+
+# -- cached counter arrays ----------------------------------------------------
+
+_COUNTER_CACHE: dict[tuple, np.ndarray] = {}
+_COUNTER_LOCK = threading.Lock()
+
+
+def _counter_array(
+    axis: int,
+    lo: int,
+    hi: int,
+    dim: int,
+    dtype,
+    frame_shape: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """The frame-aligned counter values for one bare loop counter.
+
+    Cached process-wide and marked read-only: every plan bound over the
+    same (axis, range, rank, dtype) shares one array instead of
+    materialising a fresh ``np.arange`` per statement per call.  With
+    *frame_shape*, the values are materialised full-frame and contiguous
+    (what the in-place ufunc path needs — broadcast operands would make
+    NumPy buffer internally); those constant arrays are cached under the
+    extended key so every statement, task and binding over the same
+    frame shares one copy.
+    """
+    key = (axis, lo, hi, dim, np.dtype(dtype).str, frame_shape)
+    arr = _COUNTER_CACHE.get(key)
+    if arr is None:
+        shape = [1] * dim
+        shape[axis] = -1
+        arr = np.arange(lo, hi + 1, dtype=dtype).reshape(shape)
+        if frame_shape is not None:
+            arr = np.ascontiguousarray(np.broadcast_to(arr, frame_shape))
+        arr.flags.writeable = False
+        with _COUNTER_LOCK:
+            arr = _COUNTER_CACHE.setdefault(key, arr)
+    return arr
+
+
+# -- in-place ufunc evaluation -------------------------------------------------
+
+_ALLOWED_FUNCS = (
+    sp.sin, sp.cos, sp.tan, sp.asin, sp.acos, sp.atan, sp.atan2,
+    sp.sinh, sp.cosh, sp.tanh, sp.exp, sp.log, sp.Abs, sp.sign,
+)
+
+
+def _supports_inplace(stmt: CompiledStatement) -> bool:
+    """True when *stmt*'s generated code evaluates as pure ufunc calls.
+
+    Arithmetic (Add/Mul/Pow) and the whitelisted elementary functions
+    print to operators and ``numpy.<ufunc>`` calls, all of which dispatch
+    through ``__array_ufunc__`` and accept ``out=``.  Anything else —
+    user-bound functions, ``Heaviside``/``DiracDelta`` (module-dict
+    fallbacks calling ``np.where``), ``Piecewise`` (``numpy.select``) —
+    would bypass the protocol, so the statement keeps the allocating
+    path.  Memoised on the statement.
+    """
+    if stmt.inplace_ok is None:
+        ok = stmt.rhs_expr is not None
+        if ok:
+            for node in sp.preorder_traversal(stmt.rhs_expr):
+                if isinstance(node, (sp.Add, sp.Mul, sp.Pow)):
+                    continue
+                if isinstance(node, (sp.Number, sp.NumberSymbol, sp.Symbol)):
+                    continue
+                if isinstance(node, _ALLOWED_FUNCS):
+                    continue
+                ok = False
+                break
+        stmt.inplace_ok = ok
+    return stmt.inplace_ok
+
+
+class _SlotPool:
+    """Records one statement's ufunc call sites into a replay tape.
+
+    The generated expression code executes the same ufunc sequence every
+    call — no data-dependent branches survive compilation — so the first
+    (recording) run captures, per call site, the ufunc, its resolved
+    operand objects and its natural result array.  Every operand is
+    either a bound view/stage/counter array (stable object, live
+    values), an earlier site's result buffer (same), or a Python/NumPy
+    scalar folded from constants (stable value).  Replaying
+    ``ufunc(*args, out=buf)`` over the tape therefore recomputes the
+    identical expression with zero allocations and without re-entering
+    the generated code.  ``dirty`` flags dispatches the tape cannot
+    represent (never produced by whitelisted expressions); the statement
+    then stays on per-call wrapped evaluation.
+    """
+
+    __slots__ = ("tape", "dirty")
+
+    def __init__(self) -> None:
+        self.tape: list[tuple] = []
+        self.dirty = False
+
+    def run(self, ufunc, args):
+        res = ufunc(*args)
+        if isinstance(res, np.ndarray):
+            # Scalar results (constant subexpressions) need no slot: the
+            # value is baked into the recorded args of later sites.
+            self.tape.append((ufunc, tuple(args), res))
+        return res
+
+
+class _Operand(np.lib.mixins.NDArrayOperatorsMixin):
+    """An ndarray wrapper that routes every ufunc into pooled buffers.
+
+    Arithmetic operators come from ``NDArrayOperatorsMixin`` and NumPy
+    module functions (``numpy.sin`` ...) dispatch here via the
+    ``__array_ufunc__`` protocol, so the lambdify-generated code runs
+    unchanged — same ops, same order, same operands — with results
+    landing in reused slots instead of fresh allocations.
+    """
+
+    __slots__ = ("array", "pool")
+
+    def __init__(self, array, pool: _SlotPool) -> None:
+        self.array = array
+        self.pool = pool
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        pool = self.pool
+        args = [x.array if type(x) is _Operand else x for x in inputs]
+        if method != "__call__" or kwargs:
+            # Reductions/kwargs never occur in whitelisted expression
+            # code; execute allocating and mark the tape unusable.
+            pool.dirty = True
+            kwargs = {
+                k: (v.array if type(v) is _Operand else v)
+                for k, v in kwargs.items()
+            }
+            res = getattr(ufunc, method)(*args, **kwargs)
+            return _Operand(res, pool) if isinstance(res, np.ndarray) else res
+        return _Operand(pool.run(ufunc, args), pool)
+
+
+# -- bound statements / units ---------------------------------------------------
+
+
+class _BoundStatement:
+    """One statement of one work unit, resolved against concrete arrays.
+
+    Holds the read views, counter arrays, target view and reduction
+    geometry that the unbound path rebuilt on every call; :meth:`run`
+    only computes.
+
+    For in-place-eligible statements every expression operand is kept
+    **full-frame and C-contiguous**: NumPy's ufunc machinery internally
+    allocates iteration buffers for strided or broadcast operands even
+    when ``out=`` is given, so strided/broadcast read views are staged
+    into persistent contiguous buffers with ``np.copyto`` (which never
+    allocates) at the top of each run, and bare-counter values are
+    materialised full-frame once at bind time.  Staging only changes
+    operand *layout*, never values, so results stay bitwise identical.
+    """
+
+    __slots__ = (
+        "eval_fn", "op", "args", "wrapped", "pool", "stages", "tview",
+        "tstage", "missing", "sel", "frame_shape", "_red", "_cast",
+        "_tape", "_rhs_src", "inplace",
+    )
+
+    def __init__(
+        self,
+        st: CompiledStatement,
+        arrays: Mapping[str, np.ndarray],
+        eff: Box,
+        dtype,
+    ) -> None:
+        frame_shape = tuple(hi - lo + 1 for lo, hi in eff)
+        self.frame_shape = frame_shape
+        self.eval_fn = st.eval_fn
+        self.op = st.op
+        self.inplace = _supports_inplace(st)
+        views = [
+            _frame_view(arrays[acc.name], acc, eff, st.dim) for acc in st.reads
+        ]
+        stages: list[tuple[np.ndarray, np.ndarray]] = []
+        args: list[np.ndarray] = []
+        if self.inplace:
+            for v in views:
+                if v.shape == frame_shape and v.flags.c_contiguous:
+                    args.append(v)
+                else:
+                    stage = np.empty(frame_shape, dtype=v.dtype)
+                    stages.append((stage, v))
+                    args.append(stage)
+            for axis in st.bare_axes:
+                lo, hi = eff[axis]
+                args.append(
+                    _counter_array(axis, lo, hi, st.dim, dtype, frame_shape)
+                )
+            self.pool = _SlotPool()
+            self.wrapped = tuple(_Operand(a, self.pool) for a in args)
+        else:
+            args = views
+            for axis in st.bare_axes:
+                lo, hi = eff[axis]
+                args.append(_counter_array(axis, lo, hi, st.dim, dtype))
+            self.pool = None
+            self.wrapped = None
+        self.args = tuple(args)
+        self.stages = tuple(stages)
+        self.tview, self.missing = _target_view_and_missing(
+            arrays[st.target.name], st.target, eff, st.dim
+        )
+        self.sel = tuple(
+            -1 if d in self.missing else slice(None) for d in range(st.dim)
+        )
+        # '+=' into a strided target would make the final add buffer
+        # internally; round-trip through a contiguous stage instead.
+        if self.op == "+=" and not self.tview.flags.c_contiguous:
+            self.tstage = np.empty(self.tview.shape, dtype=self.tview.dtype)
+        else:
+            self.tstage = None
+        self._red = None
+        self._cast = None
+        self._tape = None  # None: record next run; False: never tape
+        self._rhs_src = None
+
+    def run(self) -> None:
+        # Mirrors RegionKernel._execute_statement step for step; every
+        # branch performs the same NumPy operation on the same operand
+        # values, only with preallocated outputs.
+        pool = self.pool
+        if pool is None:
+            rhs = self.eval_fn(*self.args)
+        else:
+            for stage, view in self.stages:
+                np.copyto(stage, view)
+            tape = self._tape
+            if tape is None or tape is False:
+                pool.tape.clear()
+                rhs = self.eval_fn(*self.wrapped)
+                if type(rhs) is _Operand:
+                    rhs = rhs.array
+                if tape is None:  # first run: adopt the recording
+                    if pool.dirty:
+                        self._tape = False
+                    else:
+                        self._tape = tuple(pool.tape)
+                        self._rhs_src = (
+                            rhs if isinstance(rhs, np.ndarray) else np.asarray(rhs)
+                        )
+                    pool.tape.clear()
+            else:
+                for ufunc, op_args, out in tape:
+                    ufunc(*op_args, out=out)
+                rhs = self._rhs_src
+        if self.missing:
+            if self.op == "+=":
+                red = self._red
+                if red is None:
+                    # np.sum dispatches to np.add.reduce; letting the
+                    # first call allocate fixes the replay dtype/shape.
+                    rhs = self._red = np.asarray(rhs).sum(axis=self.missing)
+                else:
+                    np.add.reduce(rhs, axis=self.missing, out=red)
+                    rhs = red
+            else:
+                rhs = np.broadcast_to(np.asarray(rhs), self.frame_shape)[self.sel]
+        if not isinstance(rhs, np.ndarray):
+            rhs = np.asarray(rhs)
+        tview = self.tview
+        if rhs.dtype != tview.dtype:
+            cast = self._cast
+            if cast is None:
+                rhs = self._cast = rhs.astype(tview.dtype)
+            else:
+                np.copyto(cast, rhs, casting="unsafe")
+                rhs = cast
+        if self.op == "+=":
+            tstage = self.tstage
+            if tstage is None:
+                np.add(tview, rhs, out=tview)
+            else:
+                np.copyto(tstage, tview)
+                np.add(tstage, rhs, out=tstage)
+                np.copyto(tview, tstage)
+        else:
+            np.copyto(tview, rhs)
+
+
+def _bind_unit(
+    region: RegionKernel,
+    stmt_boxes: Sequence[Box | None],
+    arrays: Mapping[str, np.ndarray],
+) -> list[_BoundStatement]:
+    return [
+        _BoundStatement(st, arrays, eff, region.dtype)
+        for st, eff in zip(region.statements, stmt_boxes)
+        if eff is not None
+    ]
+
+
+class _BoundTask:
+    """One schedulable task: its statements plus optional scatter scratch."""
+
+    __slots__ = ("stmts", "scratch")
+
+    def __init__(self, stmts, scratch=None) -> None:
+        self.stmts = tuple(stmts)
+        self.scratch = scratch  # {name: persistent private array} | None
+
+    def run(self) -> None:
+        scratch = self.scratch
+        if scratch is not None:
+            for buf in scratch.values():
+                buf[...] = 0
+        for s in self.stmts:
+            s.run()
+
+
+class _BoundRegion:
+    """All tasks of one region, plus its scheduling metadata."""
+
+    __slots__ = ("region", "tasks", "barrier", "parallel")
+
+    def __init__(self, region, tasks, barrier, parallel) -> None:
+        self.region = region
+        self.tasks = tasks
+        self.barrier = barrier
+        self.parallel = parallel
+
+    def run_serial(self) -> None:
+        for t in self.tasks:
+            t.run()
+
+
+# -- the bound plan --------------------------------------------------------------
+
+
+class BoundPlan:
+    """An :class:`~repro.runtime.plan.ExecutionPlan` resolved against arrays.
+
+    Build via :meth:`ExecutionPlan.bind`; ``ExecutionPlan.run`` also
+    builds (and memoises) one transparently.  :meth:`run` executes the
+    kernel with the discipline fixed at plan-build time, touching only
+    compute in steady state.
+    """
+
+    def __init__(self, plan, arrays: Mapping[str, np.ndarray]) -> None:
+        self.plan = plan
+        config = plan.config
+        scatter_mode = config.scatter and config.num_threads > 1
+        sources: dict[str, np.ndarray] = {}
+
+        def resolve(name: str) -> np.ndarray:
+            arr = sources.get(name)
+            if arr is None:
+                arr = sources[name] = arrays[name]
+            return arr
+
+        regions: list[_BoundRegion] = []
+        flat: list[_BoundStatement] = []
+        for rp, barrier in zip(plan.region_plans, plan.barriers):
+            names = {st.target.name for st in rp.region.statements}
+            names.update(
+                acc.name for st in rp.region.statements for acc in st.reads
+            )
+            local = {name: resolve(name) for name in sorted(names)}
+            written = sorted(
+                {st.target.name for st in rp.region.statements}
+            )
+            tasks = []
+            for task_boxes in rp.tasks:
+                if scatter_mode:
+                    scratch = {
+                        name: np.zeros_like(local[name]) for name in written
+                    }
+                    task_arrays = {**local, **scratch}
+                else:
+                    scratch = None
+                    task_arrays = local
+                stmts: list[_BoundStatement] = []
+                for boxes in task_boxes:
+                    stmts.extend(_bind_unit(rp.region, boxes, task_arrays))
+                task = _BoundTask(stmts, scratch)
+                tasks.append(task)
+                flat.extend(stmts)
+            regions.append(_BoundRegion(rp.region, tuple(tasks), barrier, rp.parallel))
+        self._sources = sources
+        self._regions: tuple[_BoundRegion, ...] = tuple(regions)
+        self._flat: tuple[_BoundStatement, ...] = tuple(flat)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def regions(self) -> tuple[_BoundRegion, ...]:
+        """Bound regions in execution order (used by the profiler)."""
+        return self._regions
+
+    @property
+    def statement_count(self) -> int:
+        return len(self._flat)
+
+    @property
+    def inplace_statement_count(self) -> int:
+        """Statements running through the allocation-free ufunc slots."""
+        return sum(1 for s in self._flat if s.inplace)
+
+    def matches(self, arrays: Mapping[str, np.ndarray]) -> bool:
+        """True while *arrays* still holds the exact bound array objects.
+
+        Replacing an array object (rather than updating values in place)
+        invalidates the binding; ``ExecutionPlan.run`` uses this check to
+        rebind transparently.
+        """
+        for name, arr in self._sources.items():
+            if arrays.get(name) is not arr:
+                return False
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, pool: ThreadPoolExecutor | None = None) -> None:
+        """Execute the bound kernel (all disciplines, like the plan's run)."""
+        config = self.plan.config
+        if config.scatter and config.num_threads > 1:
+            self._run_scatter(pool)
+        elif config.num_threads > 1:
+            self._run_threaded(pool)
+        else:
+            for s in self._flat:
+                s.run()
+
+    def _run_threaded(self, pool: ThreadPoolExecutor | None) -> None:
+        """Gather discipline: concurrent tasks, barriers where regions conflict."""
+        pool = pool or self.plan._ensure_pool()
+        futures = []
+        for br in self._regions:
+            if br.barrier and futures:
+                for f in futures:
+                    f.result()
+                futures.clear()
+            if br.parallel:
+                for task in br.tasks:
+                    futures.append(pool.submit(task.run))
+            else:
+                for task in br.tasks:
+                    task.run()
+        for f in futures:
+            f.result()
+
+    def _run_scatter(self, pool: ThreadPoolExecutor | None) -> None:
+        """Scatter discipline: private accumulation, deterministic merge.
+
+        Tasks zero and fill their persistent thread-private scratch
+        concurrently; the coordinating thread merges the scratches into
+        the global arrays in task-submission order, so threaded scatter
+        runs are reproducible call to call.
+        """
+        pool = pool or self.plan._ensure_pool()
+        pending: list[_BoundTask] = []
+        futures = []
+
+        def drain() -> None:
+            for f in futures:
+                f.result()
+            futures.clear()
+            for task in pending:
+                for name, buf in task.scratch.items():
+                    tgt = self._sources[name]
+                    np.add(tgt, buf, out=tgt)
+            pending.clear()
+
+        for br in self._regions:
+            if br.barrier and futures:
+                drain()
+            for task in br.tasks:
+                futures.append(pool.submit(task.run))
+                pending.append(task)
+        drain()

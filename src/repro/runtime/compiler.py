@@ -70,6 +70,12 @@ class CompiledStatement:
     bare_axes: tuple[int, ...]
     guard_box: tuple[tuple[int, int], ...] | None  # per frame axis, or None
     dim: int
+    # Placeholder-substituted RHS the eval_fn was lambdified from; the
+    # bound-execution layer (:mod:`repro.runtime.bound`) inspects it to
+    # decide whether the statement can run through in-place ufunc slots.
+    rhs_expr: sp.Expr | None = None
+    # Lazily filled by repro.runtime.bound (memoised eligibility check).
+    inplace_ok: bool | None = None
 
 
 def _frame_view(
@@ -201,7 +207,11 @@ def _compile_statement(
         )
 
     modules = [dict(_NUMPY_FALLBACKS), dict(bindings.functions), "numpy"]
-    eval_fn = sp.lambdify(placeholders + bare, rhs_sub, modules=modules)
+    # cse=True shares repeated subexpressions inside the generated code.
+    # Sharing an identical subexpression is bitwise-neutral (the same ops
+    # on the same operands run once instead of twice), and the bound
+    # execution layer relies on the op-site sequence being fixed per call.
+    eval_fn = sp.lambdify(placeholders + bare, rhs_sub, modules=modules, cse=True)
 
     guard_box = None
     if stmt.guard is not None:
@@ -215,6 +225,7 @@ def _compile_statement(
         bare_axes=bare_axes,
         guard_box=guard_box,
         dim=dim,
+        rhs_expr=rhs_sub,
     )
 
 
@@ -276,6 +287,27 @@ def _concrete_guard_box(
     return tuple(box)
 
 
+def _guarded_box(
+    bounds: Sequence[tuple[int, int]], st: CompiledStatement
+) -> tuple[tuple[int, int], ...] | None:
+    """Intersect *bounds* with *st*'s guard box; None when empty.
+
+    The single source of truth for a statement's effective iteration
+    box — used per-unit by :meth:`RegionKernel.statement_boxes` and over
+    full region bounds by :meth:`RegionKernel.write_boxes` /
+    :meth:`RegionKernel.read_boxes` (barrier geometry).
+    """
+    eff = tuple(bounds)
+    if st.guard_box is not None:
+        eff = tuple(
+            (max(lo, glo), min(hi, ghi))
+            for (lo, hi), (glo, ghi) in zip(eff, st.guard_box)
+        )
+    if any(lo > hi for lo, hi in eff):
+        return None
+    return eff
+
+
 @dataclass
 class RegionKernel:
     """Executable form of one loop nest (one region of an adjoint)."""
@@ -308,19 +340,7 @@ class RegionKernel:
         eff_region = self.bounds if bounds is None else tuple(bounds)
         if any(lo > hi for lo, hi in eff_region):
             return tuple(None for _ in self.statements)
-        boxes: list[tuple[tuple[int, int], ...] | None] = []
-        for st in self.statements:
-            eff = eff_region
-            if st.guard_box is not None:
-                eff = tuple(
-                    (max(lo, glo), min(hi, ghi))
-                    for (lo, hi), (glo, ghi) in zip(eff_region, st.guard_box)
-                )
-                if any(lo > hi for lo, hi in eff):
-                    boxes.append(None)
-                    continue
-            boxes.append(eff)
-        return tuple(boxes)
+        return tuple(_guarded_box(eff_region, st) for st in self.statements)
 
     def execute(
         self,
@@ -394,19 +414,35 @@ class RegionKernel:
         """Concrete index boxes written by each statement (array space)."""
         out = []
         for st in self.statements:
-            eff = self.bounds
-            if st.guard_box is not None:
-                eff = tuple(
-                    (max(lo, glo), min(hi, ghi))
-                    for (lo, hi), (glo, ghi) in zip(self.bounds, st.guard_box)
-                )
-            if any(lo > hi for lo, hi in eff):
+            eff = _guarded_box(self.bounds, st)
+            if eff is None:
                 continue
             box = tuple(
                 (eff[axis][0] + off, eff[axis][1] + off)
                 for axis, off in st.target.slots
             )
             out.append((st.target.name, box))
+        return out
+
+    def read_boxes(self) -> list[tuple[str, tuple[tuple[int, int], ...]]]:
+        """Concrete index boxes read by each statement (array space).
+
+        The counterpart of :meth:`write_boxes`; the execution plan uses
+        both to decide where a barrier is required between regions whose
+        tasks would otherwise be in flight simultaneously (a region that
+        reads what an earlier region writes must wait for it).
+        """
+        out = []
+        for st in self.statements:
+            eff = _guarded_box(self.bounds, st)
+            if eff is None:
+                continue
+            for acc in st.reads:
+                box = tuple(
+                    (eff[axis][0] + off, eff[axis][1] + off)
+                    for axis, off in acc.slots
+                )
+                out.append((acc.name, box))
         return out
 
 

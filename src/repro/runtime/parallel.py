@@ -10,18 +10,25 @@ core counts.
 
 Both execution disciplines delegate to the kernel's memoised
 :class:`~repro.runtime.plan.ExecutionPlan`, so the decomposition is
-computed once per (kernel, configuration) and every subsequent run only
-submits precomputed tasks:
+computed once per (kernel, configuration); the plan in turn binds (and
+memoises per arrays identity) a
+:class:`~repro.runtime.bound.BoundPlan`, so callers that reuse one
+arrays dict across timesteps run the allocation-free steady-state path
+— views, counter arrays and scatter scratch resolved once:
 
 * **gather** (``run``): regions have disjoint writes (PerforAD adjoints and
-  primal stencils), so all blocks of all regions are submitted at once with
-  no locking and a single join at the end — "no additional synchronisation
-  barriers" (Section 1).
+  primal stencils), so all blocks of all regions are submitted with no
+  locking and a single join at the end — "no additional synchronisation
+  barriers" (Section 1).  Regions that *read* what an earlier in-flight
+  region writes (mixed primal/consumer kernels) are separated by a
+  barrier computed at plan build from concrete read/write boxes.
 * **serialised scatter** (``run_scatter``): for conventional adjoints whose
   statements scatter into overlapping locations, each block accumulates
-  into thread-private scratch and the merge takes a per-array lock,
-  emulating the serialisation that atomic updates impose.  The discipline
-  is only exact for pure ``+=`` scatter kernels, which
+  into persistent thread-private scratch (zeroed in place per run) and
+  the coordinating thread merges the scratches in deterministic task
+  order, emulating the serialisation that atomic updates impose while
+  keeping threaded runs reproducible.  The discipline is only exact for
+  pure ``+=`` scatter kernels, which
   :func:`~repro.runtime.plan.validate_scatter_kernel` enforces at plan
   build time.
 """

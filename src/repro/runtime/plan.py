@@ -1,4 +1,4 @@
-"""Precomputed execution plans: decompose once, run many.
+"""Precomputed execution plans: decompose once, bind once, run many.
 
 The paper's measured workflow fixes the execution configuration (thread
 count, problem size) once and then runs the compiled kernel for every
@@ -16,31 +16,70 @@ point covering all four disciplines, including fused tiled+threaded
 execution.  Plans are memoised on the kernel via
 :meth:`~repro.runtime.compiler.CompiledKernel.plan`.
 
+On top of the decomposition, :meth:`ExecutionPlan.bind` resolves the
+plan against concrete arrays into a
+:class:`~repro.runtime.bound.BoundPlan` (PyOP2's plan/bind split): all
+views, counter arrays and scratch are materialised once, and steady-
+state runs touch only compute.  :meth:`run` binds transparently and
+memoises the binding per arrays identity (bounded, identity-validated),
+so existing callers that reuse an arrays dict across timesteps get
+allocation-free steady-state execution without code changes.
+
+Regions whose tasks would race — a region reading or overwriting what an
+earlier, still-in-flight region writes — are separated by barriers
+computed at build time from concrete read/write boxes; disjoint-write
+regions (the Section 3.3.4 property) still all run with a single final
+join, exactly as the paper's "no additional synchronisation barriers"
+describes.
+
 Results are bitwise identical to the serial path for every discipline:
-gather regions write disjoint locations per task (the Section 3.3.4
-property), tiles partition full-rank regions element-wise, and the
-scatter discipline is validated up front (see
-:func:`validate_scatter_kernel`) so thread-private accumulation is exact.
+gather regions write disjoint locations per task, tiles partition
+full-rank regions element-wise, the scatter discipline is validated up
+front (see :func:`validate_scatter_kernel`) and its thread-private
+scratches merge in deterministic task order.
 """
 
 from __future__ import annotations
 
+import operator
 import threading
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
-from .compiler import CompiledKernel, KernelError, RegionKernel
+from .compiler import (
+    CompiledKernel,
+    KernelError,
+    RegionKernel,
+    _boxes_overlap,
+)
 from .scheduler import safe_split_axis, split_box
 from .tiling import safe_to_tile, tile_box
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .bound import BoundPlan
 
 __all__ = ["ExecutionConfig", "ExecutionPlan", "validate_scatter_kernel"]
 
 Box = tuple[tuple[int, int], ...]
 StmtBoxes = tuple[Box | None, ...]
+
+# How many (arrays-identity -> BoundPlan) entries one plan retains.  A
+# binding holds views (strong references) into its arrays, so the memo
+# is deliberately small: steady-state callers reuse one arrays dict and
+# hit the first entry forever; one-shot callers churn through and evict.
+# (A weak-keyed mapping is not possible here: plain dicts — the usual
+# arrays container — cannot be weak-referenced, so the memo validates
+# array identity on every hit instead.)
+_BOUND_MEMO_SIZE = 2
+# Sightings of arrays identities that have run once unbound; the second
+# sighting triggers binding.  Weak references only — bookkeeping must
+# not keep anybody's arrays alive.
+_SEEN_MEMO_SIZE = 4
 
 
 @dataclass(frozen=True)
@@ -48,10 +87,15 @@ class ExecutionConfig:
     """Everything that selects an execution discipline for a kernel.
 
     ``num_threads`` > 1 runs thread-parallel (gather: race-free blocks;
-    scatter: thread-private accumulation with locked merge).
-    ``tile_shape`` cache-blocks each task's box.  ``scatter`` selects the
-    conventional-adjoint discipline.  ``min_block_iterations`` keeps tiny
-    regions on the submitting thread.
+    scatter: thread-private accumulation with deterministic ordered
+    merge).  ``tile_shape`` cache-blocks each task's box.  ``scatter``
+    selects the conventional-adjoint discipline.
+    ``min_block_iterations`` keeps tiny regions on the submitting thread.
+
+    Invalid values raise :class:`ValueError` here; a ``tile_shape``
+    whose rank does not cover the kernel's dimensionality raises
+    :class:`~repro.runtime.compiler.KernelError` at plan build, where
+    the kernel is known.
     """
 
     num_threads: int = 1
@@ -62,8 +106,24 @@ class ExecutionConfig:
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ValueError("num_threads must be >= 1")
+        if self.min_block_iterations < 1:
+            raise ValueError("min_block_iterations must be >= 1")
         if self.scatter and self.tile_shape is not None:
             raise ValueError("tiling is not supported for scatter plans")
+        if self.tile_shape is not None:
+            try:
+                tile = tuple(operator.index(t) for t in self.tile_shape)
+            except TypeError:
+                raise ValueError(
+                    f"tile_shape entries must be integers, got "
+                    f"{tuple(self.tile_shape)!r}"
+                ) from None
+            if not tile or any(t < 1 for t in tile):
+                raise ValueError(
+                    f"tile_shape entries must be positive integers, got "
+                    f"{tile!r}"
+                )
+            object.__setattr__(self, "tile_shape", tile)
 
 
 @dataclass(frozen=True)
@@ -90,12 +150,12 @@ def validate_scatter_kernel(kernel: CompiledKernel) -> None:
     """Check that thread-private scatter accumulation is exact for *kernel*.
 
     The scatter discipline computes each block into zero-seeded private
-    copies of the written arrays and merges them with ``+=`` under a
-    lock.  That merge is only correct when every statement is a pure
-    ``+=`` scatter and no statement reads an array its region writes:
-    an ``=`` statement's value would be *added* to the global array
-    instead of stored, and a read of a written array would observe the
-    zeroed scratch instead of the accumulated values.  Raises
+    copies of the written arrays and merges them into the global arrays
+    with ``+=``.  That merge is only correct when every statement is a
+    pure ``+=`` scatter and no statement reads an array its region
+    writes: an ``=`` statement's value would be *added* to the global
+    array instead of stored, and a read of a written array would observe
+    the zeroed scratch instead of the accumulated values.  Raises
     :class:`~repro.runtime.compiler.KernelError` on either violation.
     """
     for region in kernel.regions:
@@ -118,13 +178,36 @@ def validate_scatter_kernel(kernel: CompiledKernel) -> None:
                     )
 
 
+def _group_boxes(
+    named_boxes: Sequence[tuple[str, Box]],
+) -> dict[str, list[Box]]:
+    out: dict[str, list[Box]] = {}
+    for name, box in named_boxes:
+        out.setdefault(name, []).append(box)
+    return out
+
+
+def _any_overlap(a: dict[str, list[Box]], b: dict[str, list[Box]]) -> bool:
+    for name, boxes in a.items():
+        other = b.get(name)
+        if not other:
+            continue
+        for box_a in boxes:
+            for box_b in other:
+                if _boxes_overlap(box_a, box_b):
+                    return True
+    return False
+
+
 class ExecutionPlan:
     """A kernel frozen together with its full work decomposition.
 
     Build via :meth:`CompiledKernel.plan` (memoised) or
-    :meth:`ExecutionPlan.build`; execute with :meth:`run`.  The plan owns
-    a lazily created thread pool for standalone parallel runs; callers
-    with their own pool (e.g. ``ParallelExecutor``) pass it to ``run``.
+    :meth:`ExecutionPlan.build`; execute with :meth:`run` (which binds
+    and memoises per arrays identity) or hold a long-lived binding
+    explicitly via :meth:`bind`.  The plan owns a lazily created thread
+    pool for standalone parallel runs; callers with their own pool
+    (e.g. ``ParallelExecutor``) pass it to ``run``.
     """
 
     def __init__(
@@ -136,13 +219,14 @@ class ExecutionPlan:
         self.kernel = kernel
         self.config = config
         self.region_plans = region_plans
+        self.barriers = self._compute_barriers(region_plans)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
-        self._locks: dict[str, threading.Lock] = {}
-        if config.scatter:
-            for rp in region_plans:
-                for st in rp.region.statements:
-                    self._locks.setdefault(st.target.name, threading.Lock())
+        self._bound_memo: OrderedDict[int, "BoundPlan"] = OrderedDict()
+        self._seen: OrderedDict[int, dict[str, weakref.ref]] = OrderedDict()
+        # Guards the memo bookkeeping: plans are memoised per kernel, so
+        # one plan may be run from several threads (on their own arrays).
+        self._memo_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -150,6 +234,15 @@ class ExecutionPlan:
     def build(cls, kernel: CompiledKernel, config: ExecutionConfig) -> "ExecutionPlan":
         if config.scatter and config.num_threads > 1:
             validate_scatter_kernel(kernel)
+        if config.tile_shape is not None:
+            dim = len(kernel.counters)
+            if len(config.tile_shape) < dim:
+                raise KernelError(
+                    f"tile_shape {config.tile_shape} has rank "
+                    f"{len(config.tile_shape)} but kernel {kernel.name!r} "
+                    f"iterates over {dim} axes; give one tile extent per "
+                    f"axis (extra trailing entries are ignored)"
+                )
         region_plans = []
         for region in kernel.regions:
             if region.is_empty:
@@ -182,6 +275,42 @@ class ExecutionPlan:
             tasks.append(tuple(region.statement_boxes(box) for box in boxes))
         return RegionPlan(region, tuple(tasks), parallel=parallel)
 
+    @staticmethod
+    def _compute_barriers(region_plans: tuple[RegionPlan, ...]) -> tuple[bool, ...]:
+        """Where a region must wait for earlier regions' in-flight tasks.
+
+        Uses concrete per-array read/write boxes: a barrier is needed
+        before region B when B writes what an in-flight region reads or
+        writes, or B reads what an in-flight region writes.  Name-level
+        sharing with *disjoint* boxes (the PerforAD adjoint regions all
+        writing disjoint slices of one adjoint array) does not barrier,
+        preserving the paper's single final join for gather kernels.
+        Serial (inline) regions respect the same barriers — running one
+        on the submitting thread while a conflicting future is still
+        writing was the read-after-write hazard this fixes.
+        """
+        barriers: list[bool] = []
+        inflight_w: dict[str, list[Box]] = {}
+        inflight_r: dict[str, list[Box]] = {}
+        for rp in region_plans:
+            writes = _group_boxes(rp.region.write_boxes())
+            reads = _group_boxes(rp.region.read_boxes())
+            need = bool(inflight_w or inflight_r) and (
+                _any_overlap(writes, inflight_w)
+                or _any_overlap(writes, inflight_r)
+                or _any_overlap(reads, inflight_w)
+            )
+            if need:
+                inflight_w.clear()
+                inflight_r.clear()
+            barriers.append(need)
+            if rp.parallel:
+                for name, boxes in writes.items():
+                    inflight_w.setdefault(name, []).extend(boxes)
+                for name, boxes in reads.items():
+                    inflight_r.setdefault(name, []).extend(boxes)
+        return tuple(barriers)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -194,6 +323,81 @@ class ExecutionPlan:
         """Total number of schedulable tasks across regions."""
         return sum(len(rp.tasks) for rp in self.region_plans)
 
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, arrays: Mapping[str, np.ndarray]) -> "BoundPlan":
+        """Resolve this plan against concrete arrays (see :mod:`.bound`).
+
+        Hold the result for steady-state loops: repeated
+        :meth:`~repro.runtime.bound.BoundPlan.run` calls perform no
+        per-call geometry work and (after warm-up) no array allocations.
+        Rebind after replacing any array *object* in the mapping.
+        """
+        from .bound import BoundPlan  # avoids cycle
+
+        return BoundPlan(self, arrays)
+
+    def bound_for(self, arrays: Mapping[str, np.ndarray]) -> "BoundPlan":
+        """The memoised binding for *arrays*, rebinding when stale.
+
+        Keyed by mapping identity and validated against the actual array
+        objects on every hit, so replacing an array in the dict — or an
+        id-reused new dict — transparently rebinds.  The memo keeps the
+        binding (and therefore the arrays) alive; it is bounded to
+        ``_BOUND_MEMO_SIZE`` entries, evicting least-recently-used.
+        """
+        key = id(arrays)
+        memo = self._bound_memo
+        with self._memo_lock:
+            bound = memo.get(key)
+            if bound is not None:
+                if bound.matches(arrays):
+                    memo.move_to_end(key)
+                    return bound
+                del memo[key]
+        # Bind outside the lock: binding a large kernel is slow and must
+        # not stall concurrent steady-state runners of this plan.
+        fresh = self.bind(arrays)
+        with self._memo_lock:
+            bound = memo.get(key)
+            if bound is not None and bound.matches(arrays):
+                return bound  # a racing caller bound the same arrays first
+            memo[key] = fresh
+            memo.move_to_end(key)
+            while len(memo) > _BOUND_MEMO_SIZE:
+                memo.popitem(last=False)
+        return fresh
+
+    def _seen_before(self, arrays: Mapping[str, np.ndarray]) -> bool:
+        """Record a sighting of *arrays*; True when seen intact before.
+
+        Binding costs roughly one unbound call's geometry work plus its
+        staging copies, so it only pays off for arrays that come back.
+        ``run`` therefore executes first-time arrays unbound and binds
+        from the second sighting on.  Sightings hold only weak
+        references (arrays cannot be kept alive by mere bookkeeping);
+        a dead or mismatched weakref — a freed dict whose id was reused
+        — resets the sighting.
+        """
+        key = id(arrays)
+        seen = self._seen
+        sig = seen.get(key)
+        if sig is not None:
+            if len(sig) == len(arrays) and all(
+                ref() is arrays.get(name) for name, ref in sig.items()
+            ):
+                seen.move_to_end(key)
+                return True
+            del seen[key]
+        try:
+            sig = {name: weakref.ref(arr) for name, arr in arrays.items()}
+        except TypeError:  # non-weakref-able array values: never bind
+            return False
+        seen[key] = sig
+        while len(seen) > _SEEN_MEMO_SIZE:
+            seen.popitem(last=False)
+        return False
+
     # -- execution ---------------------------------------------------------
 
     def run(
@@ -204,7 +408,39 @@ class ExecutionPlan:
         """Execute the planned kernel on *arrays*.
 
         One entry point for all disciplines; which one runs was fixed at
-        plan-build time by the :class:`ExecutionConfig`.
+        plan-build time by the :class:`ExecutionConfig`.  Arrays seen
+        for the first time run unbound (one-shot callers pay nothing
+        extra); from the second sighting of the same intact arrays dict
+        the call binds, memoises per arrays identity and replays the
+        allocation-free steady-state path — so timestep loops that reuse
+        their arrays speed up transparently.
+        """
+        with self._memo_lock:
+            key = id(arrays)
+            memo = self._bound_memo
+            bound = memo.get(key)
+            if bound is not None and not bound.matches(arrays):
+                del memo[key]  # stale: stop pinning the replaced arrays
+                bound = None
+            if bound is not None:
+                memo.move_to_end(key)
+            seen = bound is not None or self._seen_before(arrays)
+        if bound is not None:
+            bound.run(pool=pool)
+        elif seen:
+            self.bound_for(arrays).run(pool=pool)
+        else:
+            self.run_unbound(arrays, pool)
+
+    def run_unbound(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        pool: ThreadPoolExecutor | None = None,
+    ) -> None:
+        """Execute without binding: per-call views and temporaries.
+
+        The PR 1 execution path, kept as the baseline the bound path is
+        benchmarked (and bitwise-verified) against.
         """
         if self.config.scatter and self.config.num_threads > 1:
             self._run_scatter(arrays, pool)
@@ -231,10 +467,15 @@ class ExecutionPlan:
     def _run_threaded(
         self, arrays: Mapping[str, np.ndarray], pool: ThreadPoolExecutor | None
     ) -> None:
-        """Gather discipline: all parallel tasks in flight, one final join."""
+        """Gather discipline: concurrent tasks, barriers only on conflicts."""
         pool = pool or self._ensure_pool()
         futures = []
-        for rp in self.region_plans:
+        for rp, barrier in zip(self.region_plans, self.barriers):
+            if barrier and futures:
+                done, _ = wait(futures)
+                for f in done:
+                    f.result()
+                futures.clear()
             if rp.parallel:
                 for task in rp.tasks:
                     futures.append(pool.submit(self._run_task, rp.region, task, arrays))
@@ -248,10 +489,16 @@ class ExecutionPlan:
     def _run_scatter(
         self, arrays: Mapping[str, np.ndarray], pool: ThreadPoolExecutor | None
     ) -> None:
-        """Scatter discipline: thread-private accumulation, locked merge."""
+        """Scatter discipline: private accumulation, deterministic merge.
+
+        Blocks compute into zero-seeded private scratch concurrently and
+        the coordinating thread merges the scratches in task-submission
+        order — reproducible run to run, unlike a merge ordered by task
+        completion.
+        """
         pool = pool or self._ensure_pool()
 
-        def run_task(region: RegionKernel, task: tuple[StmtBoxes, ...]) -> None:
+        def compute(region: RegionKernel, task: tuple[StmtBoxes, ...]):
             written = {st.target.name for st in region.statements}
             scratch = {
                 name: (np.zeros_like(arr) if name in written else arr)
@@ -259,17 +506,23 @@ class ExecutionPlan:
             }
             for unit in task:
                 region.execute_boxes(scratch, unit)
-            for name in written:
-                with self._locks[name]:
-                    arrays[name] += scratch[name]
+            return sorted(written), scratch
 
         futures = []
-        for rp in self.region_plans:
+
+        def drain() -> None:
+            for f in futures:
+                written, scratch = f.result()
+                for name in written:
+                    arrays[name] += scratch[name]
+            futures.clear()
+
+        for rp, barrier in zip(self.region_plans, self.barriers):
+            if barrier and futures:
+                drain()
             for task in rp.tasks:
-                futures.append(pool.submit(run_task, rp.region, task))
-        done, _ = wait(futures)
-        for f in done:
-            f.result()
+                futures.append(pool.submit(compute, rp.region, task))
+        drain()
 
     # -- pool lifecycle ----------------------------------------------------
 
@@ -285,16 +538,20 @@ class ExecutionPlan:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the plan's own thread pool (if one was created).
+        """Shut down the plan's thread pool and drop memoised bindings.
 
         The pool otherwise lives as long as the plan — which, for plans
         memoised via :meth:`CompiledKernel.plan` on a cached kernel, can
         be the whole process.  Call ``close`` (or use the plan as a
-        context manager) when a burst of parallel runs is over; the pool
-        is lazily recreated on the next run.  Callers that manage their
-        own pool (``ParallelExecutor``) pass it to :meth:`run` and are
-        unaffected.
+        context manager) when a burst of runs is over; the pool is
+        lazily recreated on the next run.  Dropping the bind memo also
+        releases the references it holds to bound arrays.  Callers that
+        manage their own pool (``ParallelExecutor``) pass it to
+        :meth:`run` and are unaffected.
         """
+        with self._memo_lock:
+            self._bound_memo.clear()
+            self._seen.clear()
         if self._pool is not None:
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()

@@ -82,6 +82,25 @@ def test_loop_counts(capsys):
     assert "wave3d" in out and "53" in out
 
 
+def test_bench_quick_writes_runtime_record(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "BENCH_runtime.json"
+    assert main([
+        "bench", "--quick", "--problem", "heat1d", "--n", "24",
+        "--output", str(out_file),
+    ]) == 0
+    record = json.loads(out_file.read_text())
+    assert record["benchmark"] == "steady_state_bound_plan"
+    assert record["problem"] == "heat1d"
+    case = record["cases"]["serial"]
+    assert case["bitwise_identical"] is True
+    assert case["steady_net_alloc_bytes"] == 0
+    assert case["bound_us_per_call"] > 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "bitwise=ok" in out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])

@@ -128,6 +128,35 @@ def test_forward_run_matches_manual(rng):
     np.testing.assert_array_equal(final["u"], u)
 
 
+def test_run_forward_result_survives_later_sweeps(rng):
+    """run_forward's return value must not alias reusable step storage.
+
+    make_stencil_steps' double-buffered forward_step returns views of
+    internal buffers that later sweeps overwrite; run_forward copies its
+    result so holding it across another sweep is safe."""
+    from repro.driver import make_stencil_steps
+
+    prob = burgers_problem(1)
+    n = 48
+    shape = prob.array_shape(n)
+    fwd = compile_nests([prob.primal], prob.bindings(n))
+    adj = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(n)
+    )
+    fstep, rstep = make_stencil_steps(fwd.plan().run, adj.plan().run, shape)
+    stepper = AdjointTimeStepper(fstep, rstep)
+    u0 = rng.standard_normal(shape) * 0.1
+    u1 = rng.standard_normal(shape) * 0.1
+    y0 = stepper.run_forward({"u": u0}, 3)
+    expected = y0["u"].copy()
+    y1 = stepper.run_forward({"u": u1}, 3)
+    assert y1["u"] is not y0["u"]
+    np.testing.assert_array_equal(y0["u"], expected)
+    # ... and an adjoint sweep must not corrupt it either.
+    stepper.run_store_all({"u": u1}, 4, {"u": rng.standard_normal(shape)})
+    np.testing.assert_array_equal(y0["u"], expected)
+
+
 @pytest.mark.parametrize("steps,snaps", [(6, 2), (9, 3), (12, 2), (5, 5)])
 def test_checkpointed_equals_store_all(rng, steps, snaps):
     """Revolve-checkpointed adjoint is bitwise identical to store-all."""

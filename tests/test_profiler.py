@@ -58,3 +58,45 @@ def test_ns_per_iteration_positive():
     prof = profile_kernel(kernel, arrays)
     core = max(prof.regions, key=lambda r: r.iterations)
     assert core.ns_per_iteration > 0
+
+
+def test_repeats_time_identical_values_and_leave_one_application():
+    """Arrays are restored between repeats (each repeat times the same
+    values) and end up as after exactly one kernel application — the
+    old profiler accumulated '+=' statements across repeats, so later
+    repeats timed different data and the final state depended on
+    ``repeats``."""
+    import numpy as np
+
+    prob = heat_problem(2)
+    kernel, arrays = make(prob, 24)
+    expected = {k: v.copy() for k, v in arrays.items()}
+    for region in kernel.regions:
+        region.execute(expected)
+
+    profiled3 = {k: v.copy() for k, v in arrays.items()}
+    profile_kernel(kernel, profiled3, repeats=3)
+    profiled1 = {k: v.copy() for k, v in arrays.items()}
+    profile_kernel(kernel, profiled1, repeats=1)
+    for name in expected:
+        np.testing.assert_array_equal(expected[name], profiled3[name])
+        np.testing.assert_array_equal(expected[name], profiled1[name])
+
+
+def test_profile_empty_region_reports_zero():
+    import numpy as np
+    import sympy as sp
+
+    from repro.core import make_loop_nest
+    from repro.runtime import Bindings
+
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, r = sp.Function("u"), sp.Function("r")
+    nest = make_loop_nest(lhs=r(i), rhs=u(i), counters=[i], bounds={i: [5, n]})
+    kernel = compile_nests([nest], Bindings(sizes={n: 3}), cache=False)
+    arrays = {"u": np.ones(10), "r": np.zeros(10)}
+    prof = profile_kernel(kernel, arrays)
+    assert len(prof.regions) == 1
+    assert prof.regions[0].iterations == 0
+    assert prof.regions[0].seconds == 0.0

@@ -125,6 +125,93 @@ def test_config_validation():
         ExecutionConfig(scatter=True, tile_shape=(8,))
 
 
+def test_config_validates_min_block_iterations():
+    with pytest.raises(ValueError, match="min_block_iterations"):
+        ExecutionConfig(min_block_iterations=0)
+
+
+@pytest.mark.parametrize("tile", [(0,), (8, -1), (8.5,), ()])
+def test_config_validates_tile_shape_entries(tile):
+    with pytest.raises(ValueError, match="tile_shape"):
+        ExecutionConfig(tile_shape=tile)
+
+
+def test_plan_rejects_tile_rank_below_kernel_dim():
+    """A tile shape must cover every kernel axis (clear error, not an
+    unsplit axis silently falling out of the decomposition)."""
+    from repro.apps import heat_problem
+    from repro.core import adjoint_loops
+
+    prob = heat_problem(2)
+    kernel = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(16)
+    )
+    with pytest.raises(KernelError, match="tile_shape"):
+        kernel.plan(tile_shape=(8,))
+
+
+def _dependent_regions_kernel(N, delay):
+    """Two nests where the second reads what the first writes.
+
+    The first region is large (parallel tasks) and slowed down by a
+    bound function; the second is tiny, so it runs inline on the
+    submitting thread — the exact shape of the read-after-write hazard
+    ``_run_threaded`` used to have before regions were separated by
+    conflict barriers.
+    """
+    import time as _time
+
+    i = sp.Symbol("i", integer=True)
+    n = sp.Symbol("n", integer=True)
+    u, a, b = sp.Function("u"), sp.Function("a"), sp.Function("b")
+    f = sp.Function("f")
+    produce = make_loop_nest(
+        lhs=a(i), rhs=f(u(i)), counters=[i], bounds={i: [0, n]}, name="produce"
+    )
+    consume = make_loop_nest(
+        lhs=b(i), rhs=a(i), counters=[i], bounds={i: [0, 1]}, name="consume"
+    )
+
+    def slow_double(x):
+        _time.sleep(delay)
+        return x * 2.0
+
+    bindings = Bindings(sizes={n: N}, functions={"f": slow_double})
+    return compile_nests([produce, consume], bindings, cache=False)
+
+
+def test_threaded_plan_barrier_between_dependent_regions(rng):
+    """Read-after-write across regions: the consumer must see the
+    producer's values, not stale zeros, for both execution paths."""
+    N = 4000
+    kernel = _dependent_regions_kernel(N, delay=0.05)
+    plan = kernel.plan(num_threads=2)
+    assert plan.barriers == (False, True)
+    for runner in (plan.run, plan.run_unbound):
+        arrays = {
+            "u": rng.standard_normal(N + 1),
+            "a": np.zeros(N + 1),
+            "b": np.zeros(N + 1),
+        }
+        runner(arrays)
+        np.testing.assert_array_equal(arrays["b"][:2], 2.0 * arrays["u"][:2])
+    plan.close()
+
+
+def test_threaded_plan_no_barrier_for_disjoint_adjoint_regions():
+    """PerforAD adjoint regions write disjoint boxes of one array: they
+    must keep the single final join (no barriers), per Section 1."""
+    from repro.apps import wave_problem
+    from repro.core import adjoint_loops
+
+    prob = wave_problem(2)
+    kernel = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(18)
+    )
+    plan = kernel.plan(num_threads=4, min_block_iterations=1)
+    assert not any(plan.barriers)
+
+
 def test_empty_region_has_no_plan_work():
     i = sp.Symbol("i", integer=True)
     n = sp.Symbol("n", integer=True)
