@@ -1,0 +1,116 @@
+"""Native-backend steady-state benchmark: C statement kernels vs bound NumPy.
+
+PR 2's bound plans made the steady-state timestep allocation-free; what
+remains is NumPy ufunc dispatch — tens of microseconds per timestep on
+the paper's small-kernel regime regardless of grid work.  The native
+backend removes it: eligible statements run as JIT-built C through one
+chained FFI call per timestep.
+
+Acceptance targets (recorded in ``BENCH_native.json``):
+
+* >= 3x per-timestep speedup of the native bound plan over the *bound
+  Python* plan (the PR 2 steady-state path) on the heat2d adjoint,
+* bitwise-identical results against the unbound serial reference,
+* every statement of the kernel actually dispatched natively.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import heat_problem
+from repro.core import adjoint_loops
+from repro.experiments.steady import _best_of, bitwise_equal
+from repro.runtime import compile_nests, native_available
+
+REPS = 300
+N = 24
+OUTPUT = "BENCH_native.json"
+
+
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+def test_native_backend_speedup(benchmark, capsys):
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(N), name="native_bench")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+
+    py_plan = kernel.plan()
+    nat_plan = kernel.plan(backend="native")
+    py_arrays = {k: v.copy() for k, v in base.items()}
+    nat_arrays = {k: v.copy() for k, v in base.items()}
+    py_bound = py_plan.bind(py_arrays)
+    nat_bound = nat_plan.bind(nat_arrays)
+    assert nat_bound.native_statement_count == nat_bound.statement_count
+
+    for _ in range(3):  # warm-up: slot buffers, caches
+        py_bound.run()
+        nat_bound.run()
+
+    # -- bitwise identity against the unbound serial reference ---------------
+    ref = {k: v.copy() for k, v in base.items()}
+    py_plan.run_unbound(ref)
+    for arrays in (py_arrays, nat_arrays):
+        for name, arr in base.items():
+            arrays[name][...] = arr
+    py_bound.run()
+    nat_bound.run()
+    bitwise = all(
+        bitwise_equal(ref[name], nat_arrays[name])
+        and bitwise_equal(ref[name], py_arrays[name])
+        for name in ref
+    )
+
+    # -- steady-state per-timestep timing ------------------------------------
+    t_python = _best_of(py_bound.run, REPS)
+    t_native = _best_of(nat_bound.run, REPS)
+    speedup = t_python / t_native
+
+    def native_loop():
+        for _ in range(REPS):
+            nat_bound.run()
+
+    benchmark.pedantic(native_loop, rounds=3, iterations=1)
+
+    record = {
+        "benchmark": "native_backend_steady_state",
+        "problem": prob.name,
+        "n": N,
+        "reps": REPS,
+        "iterations_per_call": kernel.total_iterations(),
+        "bound_python_us_per_call": round(t_python * 1e6, 3),
+        "native_us_per_call": round(t_native * 1e6, 3),
+        "speedup_vs_bound_python": round(speedup, 3),
+        "native_statements": nat_bound.native_statement_count,
+        "total_statements": nat_bound.statement_count,
+        "bitwise_identical": bitwise,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info.update(record)
+
+    iters = kernel.total_iterations()
+    with capsys.disabled():
+        print(f"\nnative backend, {prob.name} n={N}, best of {REPS}-call loops:")
+        print(
+            f"  bound python run  {t_python * 1e6:8.1f} us/call "
+            f"({t_python * 1e9 / iters:6.1f} ns/it)"
+        )
+        print(
+            f"  native run        {t_native * 1e6:8.1f} us/call "
+            f"({t_native * 1e9 / iters:6.1f} ns/it)"
+        )
+        print(f"  speedup           {speedup:8.2f}x  (recorded in {OUTPUT})")
+
+    py_plan.close()
+    nat_plan.close()
+
+    assert bitwise, "native backend diverged from the serial reference"
+    assert speedup >= 3.0, (
+        f"expected >=3x native speedup over the bound python plan, "
+        f"got {speedup:.2f}x"
+    )

@@ -16,8 +16,10 @@ Commands
 ``bench``
     Measure steady-state per-timestep runtime of the bound execution
     path against the unbound plan path and write ``BENCH_runtime.json``
-    (the perf-trajectory record; CI runs ``bench --quick`` as a smoke
-    job).
+    (the perf-trajectory record).  ``--backend native`` measures the
+    JIT-compiled C backend; ``--baseline benchmarks/baseline_runtime.json``
+    turns the run into the CI perf-regression gate, failing on a
+    >--max-slowdown per-timestep slowdown or lost bitwise identity.
 """
 
 from __future__ import annotations
@@ -125,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tile", type=_tile_shape, default=None, metavar="T0,T1,...",
         help="also verify planned tiled execution with this tile shape",
     )
+    ver.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="execution backend for the planned-vs-serial check "
+        "(native must reproduce the serial python adjoint bitwise)",
+    )
 
     fig = sub.add_parser("figures", help="regenerate Figures 8-15")
     fig.add_argument(
@@ -146,8 +153,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fewer repetitions and serial discipline only (CI smoke)",
     )
     ben.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="bound-execution backend to measure (native falls back to "
+        "python, with a warning, when no C compiler is available)",
+    )
+    ben.add_argument(
         "--output", default="BENCH_runtime.json",
         help="where to write the JSON record (default: ./BENCH_runtime.json)",
+    )
+    ben.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="perf-regression gate: compare per-timestep bound runtimes "
+        "against this recorded JSON and fail the run on a slowdown "
+        "beyond --max-slowdown or on lost bitwise identity",
+    )
+    ben.add_argument(
+        "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
+        help="largest tolerated bound_us_per_call ratio vs the baseline "
+        "(default: 1.5)",
     )
     return parser
 
@@ -192,7 +215,9 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _plan_vs_serial_diff(prob, n: int, strategy: str, threads: int, tile) -> float:
+def _plan_vs_serial_diff(
+    prob, n: int, strategy: str, threads: int, tile, backend: str = "python"
+) -> float:
     """Max |planned - serial| over active adjoints for one plan config."""
     import numpy as np
 
@@ -211,10 +236,13 @@ def _plan_vs_serial_diff(prob, n: int, strategy: str, threads: int, tile) -> flo
     # A private (non-memoised) plan: closing its pool afterwards cannot
     # affect other holders of the kernel's shared plans.
     config = ExecutionConfig(
-        num_threads=threads, tile_shape=tile, min_block_iterations=1
+        num_threads=threads, tile_shape=tile, min_block_iterations=1,
+        backend=backend,
     )
     with ExecutionPlan.build(kernel, config) as plan:
-        plan.run(planned)
+        # Bind explicitly: the bound path is the steady-state path and
+        # the only one the native backend accelerates.
+        plan.bind(planned).run()
     name_map = prob.adjoint_name_map()
     return max(
         float(np.max(np.abs(serial[name_map[a]] - planned[name_map[a]])))
@@ -237,10 +265,14 @@ def _cmd_verify(args) -> int:
     print(f"  dot-product rel. error : {dp.rel_error:.3e}")
     print(f"  finite-diff rel. error : {fd.rel_error:.3e}")
     ok = cmp_.passed() and dp.passed and fd.passed(5e-5)
-    if args.threads > 1 or args.tile:
+    if args.threads > 1 or args.tile or args.backend != "python":
         tile = args.tile
-        diff = _plan_vs_serial_diff(prob, n, args.strategy, args.threads, tile)
+        diff = _plan_vs_serial_diff(
+            prob, n, args.strategy, args.threads, tile, backend=args.backend
+        )
         desc = f"{args.threads} thread(s)" + (f", tile {tile}" if tile else "")
+        if args.backend != "python":
+            desc += f", backend {args.backend}"
         print(f"  plan [{desc}] vs serial: {diff:.3e}")
         ok = ok and diff == 0.0
     print("  VERDICT: " + ("all adjoints agree" if ok else "MISMATCH"))
@@ -295,7 +327,7 @@ def _cmd_bench(args) -> int:
 
     cases = {}
     for label, cfg in configs.items():
-        plan = kernel.plan(**cfg)
+        plan = kernel.plan(backend=args.backend, **cfg)
         arrays = {k: v.copy() for k, v in base.items()}
         cases[label] = measure_steady_state(plan, arrays, base, reps)
         plan.close()
@@ -305,6 +337,7 @@ def _cmd_bench(args) -> int:
         "problem": prob.name,
         "n": n,
         "reps": reps,
+        "backend": args.backend,
         "iterations_per_call": kernel.total_iterations(),
         "unix_time": round(time.time(), 1),
         "cases": cases,
@@ -312,17 +345,79 @@ def _cmd_bench(args) -> int:
     with open(args.output, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} (backend={args.backend})")
     for label, case in cases.items():
         print(
             f"  {label:10s} unbound {case['unbound_us_per_call']:8.1f} us  "
             f"bound {case['bound_us_per_call']:8.1f} us  "
             f"speedup {case['speedup']:5.2f}x  "
             f"steady alloc {case['steady_net_alloc_bytes']} B  "
+            f"native {case['native_statements']}/{case['total_statements']}  "
             f"bitwise={'ok' if case['bitwise_identical'] else 'MISMATCH'}"
         )
     ok = all(c["bitwise_identical"] for c in cases.values())
+    if args.baseline is not None:
+        ok = _check_baseline(record, args.baseline, args.max_slowdown) and ok
     return 0 if ok else 1
+
+
+def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
+    """The CI perf-regression gate: current record vs a checked-in one.
+
+    Fails (returns False, printing per-case verdicts) when any case
+    shared with the baseline got more than *max_slowdown* times slower
+    per bound timestep, or lost bitwise identity.  The comparison is
+    corrected for machine speed: each record carries the unbound
+    per-call time of the same run on the same machine, so the gated
+    quantity is the bound slowdown *relative to that reference
+    workload* — a baseline recorded on a fast dev box does not fail a
+    slower CI runner on hardware class alone.  A baseline whose
+    benchmark context (problem, n, reps, backend) differs from the
+    current run fails outright rather than comparing apples to oranges.
+    Cases absent from the baseline pass with a note, so adding a
+    discipline does not require regenerating the baseline in the same
+    commit.
+    """
+    import json
+
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    print(f"baseline gate vs {baseline_path} (max slowdown {max_slowdown}x):")
+    for key in ("benchmark", "problem", "n", "reps", "backend"):
+        ours, theirs = record.get(key), baseline.get(key)
+        if ours != theirs:
+            print(
+                f"  FAIL: baseline {key}={theirs!r} does not match this "
+                f"run's {key}={ours!r}; regenerate the baseline with the "
+                f"same bench options"
+            )
+            print("  baseline gate: FAIL")
+            return False
+    base_cases = baseline.get("cases", {})
+    ok = True
+    for label, case in record["cases"].items():
+        if not case["bitwise_identical"]:
+            print(f"  {label:10s} FAIL: lost bitwise identity")
+            ok = False
+            continue
+        base = base_cases.get(label)
+        if base is None:
+            print(f"  {label:10s} pass (no baseline case)")
+            continue
+        raw = case["bound_us_per_call"] / base["bound_us_per_call"]
+        machine = case["unbound_us_per_call"] / base["unbound_us_per_call"]
+        slowdown = raw / machine
+        verdict = "pass" if slowdown <= max_slowdown else "FAIL"
+        print(
+            f"  {label:10s} {verdict}: bound {case['bound_us_per_call']:.1f} us "
+            f"vs baseline {base['bound_us_per_call']:.1f} us "
+            f"({raw:.2f}x raw, {machine:.2f}x machine factor, "
+            f"{slowdown:.2f}x corrected)"
+        )
+        if slowdown > max_slowdown:
+            ok = False
+    print("  baseline gate: " + ("PASS" if ok else "FAIL"))
+    return ok
 
 
 def _cmd_loop_counts(args) -> int:

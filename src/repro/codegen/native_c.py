@@ -1,0 +1,384 @@
+"""Native-backend C lowering: compiled statements -> bitwise-exact C.
+
+The other back-ends in this package print *symbolic* loop nests for a
+human (or an external compiler) to take away.  This module instead
+lowers the runtime's *compiled* statements — concrete per-statement
+iteration boxes, guard-intersected by the execution plan, with the
+placeholder-substituted RHS the NumPy path evaluates — into a C
+translation unit that the native execution backend
+(:mod:`repro.runtime.native`) JIT-builds with ``cc`` and calls through
+``ctypes``.
+
+Bitwise identity with the NumPy path is the design constraint, not an
+aspiration: the generated C must produce, element for element, the very
+bits the ``lambdify``-generated NumPy code produces.  That rules out
+naive translation and dictates every printing rule here:
+
+* Only constructs whose NumPy evaluation is reproducible by scalar
+  IEEE-754 C code are lowered (:func:`native_eligibility`).  ``x**2``
+  is ``x*x`` in NumPy's pow loop and in C; ``x**3`` is *neither*
+  ``x*x*x`` nor libm ``pow`` bitwise, so it stays on the Python path.
+* Rationals are printed as the correctly-rounded double the generated
+  Python computes at run time (``(1/3)`` -> ``0.3333333333333333``),
+  never as a C division ``x/3`` of a different shape.
+* ``Max``/``Min`` replicate ``np.maximum``/``np.minimum`` exactly,
+  including NaN propagation and the tie-breaking to the *second*
+  operand that decides the sign of zero results.
+* For ``float32`` kernels every constant is cast to ``real`` before
+  use, matching NumPy's weak-scalar promotion (the whole C expression
+  must evaluate in ``float``, not be promoted to ``double``).
+* The build layer compiles with ``-ffp-contract=off`` so the compiler
+  cannot fuse multiply-adds the NumPy path performs as two roundings.
+
+The emitted calling convention is uniform for every statement::
+
+    void <name>(char **ptrs, const int64_t *geom);
+
+``ptrs`` holds the target array's data pointer followed by one pointer
+per read access; ``geom`` packs the inclusive per-axis bounds followed
+by per-slot element strides for the target and each read.  A statement
+function runs its full loop nest over the box.  Each translation unit
+also contains one chain runner that executes a sequence of statement
+calls in a single C entry, so a steady-state timestep costs one FFI
+crossing instead of one per statement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import sympy as sp
+from sympy.printing.numpy import NumPyPrinter
+from sympy.simplify.cse_main import cse as _cse
+
+from .base import CodegenError, Emitter
+from .c import CPrinter
+
+# The printer class lambdify uses; consulted for its Float literal text
+# so native constants match the generated Python's parsed values bit for
+# bit (see NativeCPrinter._print_Float).
+_LAMBDIFY_PRINTER = NumPyPrinter()
+
+__all__ = [
+    "NativeCPrinter",
+    "native_eligibility",
+    "generate_native_source",
+    "CHAIN_RUNNER_NAME",
+    "NATIVE_ABI_VERSION",
+]
+
+# Bumped whenever the generated code's ABI or semantics change; folded
+# into the shared-object disk-cache key by the runtime build layer.
+NATIVE_ABI_VERSION = 1
+
+CHAIN_RUNNER_NAME = "repro_run_chain"
+
+_REAL_OF_DTYPE = {"float64": "double", "float32": "float"}
+
+# Pow exponents with a known bitwise-exact C form (see module docstring;
+# each is empirically verified against NumPy in tests/test_native_backend.py).
+_POW_SQUARE = sp.Integer(2)
+_POW_RECIP = sp.Integer(-1)
+_POW_SQRT = sp.Rational(1, 2)
+_POW_RSQRT = sp.Rational(-1, 2)
+_ALLOWED_POW_EXPONENTS = (_POW_SQUARE, _POW_RECIP, _POW_SQRT, _POW_RSQRT)
+
+
+class NativeCPrinter(CPrinter):
+    """C printer mirroring the lambdify/NumPy evaluation bit for bit.
+
+    ``symbol_map`` resolves the two symbol kinds a compiled RHS contains:
+    ``__accN`` placeholders map to indexed array-access strings and bare
+    loop counters map to ``((real)iD)`` casts of the loop variables.
+    Anything outside :func:`native_eligibility`'s whitelist raises
+    :class:`~repro.codegen.base.CodegenError` — the runtime never prints
+    an ineligible statement, so a raise here marks a gating bug.
+    """
+
+    def __init__(self, symbol_map: dict[sp.Symbol, str], real: str = "double"):
+        super().__init__()
+        self._symbol_map = symbol_map
+        self._real = real
+
+    # -- leaves -----------------------------------------------------------
+
+    def _print_Symbol(self, expr: sp.Symbol) -> str:
+        mapped = self._symbol_map.get(expr)
+        if mapped is None:
+            raise CodegenError(f"unmapped symbol {expr} in native lowering")
+        return mapped
+
+    def _const(self, value: float) -> str:
+        # repr() round-trips the double exactly; the cast keeps float32
+        # expressions in float32 throughout (NumPy's weak-scalar rule).
+        return f"(({self._real}){value!r})"
+
+    def _print_Float(self, expr: sp.Float) -> str:
+        # The value the NumPy path computes with is NOT the symbolic
+        # Float: lambdify prints floats at 15 significant digits and the
+        # generated code re-parses that decimal (0.19999999999999996
+        # round-trips through "0.2" to 0.2).  Reproduce exactly that
+        # print-and-reparse, then emit the resulting double verbatim.
+        return self._const(float(_LAMBDIFY_PRINTER.doprint(expr)))
+
+    def _print_Rational(self, expr: sp.Rational) -> str:
+        # The generated Python evaluates `p/q` at run time: one correctly
+        # rounded division of exact integers.  Bake in that very double.
+        return self._const(expr.p / expr.q)
+
+    def _print_Integer(self, expr: sp.Integer) -> str:
+        # Integers are exact in both paths; plain literals keep the C
+        # readable.  They participate in real arithmetic by promotion,
+        # which is value-exact for the int64-range magnitudes ruled
+        # eligible.
+        return str(int(expr))
+
+    def _print_NumberSymbol(self, expr) -> str:
+        return self._const(float(expr))
+
+    _print_Exp1 = _print_NumberSymbol
+    _print_Pi = _print_NumberSymbol
+
+    # -- operators --------------------------------------------------------
+
+    def _print_Pow(self, expr: sp.Pow) -> str:
+        base = self._print(expr.base)
+        exp = expr.exp
+        if exp == _POW_SQUARE:
+            # np.power's pow loop special-cases exponent 2 as x*x.
+            return f"({base}*{base})"
+        if exp == _POW_RECIP:
+            # np.power(x, -1) is 1/x; sympy's Mul printer routes plain
+            # divisions elsewhere, so this only fires for bare x**-1.
+            return f"((({self._real})1.0)/{base})"
+        if exp == _POW_SQRT:
+            return f"{self._sqrt_fn()}({base})"
+        if exp == _POW_RSQRT:
+            return f"((({self._real})1.0)/{self._sqrt_fn()}({base}))"
+        raise CodegenError(
+            f"pow exponent {exp} has no bitwise-exact native lowering"
+        )
+
+    def _sqrt_fn(self) -> str:
+        # sqrtf for float32: double sqrt + truncation would double-round.
+        return "sqrt" if self._real == "double" else "sqrtf"
+
+    def _print_Max(self, expr: sp.Max) -> str:
+        return self._fold_minmax(expr.args, ">")
+
+    def _print_Min(self, expr: sp.Min) -> str:
+        return self._fold_minmax(expr.args, "<")
+
+    def _fold_minmax(self, args: Sequence[sp.Expr], cmp: str) -> str:
+        # lambdify prints Max(a, b, c) as reduce(np.maximum, [a, b, c]):
+        # a left fold of the binary ufunc.  np.maximum is
+        # (a > b || isnan(a)) ? a : b — strict comparison, ties take the
+        # *second* operand (so maximum(0.0, -0.0) is -0.0), NaNs
+        # propagate with their payload.  np.minimum mirrors with '<'.
+        acc = self._print(args[0])
+        for arg in args[1:]:
+            b = self._print(arg)
+            acc = f"((({acc} {cmp} {b}) || ({acc} != {acc})) ? {acc} : {b})"
+        return acc
+
+    def _print_Heaviside(self, expr: sp.Heaviside) -> str:
+        # Matches the runtime's NumPy fallback np.where(x >= 0, 1.0, 0.0)
+        # (paper semantics H(0) = 1); the optional second sympy argument
+        # is ignored by both paths.
+        arg = self._print(expr.args[0])
+        one, zero = self._const(1.0), self._const(0.0)
+        return f"(({arg} >= (({self._real})0.0)) ? {one} : {zero})"
+
+
+# -- eligibility ---------------------------------------------------------------
+
+
+def _expr_eligible(expr: sp.Expr, dtype_name: str) -> str | None:
+    """None when *expr* lowers bitwise-exactly, else a human reason."""
+    for node in sp.preorder_traversal(expr):
+        if isinstance(node, (sp.Add, sp.Mul, sp.Symbol)):
+            continue
+        if isinstance(node, sp.Integer):
+            # Bare C literals must stay exactly representable through
+            # the promotion to real (and must compile at all).
+            if abs(int(node)) > 2**53:
+                return f"integer constant {node} exceeds exact double range"
+            continue
+        if isinstance(node, (sp.Rational, sp.Float, sp.NumberSymbol)):
+            continue
+        if isinstance(node, sp.Pow):
+            if node.exp not in _ALLOWED_POW_EXPONENTS:
+                return f"pow exponent {node.exp} not bitwise-reproducible"
+            continue
+        if isinstance(node, (sp.Max, sp.Min)):
+            # The ternary lowering prints each folded operand three
+            # times, so the emitted text grows ~3^(k-1): keep the
+            # binary form (all the upwinding stencils) and leave wider
+            # folds to the Python path.
+            if len(node.args) != 2:
+                return f"{type(node).__name__} with {len(node.args)} args"
+            continue
+        if isinstance(node, sp.Heaviside):
+            if dtype_name != "float64":
+                # The NumPy fallback np.where(x >= 0, 1.0, 0.0) yields a
+                # float64 array even for float32 operands, so the rest of
+                # the statement silently computes in double — semantics a
+                # pure-float32 C loop cannot reproduce.
+                return "Heaviside promotes float32 statements to float64"
+            continue
+        return f"{type(node).__name__} has no bitwise-exact native lowering"
+    return None
+
+
+def native_eligibility(stmt, dim: int, dtype) -> str | None:
+    """Why *stmt* cannot run natively, or None when it can.
+
+    *stmt* is a :class:`~repro.runtime.compiler.CompiledStatement`
+    (duck-typed to keep this module import-light).  The checks encode
+    exactly the NumPy-semantics guarantees of the generated C:
+
+    * the target must cover every frame axis once — reduced (``sum``)
+      and broadcast-select targets use NumPy pairwise/broadcast
+      semantics a sequential C loop does not reproduce;
+    * reads may not use one frame axis in two slots (NumPy builds an
+      outer-product view there, not a diagonal);
+    * reads of the *target array itself* must use the target's exact
+      slots, otherwise the fused C loop would observe freshly written
+      elements the NumPy gather/assign never sees;
+    * the RHS expression must pass the bitwise whitelist;
+    * the kernel dtype must be float64 or float32.
+    """
+    dtype_name = getattr(dtype, "__name__", None) or str(dtype)
+    if dtype_name not in _REAL_OF_DTYPE:
+        return f"dtype {dtype_name} unsupported by the native backend"
+    target_axes = [axis for axis, _ in stmt.target.slots]
+    if sorted(target_axes) != list(range(dim)):
+        return "target does not cover each frame axis exactly once"
+    for acc in stmt.reads:
+        axes = [axis for axis, _ in acc.slots]
+        if len(set(axes)) != len(axes):
+            return f"read {acc.name} repeats a frame axis (outer-product view)"
+        if acc.name == stmt.target.name and acc.slots != stmt.target.slots:
+            return f"read of target array {acc.name} at shifted offsets"
+    if stmt.op not in ("=", "+="):
+        return f"unsupported statement op {stmt.op!r}"
+    if stmt.rhs_expr is None:
+        return "statement carries no symbolic RHS"
+    return _expr_eligible(stmt.rhs_expr, dtype_name)
+
+
+# -- source generation ---------------------------------------------------------
+
+
+def _access_index(slots, strides_base: int) -> str:
+    """C index expression for an access: sum of (counter+offset)*stride."""
+    if not slots:
+        return "0"
+    terms = []
+    for k, (axis, off) in enumerate(slots):
+        counter = f"i{axis}"
+        pos = counter if off == 0 else f"({counter} + ({off}))"
+        terms.append(f"{pos}*geom[{strides_base + k}]")
+    return " + ".join(terms)
+
+
+def generate_native_source(kernel) -> tuple[str, dict[tuple[int, int], str]]:
+    """Lower *kernel*'s eligible statements to one C translation unit.
+
+    *kernel* is a :class:`~repro.runtime.compiler.CompiledKernel`
+    (duck-typed).  Returns ``(source, manifest)`` where ``manifest``
+    maps ``(region_index, statement_index)`` to the emitted function
+    name.  Ineligible statements are simply absent — the runtime keeps
+    them on the Python path.  The unit always contains the chain runner,
+    even when no statement is eligible.
+    """
+    em = Emitter(indent="  ")
+    em.line("/* Generated by repro.codegen.native_c — do not edit. */")
+    em.line(f"/* ABI v{NATIVE_ABI_VERSION}, kernel {kernel.name!r} */")
+    em.line("#include <stdint.h>")
+    em.line("#include <math.h>")
+    em.line()
+    # geom layout per statement: [lo0, hi0, ..., lo{d-1}, hi{d-1},
+    #   target slot strides..., read0 slot strides..., read1 ...]
+    # with all strides in elements, not bytes.
+    manifest: dict[tuple[int, int], str] = {}
+    counters = kernel.counters
+    for ri, region in enumerate(kernel.regions):
+        dim = len(counters)
+        real = _REAL_OF_DTYPE.get(
+            getattr(region.dtype, "__name__", None) or str(region.dtype)
+        )
+        for si, stmt in enumerate(region.statements):
+            if native_eligibility(stmt, dim, region.dtype) is not None:
+                continue
+            name = f"repro_s{ri}_{si}"
+            symbol_map: dict[sp.Symbol, str] = {}
+            strides_base = 2 * dim + len(stmt.target.slots)
+            for idx, acc in enumerate(stmt.reads):
+                expr = f"r{idx}[{_access_index(acc.slots, strides_base)}]"
+                symbol_map[sp.Symbol(f"__acc{idx}")] = expr
+                strides_base += len(acc.slots)
+            for axis in stmt.bare_axes:
+                symbol_map[counters[axis]] = f"(({real})i{axis})"
+            printer = NativeCPrinter(symbol_map, real=real)
+            # The Python path's eval_fn is lambdified with cse=True, and
+            # CSE substitution can *regroup* a product (x0 = 0.2*Min(...)
+            # pulls the third factor ahead of the second), changing the
+            # rounding sequence.  Run the identical CSE pass and emit its
+            # temporaries as locals so the C performs the same ops in
+            # the same order as the generated Python, not as the
+            # pre-CSE expression tree.
+            cses, reduced = _cse(stmt.rhs_expr, list=False)
+            try:
+                temp_lines = []
+                for sym, sub in cses:
+                    temp_lines.append(
+                        f"const {real} {sym} = {printer.doprint(sub)};"
+                    )
+                    symbol_map[sym] = str(sym)
+                rhs = printer.doprint(reduced)
+            except CodegenError:
+                continue  # defensive: printer found something the gate missed
+            self_alias = any(acc.name == stmt.target.name for acc in stmt.reads)
+            restrict = "" if self_alias else "restrict "
+            em.line(f"void {name}(char **ptrs, const int64_t *geom) {{")
+            em.push()
+            em.line(f"{real} *{restrict}t = ({real} *)ptrs[0];")
+            for idx in range(len(stmt.reads)):
+                em.line(
+                    f"const {real} *r{idx} = (const {real} *)ptrs[{idx + 1}];"
+                )
+            for axis in range(dim):
+                em.line(
+                    f"for (int64_t i{axis} = geom[{2 * axis}]; "
+                    f"i{axis} <= geom[{2 * axis + 1}]; ++i{axis}) {{"
+                )
+                em.push()
+            for line in temp_lines:
+                em.line(line)
+            op = "+=" if stmt.op == "+=" else "="
+            em.line(
+                f"t[{_access_index(stmt.target.slots, 2 * dim)}] {op} {rhs};"
+            )
+            for _ in range(dim):
+                em.pop()
+                em.line("}")
+            em.pop()
+            em.line("}")
+            em.line()
+            manifest[(ri, si)] = name
+    em.line("typedef void (*repro_stmt_fn)(char **, const int64_t *);")
+    em.line()
+    em.line(
+        f"void {CHAIN_RUNNER_NAME}(int64_t n, void **fns, char ***ptrss, "
+        "const int64_t **geoms) {"
+    )
+    em.push()
+    em.line("for (int64_t k = 0; k < n; ++k) {")
+    em.push()
+    em.line("((repro_stmt_fn)fns[k])(ptrss[k], geoms[k]);")
+    em.pop()
+    em.line("}")
+    em.pop()
+    em.line("}")
+    return em.code(), manifest

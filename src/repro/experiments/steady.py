@@ -89,5 +89,6 @@ def measure_steady_state(
         "steady_peak_alloc_bytes": peak - before,
         "bitwise_identical": bitwise,
         "inplace_statements": bound.inplace_statement_count,
+        "native_statements": bound.native_statement_count,
         "total_statements": bound.statement_count,
     }

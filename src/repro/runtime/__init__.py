@@ -2,8 +2,15 @@
 
 from .bindings import Bindings
 from .bound import BoundPlan
-from .cache import KernelCache, clear_kernel_cache, get_kernel_cache, kernel_key
+from .cache import (
+    KernelCache,
+    clear_kernel_cache,
+    get_kernel_cache,
+    kernel_key,
+    native_cache_dir,
+)
 from .distributed import DistributedExecutor, RankSlab, decompose
+from .native import NativeLibrary, native_available, native_toolchain
 from .compiler import (
     CompiledKernel,
     KernelError,
@@ -30,6 +37,7 @@ __all__ = [
     "decompose",
     "KernelError",
     "KernelProfile",
+    "NativeLibrary",
     "ParallelExecutor",
     "RegionProfile",
     "profile_kernel",
@@ -41,6 +49,9 @@ __all__ = [
     "get_kernel_cache",
     "interpret_nests",
     "kernel_key",
+    "native_available",
+    "native_cache_dir",
+    "native_toolchain",
     "run_tiled",
     "safe_split_axis",
     "safe_to_tile",

@@ -85,6 +85,12 @@ from .compiler import (
     _frame_view,
     _target_view_and_missing,
 )
+from .native import (
+    NativeStatement,
+    chain_runnables,
+    library_for_kernel,
+    make_native_statement,
+)
 
 __all__ = ["BoundPlan"]
 
@@ -380,21 +386,40 @@ def _bind_unit(
     region: RegionKernel,
     stmt_boxes: Sequence[Box | None],
     arrays: Mapping[str, np.ndarray],
-) -> list[_BoundStatement]:
-    return [
-        _BoundStatement(st, arrays, eff, region.dtype)
-        for st, eff in zip(region.statements, stmt_boxes)
-        if eff is not None
-    ]
+    native_lib=None,
+) -> list:
+    """Bind one work unit's statements, native where possible.
+
+    With a native library, each statement that was lowered to C *and*
+    whose concrete arrays satisfy the lowering assumptions binds to a
+    :class:`~repro.runtime.native.NativeStatement`; everything else
+    keeps the Python slot-tape path.  Both expose ``run()``.
+    """
+    out: list = []
+    for si, (st, eff) in enumerate(zip(region.statements, stmt_boxes)):
+        if eff is None:
+            continue
+        bound = None
+        if native_lib is not None:
+            bound = make_native_statement(native_lib, region, si, st, arrays, eff)
+        if bound is None:
+            bound = _BoundStatement(st, arrays, eff, region.dtype)
+        out.append(bound)
+    return out
 
 
 class _BoundTask:
-    """One schedulable task: its statements plus optional scatter scratch."""
+    """One schedulable task: its runnables plus optional scatter scratch.
 
-    __slots__ = ("stmts", "scratch")
+    ``items`` are execution-ordered runnables: Python bound statements,
+    native statements, or chains of consecutive native statements fused
+    into one FFI call.
+    """
 
-    def __init__(self, stmts, scratch=None) -> None:
-        self.stmts = tuple(stmts)
+    __slots__ = ("items", "scratch")
+
+    def __init__(self, items, scratch=None) -> None:
+        self.items = tuple(items)
         self.scratch = scratch  # {name: persistent private array} | None
 
     def run(self) -> None:
@@ -402,7 +427,7 @@ class _BoundTask:
         if scratch is not None:
             for buf in scratch.values():
                 buf[...] = 0
-        for s in self.stmts:
+        for s in self.items:
             s.run()
 
 
@@ -438,6 +463,9 @@ class BoundPlan:
         self.plan = plan
         config = plan.config
         scatter_mode = config.scatter and config.num_threads > 1
+        native_lib = (
+            library_for_kernel(plan.kernel) if config.backend == "native" else None
+        )
         sources: dict[str, np.ndarray] = {}
 
         def resolve(name: str) -> np.ndarray:
@@ -446,8 +474,13 @@ class BoundPlan:
                 arr = sources[name] = arrays[name]
             return arr
 
+        # Serial configs execute through the cross-task _serial_items
+        # chain; threaded/scatter configs execute through per-task
+        # chains.  Pack only the variant this config's run() uses —
+        # the other would be dead ctypes-array weight per bind.
+        serial_mode = config.num_threads == 1
         regions: list[_BoundRegion] = []
-        flat: list[_BoundStatement] = []
+        flat: list = []
         for rp, barrier in zip(plan.region_plans, plan.barriers):
             names = {st.target.name for st in rp.region.statements}
             names.update(
@@ -467,16 +500,28 @@ class BoundPlan:
                 else:
                     scratch = None
                     task_arrays = local
-                stmts: list[_BoundStatement] = []
+                stmts: list = []
                 for boxes in task_boxes:
-                    stmts.extend(_bind_unit(rp.region, boxes, task_arrays))
-                task = _BoundTask(stmts, scratch)
+                    stmts.extend(
+                        _bind_unit(rp.region, boxes, task_arrays, native_lib)
+                    )
+                items = (
+                    stmts if serial_mode else chain_runnables(native_lib, stmts)
+                )
+                task = _BoundTask(items, scratch)
                 tasks.append(task)
                 flat.extend(stmts)
             regions.append(_BoundRegion(rp.region, tuple(tasks), barrier, rp.parallel))
         self._sources = sources
         self._regions: tuple[_BoundRegion, ...] = tuple(regions)
-        self._flat: tuple[_BoundStatement, ...] = tuple(flat)
+        self._flat: tuple = tuple(flat)
+        # Serial execution order is the flat statement order, so chain
+        # across region/task boundaries: a fully native kernel runs one
+        # FFI call per timestep.  (Unused — and unchained — for
+        # threaded/scatter configs, whose run() goes through the tasks.)
+        self._serial_items: tuple = (
+            tuple(chain_runnables(native_lib, flat)) if serial_mode else self._flat
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -492,7 +537,12 @@ class BoundPlan:
     @property
     def inplace_statement_count(self) -> int:
         """Statements running through the allocation-free ufunc slots."""
-        return sum(1 for s in self._flat if s.inplace)
+        return sum(1 for s in self._flat if getattr(s, "inplace", False))
+
+    @property
+    def native_statement_count(self) -> int:
+        """Statements dispatched to JIT-built C (0 on the python backend)."""
+        return sum(1 for s in self._flat if isinstance(s, NativeStatement))
 
     def matches(self, arrays: Mapping[str, np.ndarray]) -> bool:
         """True while *arrays* still holds the exact bound array objects.
@@ -516,7 +566,7 @@ class BoundPlan:
         elif config.num_threads > 1:
             self._run_threaded(pool)
         else:
-            for s in self._flat:
+            for s in self._serial_items:
                 s.run()
 
     def _run_threaded(self, pool: ThreadPoolExecutor | None) -> None:

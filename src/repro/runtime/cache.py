@@ -21,7 +21,9 @@ to the inputs misses and recompiles.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -35,7 +37,24 @@ __all__ = [
     "kernel_key",
     "get_kernel_cache",
     "clear_kernel_cache",
+    "native_cache_dir",
 ]
+
+
+def native_cache_dir() -> Path:
+    """Directory holding the native backend's content-addressed objects.
+
+    Each JIT-built shared object (and its generated C source) lives here
+    under its content hash — see :mod:`repro.runtime.native`.  Defaults
+    to ``.repro_cache/native`` below the working directory (the
+    directory is gitignored); ``REPRO_CACHE_DIR`` relocates the root,
+    e.g. to share one cache across checkouts or point CI at a persisted
+    volume.  Entries never expire: the key covers everything that
+    determines the binary, so stale entries are merely unused, and
+    ``rm -rf`` of the directory is always safe.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return Path(root) / "native"
 
 
 # ``sp.srepr`` dominates key computation for large adjoint expressions, so

@@ -454,6 +454,8 @@ class CompiledKernel:
     regions: tuple[RegionKernel, ...]
     counters: tuple[sp.Symbol, ...]
     _plans: dict = field(default_factory=dict, repr=False, compare=False)
+    # (toolchain, NativeLibrary | None) memo filled by runtime.native.
+    _native: tuple | None = field(default=None, repr=False, compare=False)
 
     def __call__(self, arrays: Mapping[str, np.ndarray]) -> None:
         # Serial execution also goes through the (memoised) plan, so the
@@ -470,12 +472,15 @@ class CompiledKernel:
         tile_shape: Sequence[int] | None = None,
         scatter: bool = False,
         min_block_iterations: int = 1024,
+        backend: str = "python",
     ) -> "ExecutionPlan":
         """The cached :class:`~repro.runtime.plan.ExecutionPlan` for a config.
 
         Plans precompute guard boxes, split axes, thread blocks and tiles
         once; repeated calls with an equal configuration return the same
         plan object, so every timestep of a run reuses the decomposition.
+        ``backend="native"`` makes bindings of the plan dispatch through
+        JIT-built C statement kernels (see :mod:`repro.runtime.native`).
         """
         from .plan import ExecutionConfig, ExecutionPlan  # avoids cycle
 
@@ -484,6 +489,7 @@ class CompiledKernel:
             tile_shape=tuple(tile_shape) if tile_shape is not None else None,
             scatter=scatter,
             min_block_iterations=min_block_iterations,
+            backend=backend,
         )
         plan = self._plans.get(config)
         if plan is None:

@@ -1,0 +1,429 @@
+"""Native execution backend: JIT-built C statement kernels behind ctypes.
+
+PR 1–2 took the Python interpreter path to cached, allocation-free
+steady state; the remaining per-timestep cost is NumPy ufunc dispatch
+itself.  This module removes it the way PyOP2 does: each compiled
+kernel's statements are lowered to C
+(:mod:`repro.codegen.native_c`), built once with the system C compiler
+into a shared object that is content-addressed on disk (keyed like
+``compile_nests``: everything that determines the generated code), and
+dispatched through the *same* plan/bind layer — a
+:class:`~repro.runtime.bound.BoundPlan` built with
+``ExecutionConfig(backend="native")`` binds the identical preallocated
+buffers and calls the native entry points per unit.
+
+Execution granularity: consecutive native statements of a task collapse
+into a single :class:`NativeChain` dispatched through one C chain-runner
+call, so a steady-state serial timestep costs one FFI crossing.
+``ctypes`` releases the GIL around calls, so threaded plans run native
+tasks genuinely in parallel.
+
+Fallback is graceful and total: no C toolchain, a failing compile, an
+ineligible statement (see :func:`~repro.codegen.native_c.native_eligibility`)
+or a bind-time mismatch (foreign dtype, unaligned strides) all leave the
+affected statements on the bound Python path, bitwise-identical by
+construction.  A missing toolchain warns once per process.
+
+Toolchain discovery: the ``REPRO_CC`` environment variable wins (set it
+to a nonexistent path to force the fallback, e.g. in tests); otherwise
+the first of ``cc``, ``gcc``, ``clang`` on ``PATH``.  Build flags pin
+``-ffp-contract=off`` — fused multiply-adds would break bitwise
+identity with NumPy's two-rounding multiply-then-add.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from ..codegen.native_c import (
+    CHAIN_RUNNER_NAME,
+    NATIVE_ABI_VERSION,
+    generate_native_source,
+)
+from .cache import native_cache_dir
+
+__all__ = [
+    "native_toolchain",
+    "native_available",
+    "NativeBuildError",
+    "NativeLibrary",
+    "library_for_kernel",
+    "NativeStatement",
+    "NativeChain",
+    "make_native_statement",
+    "chain_runnables",
+]
+
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno")
+
+_I64 = ctypes.c_int64
+_I64P = ctypes.POINTER(_I64)
+
+
+class NativeBuildError(RuntimeError):
+    """Raised when generating or building a native library fails."""
+
+
+# -- toolchain ----------------------------------------------------------------
+
+_toolchain_lock = threading.Lock()
+_toolchain_memo: dict[str | None, str | None] = {}
+_warned: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _warned:
+        _warned.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _reset_warnings() -> None:
+    """Test hook: make the next fallback warn again."""
+    _warned.clear()
+
+
+def native_toolchain() -> str | None:
+    """Path of the C compiler to use, or None when none is usable.
+
+    ``REPRO_CC`` overrides discovery entirely: when set, its value must
+    name an existing executable (absolute path or on ``PATH``) or the
+    toolchain is reported missing — no silent fallback, so tests and
+    deployments can pin or disable the compiler deterministically.
+    """
+    env = os.environ.get("REPRO_CC")
+    with _toolchain_lock:
+        if env in _toolchain_memo:
+            return _toolchain_memo[env]
+        if env is not None:
+            found = shutil.which(env)
+        else:
+            found = next(
+                (w for c in ("cc", "gcc", "clang") if (w := shutil.which(c))),
+                None,
+            )
+        _toolchain_memo[env] = found
+        return found
+
+
+def native_available() -> bool:
+    """True when the native backend can compile on this machine."""
+    return native_toolchain() is not None
+
+
+_compiler_id_memo: dict[str, str] = {}
+
+
+def _compiler_id(cc: str) -> str:
+    """Version line identifying the compiler (part of the cache key).
+
+    Memoised per compiler path: this runs on every cache-key
+    computation, including pure disk-cache hits, and a subprocess per
+    lookup would dominate bind time for many small cached kernels.
+    """
+    cached = _compiler_id_memo.get(cc)
+    if cached is not None:
+        return cached
+    try:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        out = ""
+    ident = out.splitlines()[0] if out else cc
+    _compiler_id_memo[cc] = ident
+    return ident
+
+
+# -- disk-cached build --------------------------------------------------------
+
+_lib_lock = threading.Lock()
+_lib_memo: dict[str, ctypes.CDLL] = {}
+
+
+def _build_key(source: str, cc: str) -> str:
+    payload = "\n".join(
+        [
+            f"abi={NATIVE_ABI_VERSION}",
+            f"cc={_compiler_id(cc)}",
+            f"flags={' '.join(_CFLAGS)}",
+            source,
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _build_shared_object(source: str, cc: str) -> Path:
+    """Compile *source* into the disk cache; return the ``.so`` path.
+
+    Content-addressed: an existing object for the same (source,
+    compiler, flags) is reused without invoking the compiler.  The
+    compile itself goes through a temporary file renamed into place, so
+    concurrent builders race benignly.
+    """
+    cache = native_cache_dir()
+    key = _build_key(source, cc)
+    so_path = cache / f"{key}.so"
+    if so_path.exists():
+        return so_path
+    cache.mkdir(parents=True, exist_ok=True)
+    c_path = cache / f"{key}.c"
+    if not c_path.exists():
+        tmp_c = tempfile.NamedTemporaryFile(
+            "w", dir=cache, suffix=".c", delete=False
+        )
+        with tmp_c as fh:
+            fh.write(source)
+        os.replace(tmp_c.name, c_path)
+    tmp_fd, tmp_so = tempfile.mkstemp(dir=cache, suffix=".so")
+    os.close(tmp_fd)
+    cmd = [cc, *_CFLAGS, "-o", tmp_so, str(c_path), "-lm"]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=300
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        os.unlink(tmp_so)
+        raise NativeBuildError(f"invoking {cc} failed: {exc}") from exc
+    if proc.returncode != 0:
+        os.unlink(tmp_so)
+        raise NativeBuildError(
+            f"{cc} failed (exit {proc.returncode}) on {c_path}:\n{proc.stderr}"
+        )
+    os.replace(tmp_so, so_path)
+    return so_path
+
+
+def _load_library(so_path: Path) -> ctypes.CDLL:
+    key = str(so_path)
+    with _lib_lock:
+        lib = _lib_memo.get(key)
+        if lib is None:
+            lib = _lib_memo[key] = ctypes.CDLL(key)
+        return lib
+
+
+# -- per-kernel native library ------------------------------------------------
+
+
+class NativeLibrary:
+    """The loaded native functions of one compiled kernel.
+
+    Holds the per-statement entry points (keyed by region identity and
+    statement index) and the chain runner.  Constructed once per kernel
+    via :func:`library_for_kernel` and shared by every plan/binding of
+    that kernel.
+    """
+
+    def __init__(self, kernel, cdll: ctypes.CDLL, manifest, so_path: Path):
+        self.kernel = kernel
+        self.so_path = so_path
+        self._fns: dict[tuple[int, int], ctypes._CFuncPtr] = {}
+        self._region_index = {id(r): ri for ri, r in enumerate(kernel.regions)}
+        for (ri, si), fname in manifest.items():
+            fn = getattr(cdll, fname)
+            fn.restype = None
+            fn.argtypes = (ctypes.POINTER(ctypes.c_void_p), _I64P)
+            self._fns[(ri, si)] = fn
+        runner = getattr(cdll, CHAIN_RUNNER_NAME)
+        runner.restype = None
+        runner.argtypes = (_I64, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p)
+        self.run_chain = runner
+
+    @property
+    def statement_count(self) -> int:
+        return len(self._fns)
+
+    def stmt_fn(self, region, si: int):
+        """The native entry for statement *si* of *region*, or None."""
+        ri = self._region_index.get(id(region))
+        if ri is None:
+            return None
+        return self._fns.get((ri, si))
+
+
+def library_for_kernel(kernel) -> NativeLibrary | None:
+    """The (memoised) native library for *kernel*, or None on fallback.
+
+    Memoised on the kernel object together with the toolchain used, so a
+    kernel cached across a toolchain change (e.g. tests pinning
+    ``REPRO_CC``) revalidates instead of reusing a stale verdict.
+    Returns None — warning once per process per reason — when no
+    toolchain exists or the build fails.
+    """
+    cc = native_toolchain()
+    memo = getattr(kernel, "_native", None)
+    if memo is not None and memo[0] == cc:
+        return memo[1]
+    lib: NativeLibrary | None = None
+    if cc is None:
+        _warn_once(
+            "no-toolchain",
+            "backend='native' requested but no C compiler was found "
+            "(checked REPRO_CC, cc, gcc, clang); falling back to the "
+            "python backend — results are identical, only slower",
+        )
+    else:
+        try:
+            source, manifest = generate_native_source(kernel)
+            so_path = _build_shared_object(source, cc)
+            lib = NativeLibrary(kernel, _load_library(so_path), manifest, so_path)
+        except NativeBuildError as exc:
+            _warn_once(
+                f"build-failed:{kernel.name}",
+                f"native build of kernel {kernel.name!r} failed; falling "
+                f"back to the python backend: {exc}",
+            )
+            lib = None
+    kernel._native = (cc, lib)
+    return lib
+
+
+# -- bound native statements and chains ---------------------------------------
+
+
+class NativeStatement:
+    """One statement of one work unit, bound to native code.
+
+    The counterpart of :class:`~repro.runtime.bound._BoundStatement`:
+    everything — data pointers, box bounds, element strides — is packed
+    into ctypes buffers once at bind time; :meth:`run` is a single
+    foreign call.  Holds references to the bound arrays so the pointers
+    stay valid for the binding's lifetime.
+    """
+
+    __slots__ = ("fn", "ptrs", "geom", "arrays")
+
+    def __init__(self, fn, ptrs, geom, arrays) -> None:
+        self.fn = fn
+        self.ptrs = ptrs
+        self.geom = geom
+        self.arrays = arrays  # keepalive: pointers reference their data
+
+    def run(self) -> None:
+        self.fn(self.ptrs, self.geom)
+
+
+def make_native_statement(
+    lib: NativeLibrary, region, si: int, stmt, arrays, eff
+) -> NativeStatement | None:
+    """Bind statement *si* of *region* natively, or None to fall back.
+
+    Returns None when the library has no entry for the statement (it
+    was ineligible at lowering time) or when the concrete *arrays*
+    break a lowering assumption: dtype differing from the kernel dtype,
+    strides not a whole number of elements, or a read-only target.
+    """
+    fn = lib.stmt_fn(region, si)
+    if fn is None:
+        return None
+    expected = np.dtype(region.dtype)
+    target = arrays[stmt.target.name]
+    if not target.flags.writeable:
+        return None
+    involved = [target] + [arrays[acc.name] for acc in stmt.reads]
+    itemsize = expected.itemsize
+    geom_vals: list[int] = []
+    for lo, hi in eff:
+        geom_vals.extend((lo, hi))
+    for arr, acc in zip(involved[1:], stmt.reads):
+        # Lowering gated same-*name* self-reads (and emitted the loop
+        # without `restrict` for them); arrays aliasing the target under
+        # a *different* name are only discoverable here.  The fused C
+        # loop would read freshly written elements (and break the
+        # `restrict` promise), so fall back to the Python statement's
+        # snapshot semantics.  may_share_memory is the cheap bounds
+        # check: false positives merely cost the fallback.
+        if acc.name != stmt.target.name and np.may_share_memory(target, arr):
+            return None
+    for arr, acc in zip(involved, (stmt.target, *stmt.reads)):
+        if arr.dtype != expected:
+            return None
+        if arr.ndim != len(acc.slots):
+            # Rank mismatch: the Python path's view construction (one
+            # slot per array dimension) fails loudly on these; the C
+            # index formula would silently address only the leading
+            # dimensions.  Fall back so the error surfaces identically.
+            return None
+        strides = arr.strides
+        for slot, (axis, off) in enumerate(acc.slots):
+            lo, hi = eff[axis]
+            if lo + off < 0 or hi + 1 + off > arr.shape[slot]:
+                # Out-of-bounds access (e.g. arrays smaller than the
+                # kernel bounds): fall back so the Python statement's
+                # _frame_view raises the proper KernelError instead of
+                # the C loop scribbling past the buffer.
+                return None
+            stride = strides[slot]
+            if stride % itemsize:
+                return None  # misaligned view: NumPy path handles it
+            geom_vals.append(stride // itemsize)
+    ptrs = (ctypes.c_void_p * len(involved))(
+        *(arr.ctypes.data for arr in involved)
+    )
+    geom = (_I64 * len(geom_vals))(*geom_vals)
+    return NativeStatement(fn, ptrs, geom, tuple(involved))
+
+
+class NativeChain:
+    """A run of consecutive native statements executed in one C call.
+
+    Packs the statements' function pointers and argument blocks into
+    arrays the generated chain runner walks, so an all-native serial
+    plan crosses the FFI once per timestep rather than once per
+    statement.
+    """
+
+    __slots__ = ("run_chain", "n", "fns", "ptrss", "geoms", "stmts")
+
+    def __init__(self, run_chain, stmts: list[NativeStatement]) -> None:
+        self.run_chain = run_chain
+        self.n = len(stmts)
+        self.stmts = tuple(stmts)  # keepalive for the argument blocks
+        self.fns = (ctypes.c_void_p * self.n)(
+            *(ctypes.cast(s.fn, ctypes.c_void_p).value for s in stmts)
+        )
+        self.ptrss = (ctypes.c_void_p * self.n)(
+            *(ctypes.addressof(s.ptrs) for s in stmts)
+        )
+        self.geoms = (ctypes.c_void_p * self.n)(
+            *(ctypes.addressof(s.geom) for s in stmts)
+        )
+
+    def run(self) -> None:
+        self.run_chain(self.n, self.fns, self.ptrss, self.geoms)
+
+
+def chain_runnables(lib: NativeLibrary | None, stmts: list) -> list:
+    """Collapse consecutive native statements into chains.
+
+    *stmts* is a task's ordered list of bound statements (native or
+    Python); the returned list preserves execution order, replacing
+    every maximal run of :class:`NativeStatement` with one
+    :class:`NativeChain`.  With no library (fallback) the list is
+    returned unchanged.
+    """
+    if lib is None:
+        return stmts
+    out: list = []
+    run: list[NativeStatement] = []
+    for s in stmts:
+        if isinstance(s, NativeStatement):
+            run.append(s)
+            continue
+        if run:
+            out.append(run[0] if len(run) == 1 else NativeChain(lib.run_chain, run))
+            run = []
+        out.append(s)
+    if run:
+        out.append(run[0] if len(run) == 1 else NativeChain(lib.run_chain, run))
+    return out

@@ -91,6 +91,11 @@ class ExecutionConfig:
     merge).  ``tile_shape`` cache-blocks each task's box.  ``scatter``
     selects the conventional-adjoint discipline.
     ``min_block_iterations`` keeps tiny regions on the submitting thread.
+    ``backend`` selects how bound statements execute: ``"python"`` runs
+    the in-place NumPy slot tape, ``"native"`` dispatches eligible
+    statements to JIT-built C (:mod:`repro.runtime.native`), falling
+    back statement-wise — and entirely, with one warning, when no C
+    toolchain exists — to the python path with identical results.
 
     Invalid values raise :class:`ValueError` here; a ``tile_shape``
     whose rank does not cover the kernel's dimensionality raises
@@ -102,10 +107,15 @@ class ExecutionConfig:
     tile_shape: tuple[int, ...] | None = None
     scatter: bool = False
     min_block_iterations: int = 1024
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ValueError("num_threads must be >= 1")
+        if self.backend not in ("python", "native"):
+            raise ValueError(
+                f"backend must be 'python' or 'native', got {self.backend!r}"
+            )
         if self.min_block_iterations < 1:
             raise ValueError("min_block_iterations must be >= 1")
         if self.scatter and self.tile_shape is not None:

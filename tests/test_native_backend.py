@@ -1,0 +1,562 @@
+"""Native-backend tests: JIT-built C statements, bitwise-identical.
+
+The contract under test is absolute: ``backend="native"`` must
+reproduce the serial seed path *bit for bit* — on the first run and on
+steady-state replay, across disciplines, apps and dtypes — or fall back
+to the Python path statement-wise (and then trivially match).  The
+suite also pins the operational story: the content-addressed ``.so``
+disk cache reuses builds without invoking the compiler, a machine
+without a C toolchain warns exactly once and produces identical
+results, and the scalar-semantics assumptions the lowering whitelist
+rests on (``x**2`` is ``x*x``, NumPy min/max tie-breaking) hold on this
+platform.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.baselines.scatter import tapenade_style_adjoint
+from repro.codegen.native_c import generate_native_source, native_eligibility
+from repro.core import adjoint_loops, make_loop_nest
+from repro.runtime import Bindings, ExecutionConfig, compile_nests, native_available
+from repro.runtime import native as native_mod
+
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="no C toolchain on this machine"
+)
+
+
+def _seed_serial(kernel, arrays):
+    """The pre-plan seed execution path: per-call views and temporaries."""
+    for region in kernel.regions:
+        region.execute(arrays)
+
+
+def _case(prob, n, rng, dtype=np.float64, with_primal=True, scatter=False):
+    if scatter:
+        nests = [tapenade_style_adjoint(prob.primal, prob.adjoint_map)]
+    else:
+        nests = list(adjoint_loops(prob.primal, prob.adjoint_map))
+        if with_primal:
+            nests = [prob.primal] + nests
+    kernel = compile_nests(nests, prob.bindings(n, dtype=dtype))
+    base = prob.allocate(n, rng=rng, dtype=dtype)
+    base.update(prob.allocate_adjoints(n, rng=rng, dtype=dtype))
+    return kernel, base
+
+
+def _assert_native_matches_seed(kernel, base, replays=2, **plan_kwargs):
+    """Native bound runs equal the seed serial path bitwise."""
+    ref = {k: v.copy() for k, v in base.items()}
+    _seed_serial(kernel, ref)
+    got = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(backend="native", **plan_kwargs)
+    try:
+        bound = plan.bind(got)
+        for _ in range(replays):
+            bound.run()
+            for name in ref:
+                assert ref[name].tobytes() == got[name].tobytes(), (
+                    f"{name} diverged from the seed serial path"
+                )
+            for name, arr in base.items():
+                got[name][...] = arr
+        return bound
+    finally:
+        plan.close()
+
+
+# -- bitwise identity ---------------------------------------------------------
+
+
+@needs_cc
+@pytest.mark.parametrize("dtype", [np.float64, np.float32], ids=["f64", "f32"])
+def test_heat2d_forward_and_adjoint_bitwise(rng, dtype):
+    """The acceptance case: heat2d primal + adjoint, fully native, exact."""
+    kernel, base = _case(heat_problem(2), 18, rng, dtype=dtype)
+    bound = _assert_native_matches_seed(kernel, base)
+    assert bound.native_statement_count == bound.statement_count
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "factory,n",
+    [
+        (lambda: heat_problem(1), 40),
+        (lambda: heat_problem(3), 10),
+        (lambda: wave_problem(1), 40),
+        (lambda: wave_problem(2), 18),
+        (lambda: burgers_problem(1), 40),
+        (lambda: burgers_problem(2), 16),
+    ],
+    ids=["heat1d", "heat3d", "wave1d", "wave2d", "burgers1d", "burgers2d"],
+)
+def test_adjoint_apps_bitwise(factory, n, rng):
+    kernel, base = _case(factory(), n, rng)
+    _assert_native_matches_seed(kernel, base)
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "config",
+    [
+        dict(num_threads=4, min_block_iterations=1),
+        dict(tile_shape=(6, 6)),
+        dict(num_threads=2, tile_shape=(6, 6), min_block_iterations=1),
+    ],
+    ids=["threads4", "tiled", "tiled+threads2"],
+)
+def test_disciplines_bitwise(rng, config):
+    kernel, base = _case(heat_problem(2), 24, rng)
+    _assert_native_matches_seed(kernel, base, **config)
+
+
+@needs_cc
+def test_scatter_discipline_bitwise(rng):
+    prob = heat_problem(2)
+    kernel, base = _case(prob, 18, rng, scatter=True)
+    ref = {k: v.copy() for k, v in base.items()}
+    kernel.plan(scatter=True, num_threads=2, min_block_iterations=1).run_unbound(ref)
+    got = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(
+        backend="native", scatter=True, num_threads=2, min_block_iterations=1
+    )
+    try:
+        bound = plan.bind(got)
+        bound.run()
+        assert bound.native_statement_count > 0
+        for name in ref:
+            assert ref[name].tobytes() == got[name].tobytes()
+    finally:
+        plan.close()
+
+
+@needs_cc
+def test_burgers_float32_partial_fallback_still_exact(rng):
+    """Heaviside statements fall back on f32; results stay bitwise exact."""
+    kernel, base = _case(burgers_problem(2), 16, rng, dtype=np.float32)
+    bound = _assert_native_matches_seed(kernel, base)
+    assert 0 < bound.native_statement_count < bound.statement_count
+
+
+@needs_cc
+def test_plan_run_memoised_binding_uses_native(rng):
+    """ExecutionPlan.run's transparent binding also hits the native path."""
+    kernel, base = _case(heat_problem(2), 18, rng)
+    ref = {k: v.copy() for k, v in base.items()}
+    _seed_serial(kernel, ref)
+    got = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(backend="native")
+    try:
+        plan.run(got)  # first sighting: unbound python reference path
+        for name, arr in base.items():
+            got[name][...] = arr
+        plan.run(got)  # second sighting: binds natively
+        for name in ref:
+            assert ref[name].tobytes() == got[name].tobytes()
+    finally:
+        plan.close()
+
+
+# -- fallback without a toolchain --------------------------------------------
+
+
+def test_no_compiler_falls_back_and_warns_once(rng, monkeypatch, tmp_path):
+    """Pinned to a nonexistent compiler: one warning, identical results."""
+    monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+    monkeypatch.setattr(native_mod, "_toolchain_memo", {})
+    monkeypatch.setattr(native_mod, "_warned", set())
+    assert not native_available()
+
+    prob = heat_problem(2)
+    nests = [prob.primal] + list(adjoint_loops(prob.primal, prob.adjoint_map))
+    kernel = compile_nests(nests, prob.bindings(12), cache=False)
+    base = prob.allocate(12, rng=rng)
+    base.update(prob.allocate_adjoints(12, rng=rng))
+
+    ref = {k: v.copy() for k, v in base.items()}
+    _seed_serial(kernel, ref)
+
+    got = {k: v.copy() for k, v in base.items()}
+    plan = kernel.plan(backend="native")
+    with pytest.warns(RuntimeWarning, match="no C compiler"):
+        bound = plan.bind(got)
+    assert bound.native_statement_count == 0  # full python fallback
+    bound.run()
+    for name in ref:
+        assert ref[name].tobytes() == got[name].tobytes()
+
+    # The second binding must not warn again.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        rebound = plan.bind({k: v.copy() for k, v in base.items()})
+    assert rebound.native_statement_count == 0
+    plan.close()
+
+
+@needs_cc
+def test_toolchain_change_revalidates_kernel_memo(rng, monkeypatch, tmp_path):
+    """A kernel bound under a dead toolchain recovers once cc is back."""
+    prob = heat_problem(1)
+    nests = list(adjoint_loops(prob.primal, prob.adjoint_map))
+    kernel = compile_nests(nests, prob.bindings(20), cache=False)
+    base = prob.allocate(20, rng=rng)
+    base.update(prob.allocate_adjoints(20, rng=rng))
+
+    monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+    monkeypatch.setattr(native_mod, "_toolchain_memo", {})
+    monkeypatch.setattr(native_mod, "_warned", set())
+    with pytest.warns(RuntimeWarning):
+        plan = kernel.plan(backend="native")
+        assert plan.bind(dict(base)).native_statement_count == 0
+
+    monkeypatch.delenv("REPRO_CC")
+    monkeypatch.setattr(native_mod, "_toolchain_memo", {})
+    bound = kernel.plan(backend="native").bind(dict(base))
+    assert bound.native_statement_count > 0
+
+
+# -- disk cache ---------------------------------------------------------------
+
+
+@needs_cc
+def test_shared_object_disk_cache_reuses_builds(rng, monkeypatch, tmp_path):
+    """Same kernel content: second build reuses the .so without compiling."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    prob = heat_problem(2)
+    nests = list(adjoint_loops(prob.primal, prob.adjoint_map))
+
+    calls = {"n": 0}
+    real_run = native_mod.subprocess.run
+
+    def counting_run(cmd, **kwargs):
+        if isinstance(cmd, list) and "-shared" in cmd:
+            calls["n"] += 1
+        return real_run(cmd, **kwargs)
+
+    monkeypatch.setattr(native_mod.subprocess, "run", counting_run)
+
+    k1 = compile_nests(nests, prob.bindings(12), cache=False)
+    lib1 = native_mod.library_for_kernel(k1)
+    assert lib1 is not None and calls["n"] == 1
+    assert lib1.so_path.exists()
+    assert lib1.so_path.with_suffix(".c").exists()  # source kept for debugging
+
+    # A content-equal kernel compiled separately: cache hit, no cc call.
+    k2 = compile_nests(nests, prob.bindings(12), cache=False)
+    lib2 = native_mod.library_for_kernel(k2)
+    assert lib2 is not None and calls["n"] == 1
+    assert lib2.so_path == lib1.so_path
+
+    # Grid size lives in the runtime geometry, not the source: a
+    # different n still hits the same shared object.
+    k3 = compile_nests(nests, prob.bindings(14), cache=False)
+    lib3 = native_mod.library_for_kernel(k3)
+    assert lib3 is not None and calls["n"] == 1
+    assert lib3.so_path == lib1.so_path
+
+    # Different generated code (dtype changes the typedef): rebuild.
+    k4 = compile_nests(nests, prob.bindings(12, dtype=np.float32), cache=False)
+    lib4 = native_mod.library_for_kernel(k4)
+    assert lib4 is not None and calls["n"] == 2
+    assert lib4.so_path != lib1.so_path
+
+
+@needs_cc
+def test_library_memoised_on_kernel(rng):
+    prob = heat_problem(1)
+    kernel = compile_nests(
+        list(adjoint_loops(prob.primal, prob.adjoint_map)),
+        prob.bindings(16),
+        cache=False,
+    )
+    assert native_mod.library_for_kernel(kernel) is native_mod.library_for_kernel(
+        kernel
+    )
+
+
+# -- eligibility gating -------------------------------------------------------
+
+
+def _one_statement_kernel(rhs_builder, n=24, op="="):
+    i = sp.Symbol("i", integer=True)
+    nsym = sp.Symbol("n", integer=True)
+    u, v = sp.Function("u"), sp.Function("v")
+    nest = make_loop_nest(
+        lhs=v(i),
+        rhs=rhs_builder(u, i),
+        counters=[i],
+        bounds={i: [1, nsym - 2]},
+        op=op,
+        name="gate",
+    )
+    bindings = Bindings(sizes={nsym: n})
+    kernel = compile_nests([nest], bindings, cache=False)
+    arrays = {
+        "u": np.random.default_rng(3).standard_normal(n + 1) * 0.5 + 1.5,
+        "v": np.zeros(n + 1),
+    }
+    return kernel, arrays
+
+
+@pytest.mark.parametrize(
+    "builder,reason_part",
+    [
+        (lambda u, i: sp.sin(u(i)), "no bitwise-exact native lowering"),
+        (lambda u, i: u(i) ** 3, "pow exponent 3"),
+        (lambda u, i: u(i) ** -2, "pow exponent -2"),
+    ],
+    ids=["sin", "cube", "invsquare"],
+)
+def test_ineligible_expressions_are_gated(builder, reason_part):
+    kernel, _ = _one_statement_kernel(builder)
+    st = kernel.regions[0].statements[0]
+    reason = native_eligibility(st, dim=1, dtype=kernel.regions[0].dtype)
+    assert reason is not None and reason_part in reason
+    _, manifest = generate_native_source(kernel)
+    assert manifest == {}
+
+
+def _self_ref_statement(read_offset: int):
+    """A hand-built compiled statement writing the array it reads.
+
+    The front-end's stencil validation (Section 3.4) rejects such
+    nests, but transformed/merged adjoint statements are not funnelled
+    through it — the eligibility gate is the runtime's own last line.
+    """
+    from repro.runtime.compiler import CompiledAccess, CompiledStatement
+
+    acc_w = CompiledAccess(name="u", slots=((0, 0),))
+    acc_r = CompiledAccess(name="u", slots=((0, read_offset),))
+    return CompiledStatement(
+        target=acc_w,
+        op="+=",
+        eval_fn=lambda a: 0.5 * a,
+        reads=(acc_r,),
+        bare_axes=(),
+        guard_box=None,
+        dim=1,
+        rhs_expr=sp.Float(0.5) * sp.Symbol("__acc0"),
+    )
+
+
+def test_shifted_self_reference_is_gated():
+    """u[i] += f(u[i-1]) fuses differently in a C loop: must fall back."""
+    st = _self_ref_statement(read_offset=-1)
+    reason = native_eligibility(st, dim=1, dtype=np.float64)
+    assert reason is not None and "shifted offsets" in reason
+
+
+def test_elementwise_self_reference_is_eligible():
+    """u[i] += f(u[i]) reads before it writes in both paths: eligible."""
+    st = _self_ref_statement(read_offset=0)
+    assert native_eligibility(st, dim=1, dtype=np.float64) is None
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda u, i: u(i) ** 2 + 0.25 * u(i - 1) * u(i + 1),
+        lambda u, i: sp.sqrt(u(i)) + 1 / u(i + 1),
+        lambda u, i: sp.Max(0, u(i)) * u(i - 1) + sp.Min(0, u(i)) * u(i + 1),
+        lambda u, i: sp.Heaviside(u(i) - 1.5) * u(i - 1),
+        lambda u, i: sp.Rational(1, 3) * u(i) + u(i + 1) / 7,
+        lambda u, i: u(i) / sp.sqrt(u(i + 1)),
+        lambda u, i: 0.1 * i * u(i),  # bare counter operand
+    ],
+    ids=["square", "sqrt-recip", "minmax", "heaviside", "rational", "rsqrt", "counter"],
+)
+def test_eligible_scalar_semantics_bitwise(builder):
+    """Each whitelisted construct matches the NumPy path bit for bit."""
+    kernel, arrays = _one_statement_kernel(builder)
+    ref = {k: v.copy() for k, v in arrays.items()}
+    _seed_serial(kernel, ref)
+    got = {k: v.copy() for k, v in arrays.items()}
+    plan = kernel.plan(backend="native")
+    try:
+        bound = plan.bind(got)
+        assert bound.native_statement_count == 1
+        bound.run()
+        assert ref["v"].tobytes() == got["v"].tobytes()
+    finally:
+        plan.close()
+
+
+@needs_cc
+def test_minmax_nan_and_signed_zero_semantics():
+    """np.maximum/minimum edge semantics survive the C lowering exactly.
+
+    The lowering encodes strict-comparison ternaries that break ties to
+    the *second* operand and propagate NaN payloads; this exercises the
+    full special-value matrix through a real kernel.
+    """
+    i = sp.Symbol("i", integer=True)
+    nsym = sp.Symbol("n", integer=True)
+    u, w, v = sp.Function("u"), sp.Function("w"), sp.Function("v")
+    nest = make_loop_nest(
+        lhs=v(i),
+        rhs=sp.Max(u(i), w(i)) + 2.0 * sp.Min(u(i), w(i)),
+        counters=[i],
+        bounds={i: [0, nsym - 1]},
+        name="mm",
+    )
+    specials = np.array(
+        [1.0, -1.0, 0.0, -0.0, np.inf, -np.inf, 3.5,
+         np.frombuffer(np.int64(0x7FF8000000000001).tobytes(), np.float64)[0]]
+    )
+    n = len(specials) ** 2
+    kernel = compile_nests([nest], Bindings(sizes={nsym: n}), cache=False)
+    a, b = np.meshgrid(specials, specials)
+    arrays = {"u": a.ravel(), "w": b.ravel(), "v": np.zeros(n)}
+    ref = {k: v_.copy() for k, v_ in arrays.items()}
+    with np.errstate(invalid="ignore"):  # inf + -inf operands are the point
+        _seed_serial(kernel, ref)
+    plan = kernel.plan(backend="native")
+    try:
+        bound = plan.bind(arrays)
+        assert bound.native_statement_count == 1
+        bound.run()
+        assert ref["v"].tobytes() == arrays["v"].tobytes()
+    finally:
+        plan.close()
+
+
+# -- config / bind-time validation -------------------------------------------
+
+
+def test_backend_config_validation():
+    with pytest.raises(ValueError, match="backend"):
+        ExecutionConfig(backend="gpu")
+    assert ExecutionConfig(backend="native").backend == "native"
+
+
+@needs_cc
+def test_rank_mismatched_arrays_fall_back(rng):
+    """Arrays with extra trailing dimensions bind python-side (and fail
+    there as loudly as the python backend does), never silently compute
+    on the leading dimensions natively."""
+    i = sp.Symbol("i", integer=True)
+    nsym = sp.Symbol("n", integer=True)
+    u, v = sp.Function("u"), sp.Function("v")
+    nest = make_loop_nest(
+        lhs=v(i), rhs=0.5 * u(i), counters=[i],
+        bounds={i: [1, nsym - 2]}, name="rank",
+    )
+    kernel = compile_nests([nest], Bindings(sizes={nsym: 16}), cache=False)
+    bad = {"u": rng.standard_normal((17, 3)), "v": np.zeros((17, 3))}
+    plan = kernel.plan(backend="native")
+    try:
+        bound = plan.bind(bad)
+        assert bound.native_statement_count == 0
+        with pytest.raises(ValueError):  # same failure as backend="python"
+            bound.run()
+    finally:
+        plan.close()
+
+
+def test_wide_minmax_is_gated():
+    i = sp.Symbol("i", integer=True)
+    expr = sp.Max(
+        sp.Symbol("__acc0"), sp.Symbol("__acc1"), sp.Symbol("__acc2")
+    )
+    from repro.codegen.native_c import _expr_eligible
+
+    assert _expr_eligible(expr, "float64") is not None
+    assert _expr_eligible(expr.args[0] + expr.args[1], "float64") is None
+
+
+@needs_cc
+def test_cross_name_aliased_arrays_fall_back(rng):
+    """One ndarray bound under two names must keep snapshot semantics.
+
+    A fused C loop over v[i] = 0.5*u[i+1] with u and v aliased would
+    read elements it just wrote; the bind-time may_share_memory guard
+    routes such statements to the Python path, which stages the whole
+    RHS before writing — so results still match the aliased reference.
+    """
+    i = sp.Symbol("i", integer=True)
+    nsym = sp.Symbol("n", integer=True)
+    u, v = sp.Function("u"), sp.Function("v")
+    nest = make_loop_nest(
+        lhs=v(i), rhs=0.5 * u(i + 1), counters=[i],
+        bounds={i: [1, nsym - 2]}, name="alias",
+    )
+    kernel = compile_nests([nest], Bindings(sizes={nsym: 32}), cache=False)
+    x = rng.standard_normal(33)
+    ref = x.copy()
+    kernel.plan().run_unbound({"u": ref, "v": ref})
+    got = x.copy()
+    plan = kernel.plan(backend="native")
+    try:
+        bound = plan.bind({"u": got, "v": got})
+        assert bound.native_statement_count == 0
+        bound.run()
+        assert ref.tobytes() == got.tobytes()
+        # Distinct arrays still dispatch natively.
+        assert (
+            plan.bind({"u": x.copy(), "v": np.zeros(33)}).native_statement_count
+            == 1
+        )
+    finally:
+        plan.close()
+
+
+@needs_cc
+def test_undersized_arrays_raise_like_python_backend(rng):
+    """Arrays smaller than the kernel bounds must raise, not scribble.
+
+    The native bind validates every access against the concrete array
+    shapes and falls back to the Python statement, whose view
+    construction raises the same KernelError the python backend gives.
+    """
+    from repro.runtime import KernelError
+
+    prob = heat_problem(2)
+    kernel, base = _case(prob, 18, rng, with_primal=False)
+    small = {k: np.ascontiguousarray(v[:-2, :-2]) for k, v in base.items()}
+    py_plan = kernel.plan()
+    nat_plan = kernel.plan(backend="native")
+    try:
+        with pytest.raises(KernelError, match="out of bounds"):
+            py_plan.bind(small)
+        with pytest.raises(KernelError, match="out of bounds"):
+            nat_plan.bind(small)
+    finally:
+        py_plan.close()
+        nat_plan.close()
+
+
+@needs_cc
+def test_foreign_dtype_arrays_fall_back(rng):
+    """Arrays not matching the kernel dtype bind on the python path."""
+    prob = heat_problem(1)
+    kernel, base = _case(prob, 20, rng, with_primal=False)
+    cast = {k: v.astype(np.float32).astype(np.float64) for k, v in base.items()}
+    plan = kernel.plan(backend="native")
+    try:
+        assert plan.bind(cast).native_statement_count > 0
+        wrong = {k: v.astype(np.float32) for k, v in base.items()}
+        bound = plan.bind(wrong)
+        assert bound.native_statement_count == 0
+        bound.run()  # python fallback still executes correctly
+    finally:
+        plan.close()
+
+
+# -- platform assumptions -----------------------------------------------------
+
+
+def test_platform_pow_assumptions():
+    """The whitelist rests on these NumPy scalar identities."""
+    x = np.random.default_rng(0).standard_normal(4096) * 3
+    assert (x**2).tobytes() == (x * x).tobytes()
+    pos = np.abs(x) + 0.01
+    assert (pos**-1).tobytes() == (1.0 / pos).tobytes()
+    assert (pos**0.5).tobytes() == np.sqrt(pos).tobytes()
+    xf = x.astype(np.float32)
+    assert (xf**2).tobytes() == (xf * xf).tobytes()
