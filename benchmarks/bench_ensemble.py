@@ -1,0 +1,96 @@
+"""Ensemble throughput benchmark: batched members vs the per-member loop.
+
+The single-scenario steady state (PRs 1–3) left exactly one cost on the
+table for many-scenario workloads: every member of a naive ensemble
+loop re-pays the per-call dispatch of each statement on its own small
+arrays.  The :class:`~repro.runtime.ensemble.EnsemblePlan` folds the
+member axis into the operands instead — one ufunc (or one chained C
+call) sweeps all members — so the per-member cost approaches the
+marginal grid work.
+
+Acceptance targets (recorded in ``BENCH_ensemble.json``):
+
+* >= 2x steady-state throughput of the batched ensemble over the naive
+  per-member loop of bound plans on a 64-member heat2d ensemble,
+* every member bitwise identical to its looped single-scenario run,
+* steady-state scaling recorded across heat2d/wave2d/burgers1d.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.core import adjoint_loops
+from repro.experiments.steady import measure_ensemble
+from repro.runtime import compile_nests
+
+MEMBERS = 64
+REPS = 40
+OUTPUT = "BENCH_ensemble.json"
+
+CASES = {
+    "heat2d": (lambda: heat_problem(2), 18),
+    "wave2d": (lambda: wave_problem(2), 14),
+    "burgers1d": (lambda: burgers_problem(1), 48),
+}
+
+
+def test_ensemble_throughput(benchmark, capsys):
+    cases = {}
+    ens_heat = None
+    for label, (factory, n) in CASES.items():
+        prob = factory()
+        nests = adjoint_loops(prob.primal, prob.adjoint_map)
+        kernel = compile_nests(nests, prob.bindings(n), name="ens_bench")
+        plan = kernel.plan()
+        states = [
+            prob.allocate_state(n, seed=m) for m in range(MEMBERS)
+        ]
+        record, ensemble = measure_ensemble(plan, states, REPS)
+        if label == "heat2d":
+            ens_heat = ensemble
+        else:
+            ensemble.close()
+        cases[label] = {"problem": prob.name, "n": n, **record}
+        plan.close()
+
+    def heat_loop():
+        for _ in range(REPS):
+            ens_heat.run()
+
+    benchmark.pedantic(heat_loop, rounds=3, iterations=1)
+    ens_heat.close()
+
+    record = {
+        "benchmark": "ensemble_steady_state",
+        "members": MEMBERS,
+        "reps": REPS,
+        "backend": "python",
+        "cases": cases,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info.update(record)
+
+    with capsys.disabled():
+        print(f"\nbatched ensemble, {MEMBERS} members, best of {REPS}-step loops:")
+        for label, case in cases.items():
+            print(
+                f"  {label:10s} n={case['n']:3d}  "
+                f"loop {case['loop_us_per_member_step']:7.1f} us/member-step  "
+                f"batched {case['ensemble_us_per_member_step']:7.1f}  "
+                f"throughput {case['speedup']:5.2f}x  "
+                f"bitwise={'ok' if case['bitwise_identical'] else 'MISMATCH'}"
+            )
+        print(f"  (recorded in {OUTPUT})")
+
+    assert all(c["bitwise_identical"] for c in cases.values()), (
+        "an ensemble member diverged from its looped single-scenario run"
+    )
+    heat = cases["heat2d"]
+    assert heat["speedup"] >= 2.0, (
+        f"expected >=2x ensemble throughput on heat2d, got "
+        f"{heat['speedup']:.2f}x"
+    )

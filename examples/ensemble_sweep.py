@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A 64-member Burgers parameter sweep with per-member gradients.
+
+Sweeps the upwinded 1-D Burgers adjoint over a 4x2 grid of the
+convection/diffusion coefficients (C, D), 8 members per grid point with
+distinct initial conditions, executed as batched ensembles
+(`EnsemblePlan`): one kernel per grid point (compiled once each via the
+content-addressed cache), all members of a grid point advanced per
+`run()` call, bitwise identical to running each scenario alone.
+
+Prints per-member gradient norms (d misfit / d initial state, i.e. the
+`u_1_b` adjoint), the grid-point throughput against a naive per-member
+loop, and verifies one member bitwise against its single-scenario run.
+
+Run:  PYTHONPATH=src python examples/ensemble_sweep.py
+See:  docs/ensembles.md for the how-to, `python -m repro sweep` for
+      the CLI equivalent.
+"""
+
+import time
+
+import numpy as np
+
+from repro import adjoint_loops, burgers_problem, compile_nests, stack_arrays
+
+N = 48          # grid size
+MEMBERS = 64    # total ensemble members
+STEPS = 25      # adjoint timesteps
+C_GRID = [0.1, 0.15, 0.2, 0.25]
+D_GRID = [0.05, 0.1]
+
+
+def main() -> None:
+    prob = burgers_problem(1)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    grid = [(c, d) for c in C_GRID for d in D_GRID]
+
+    # member m -> grid point m % len(grid), seed-m initial state
+    groups: dict[tuple, list[int]] = {}
+    for m in range(MEMBERS):
+        groups.setdefault(grid[m % len(grid)], []).append(m)
+
+    print(f"Burgers sweep: {MEMBERS} members over {len(grid)} (C, D) points, "
+          f"n={N}, {STEPS} steps\n")
+    gradients = {}
+    total_batched = total_loop = 0.0
+    for (c_val, d_val), member_ids in groups.items():
+        kernel = compile_nests(
+            nests, prob.bindings(N, C=c_val, D=d_val), name="sweep_example"
+        )
+        plan = kernel.plan()
+        states = [prob.allocate_state(N, seed=m) for m in member_ids]
+
+        # batched ensemble: all members of this grid point per call
+        ensemble = plan.ensemble(stack_arrays(states))
+        t0 = time.perf_counter()
+        for _ in range(STEPS):
+            ensemble.run()
+        total_batched += time.perf_counter() - t0
+
+        # the naive alternative, for the throughput comparison
+        loop_arrays = [{k: v.copy() for k, v in st.items()} for st in states]
+        bounds = [plan.bind(arrays) for arrays in loop_arrays]
+        t0 = time.perf_counter()
+        for _ in range(STEPS):
+            for bound in bounds:
+                bound.run()
+        total_loop += time.perf_counter() - t0
+
+        for local, m in enumerate(member_ids):
+            views = ensemble.member_arrays(local)
+            grad = views["u_1_b"]  # d misfit / d initial condition
+            gradients[m] = (c_val, d_val, float(np.linalg.norm(grad)))
+            # bitwise identity against the looped run, every member
+            assert all(
+                np.array_equal(views[k], loop_arrays[local][k])
+                for k in views
+            ), f"member {m} diverged from its single-scenario run"
+
+    print("member   C      D      |grad u_1|")
+    for m in sorted(gradients)[:8]:
+        c_val, d_val, norm = gradients[m]
+        print(f"  {m:3d}   {c_val:.2f}   {d_val:.2f}   {norm:12.6f}")
+    print(f"  ... ({MEMBERS - 8} more members)\n")
+    print(f"naive per-member loop : {total_loop:8.3f} s")
+    print(f"batched ensembles     : {total_batched:8.3f} s "
+          f"({total_loop / total_batched:.1f}x throughput)")
+    print("all members bitwise identical to single-scenario runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,7 @@ from .frontend import parse_stencil, parse_stencils
 from .machine import BROADWELL, KNL, V100, MachineModel, analyze_nests, analyze_scatter
 from .runtime import (
     Bindings,
+    EnsemblePlan,
     ExecutionConfig,
     ExecutionPlan,
     KernelCache,
@@ -66,6 +67,7 @@ from .runtime import (
     get_kernel_cache,
     interpret_nests,
     run_tiled,
+    stack_arrays,
 )
 from .tape import StencilOp, Variable
 from .verify import compare_adjoints, dot_product_test, finite_difference_test
@@ -98,9 +100,11 @@ __all__ = [
     "compare_adjoints",
     "compile_nests",
     "conv_problem",
+    "EnsemblePlan",
     "ExecutionConfig",
     "ExecutionPlan",
     "KernelCache",
+    "stack_arrays",
     "get_kernel_cache",
     "dot_product_test",
     "finite_difference_test",

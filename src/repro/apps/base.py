@@ -114,6 +114,34 @@ class StencilProblem:
         arrays[self.output_name] = np.zeros(shape, dtype=dtype)
         return arrays
 
+    def allocate_state(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        dtype: type = np.float64,
+        seed: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """The full kernel working set: primal arrays plus adjoints.
+
+        Combines :meth:`allocate` and :meth:`allocate_adjoints` with one
+        generator, which is what runtime callers (benchmarks, the
+        ensemble sweep, examples) want for a scenario.  ``seed`` is a
+        convenience for per-member generators: ``allocate_state(n,
+        seed=m)`` gives member ``m`` a distinct, reproducible scenario.
+
+        >>> from repro.apps import heat_problem
+        >>> state = heat_problem(1).allocate_state(8, seed=3)
+        >>> sorted(state)
+        ['u', 'u_1', 'u_1_b', 'u_b']
+        """
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        elif seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        arrays = self.allocate(n, rng=rng, dtype=dtype)
+        arrays.update(self.allocate_adjoints(n, rng=rng, dtype=dtype))
+        return arrays
+
     def allocate_adjoints(
         self,
         n: int,

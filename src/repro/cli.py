@@ -20,6 +20,15 @@ Commands
     JIT-compiled C backend; ``--baseline benchmarks/baseline_runtime.json``
     turns the run into the CI perf-regression gate, failing on a
     >--max-slowdown per-timestep slowdown or lost bitwise identity.
+``sweep``
+    Run a batched ensemble (many scenarios — distinct initial
+    conditions, optional parameter grids — through one kernel; see
+    ``docs/ensembles.md``), measure its steady-state throughput against
+    the naive per-member loop of bound plans, extract per-member
+    gradients, and write ``BENCH_ensemble.json``.  Exits non-zero when
+    any member diverges bitwise from its single-scenario run.
+    ``--baseline benchmarks/baseline_ensemble.json`` is the ensemble CI
+    perf gate.
 """
 
 from __future__ import annotations
@@ -87,6 +96,23 @@ def _tile_shape(value: str) -> tuple[int, ...]:
     if not tile or any(t < 1 for t in tile):
         raise argparse.ArgumentTypeError("tile extents must be >= 1")
     return tile
+
+
+def _param_values(value: str) -> tuple[str, tuple[float, ...]]:
+    name, sep, rest = value.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"invalid parameter spec {value!r}; expected NAME=V1[,V2,...]"
+        )
+    try:
+        values = tuple(float(v) for v in rest.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid parameter values in {value!r}; expected floats"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(f"no values in parameter spec {value!r}")
+    return name, values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +197,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
         help="largest tolerated bound_us_per_call ratio vs the baseline "
         "(default: 1.5)",
+    )
+
+    swp = sub.add_parser(
+        "sweep",
+        help="batched ensemble run / parameter sweep "
+        "(writes BENCH_ensemble.json)",
+    )
+    swp.add_argument("--problem", choices=sorted(_PROBLEMS), default="heat2d")
+    swp.add_argument("--n", type=int, default=None, help="grid size")
+    swp.add_argument(
+        "--members", type=int, default=64,
+        help="ensemble size (default: 64); member m gets the seed-m "
+        "initial state and the m-th point of the parameter grid, "
+        "round-robin",
+    )
+    swp.add_argument(
+        "--param", type=_param_values, action="append", default=[],
+        metavar="NAME=V1[,V2,...]",
+        help="sweep a kernel parameter over these values (repeatable; "
+        "multiple --param options form a cartesian grid; each distinct "
+        "point compiles one kernel via the content-addressed cache)",
+    )
+    swp.add_argument(
+        "--workers", type=_thread_count, default=1,
+        help="ensemble worker threads (work-stealing member scheduler; "
+        "default: 1 = one fully fused chunk)",
+    )
+    swp.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="member execution backend (native chains whole "
+        "member-timesteps into single C calls)",
+    )
+    swp.add_argument(
+        "--dtype", choices=["f64", "f32"], default="f64",
+        help="kernel dtype (default: f64)",
+    )
+    swp.add_argument(
+        "--reps", type=int, default=60,
+        help="timing repetitions per round (default: 60)",
+    )
+    swp.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions (CI smoke / perf gate)",
+    )
+    swp.add_argument(
+        "--output", default="BENCH_ensemble.json",
+        help="where to write the JSON record (default: ./BENCH_ensemble.json)",
+    )
+    swp.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="ensemble perf-regression gate: compare per-member-timestep "
+        "throughput against this recorded JSON and fail beyond "
+        "--max-slowdown or on lost bitwise identity",
+    )
+    swp.add_argument(
+        "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
+        help="largest tolerated machine-corrected ensemble_us_per_member_step "
+        "ratio vs the baseline (default: 1.5)",
     )
     return parser
 
@@ -361,38 +445,65 @@ def _cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
-def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
-    """The CI perf-regression gate: current record vs a checked-in one.
+def _load_baseline(record, baseline_path: str, context_keys, gate_name: str):
+    """Load a baseline record and check its context matches this run.
 
-    Fails (returns False, printing per-case verdicts) when any case
-    shared with the baseline got more than *max_slowdown* times slower
-    per bound timestep, or lost bitwise identity.  The comparison is
-    corrected for machine speed: each record carries the unbound
-    per-call time of the same run on the same machine, so the gated
-    quantity is the bound slowdown *relative to that reference
-    workload* — a baseline recorded on a fast dev box does not fail a
-    slower CI runner on hardware class alone.  A baseline whose
-    benchmark context (problem, n, reps, backend) differs from the
-    current run fails outright rather than comparing apples to oranges.
-    Cases absent from the baseline pass with a note, so adding a
-    discipline does not require regenerating the baseline in the same
-    commit.
+    Shared by every perf gate: a baseline recorded with different
+    options (and therefore non-comparable timings) is rejected outright
+    rather than compared apples to oranges.  Returns the parsed
+    baseline, or None (after printing the FAIL verdict) on mismatch.
     """
     import json
 
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    print(f"baseline gate vs {baseline_path} (max slowdown {max_slowdown}x):")
-    for key in ("benchmark", "problem", "n", "reps", "backend"):
+    for key in context_keys:
         ours, theirs = record.get(key), baseline.get(key)
         if ours != theirs:
             print(
                 f"  FAIL: baseline {key}={theirs!r} does not match this "
                 f"run's {key}={ours!r}; regenerate the baseline with the "
-                f"same bench options"
+                f"same options"
             )
-            print("  baseline gate: FAIL")
-            return False
+            print(f"  {gate_name}: FAIL")
+            return None
+    return baseline
+
+
+def _corrected_slowdown(ours, base, ours_ref, base_ref):
+    """(raw, machine, corrected) slowdown of a metric vs its baseline.
+
+    The machine factor comes from a reference workload measured in the
+    same run on the same machine as each metric, so the corrected ratio
+    tracks regressions in the gated path itself — a baseline recorded
+    on a fast dev box does not fail a slower CI runner on hardware
+    class alone.
+    """
+    raw = ours / base
+    machine = ours_ref / base_ref
+    return raw, machine, raw / machine
+
+
+def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
+    """The CI perf-regression gate: current record vs a checked-in one.
+
+    Fails (returns False, printing per-case verdicts) when any case
+    shared with the baseline got more than *max_slowdown* times slower
+    per bound timestep — machine-corrected via the unbound per-call
+    time of the same run (see :func:`_corrected_slowdown`) — or lost
+    bitwise identity.  Context mismatches are rejected outright
+    (:func:`_load_baseline`).  Cases absent from the baseline pass with
+    a note, so adding a discipline does not require regenerating the
+    baseline in the same commit.
+    """
+    print(f"baseline gate vs {baseline_path} (max slowdown {max_slowdown}x):")
+    baseline = _load_baseline(
+        record, baseline_path,
+        ("benchmark", "problem", "n", "reps", "backend"),
+        "baseline gate",
+    )
+    if baseline is None:
+        return False
     base_cases = baseline.get("cases", {})
     ok = True
     for label, case in record["cases"].items():
@@ -404,9 +515,10 @@ def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
         if base is None:
             print(f"  {label:10s} pass (no baseline case)")
             continue
-        raw = case["bound_us_per_call"] / base["bound_us_per_call"]
-        machine = case["unbound_us_per_call"] / base["unbound_us_per_call"]
-        slowdown = raw / machine
+        raw, machine, slowdown = _corrected_slowdown(
+            case["bound_us_per_call"], base["bound_us_per_call"],
+            case["unbound_us_per_call"], base["unbound_us_per_call"],
+        )
         verdict = "pass" if slowdown <= max_slowdown else "FAIL"
         print(
             f"  {label:10s} {verdict}: bound {case['bound_us_per_call']:.1f} us "
@@ -417,6 +529,160 @@ def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
         if slowdown > max_slowdown:
             ok = False
     print("  baseline gate: " + ("PASS" if ok else "FAIL"))
+    return ok
+
+
+def _cmd_sweep(args) -> int:
+    """Batched ensemble run: parameter grid, throughput, gradients, JSON."""
+    import itertools
+    import json
+    import time
+
+    import numpy as np
+
+    from .core import adjoint_loops
+    from .experiments.steady import measure_ensemble
+    from .runtime import compile_nests
+
+    prob = _PROBLEMS[args.problem]()
+    n = args.n or _DEFAULT_N[args.problem]
+    members = args.members
+    if members < 1:
+        print("sweep needs at least one member")
+        return 2
+    reps = max(1, args.reps // 4) if args.quick else args.reps
+    dtype = np.float64 if args.dtype == "f64" else np.float32
+
+    # Cartesian parameter grid; member m takes grid point m % len(grid).
+    grid_names = [name for name, _ in args.param]
+    unknown = sorted(set(grid_names) - set(prob.param_defaults))
+    if unknown:
+        print(
+            f"unknown parameter(s) {unknown} for {prob.name}; "
+            f"available: {sorted(prob.param_defaults)}"
+        )
+        return 2
+    combos = [
+        dict(zip(grid_names, values))
+        for values in itertools.product(*(vals for _, vals in args.param))
+    ] or [{}]
+    groups: dict[int, list[int]] = {}
+    for m in range(members):
+        groups.setdefault(m % len(combos), []).append(m)
+
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    name_map = prob.adjoint_name_map()
+    grad_names = [name_map[a] for a in prob.active_input_names()]
+    member_records: list[dict] = [None] * members  # type: ignore[list-item]
+    group_records = []
+    total_loop_us = total_ensemble_us = 0.0
+    bitwise = True
+    for ci, member_ids in sorted(groups.items()):
+        params = combos[ci]
+        kernel = compile_nests(
+            nests, prob.bindings(n, dtype=dtype, **params), name="sweep"
+        )
+        plan = kernel.plan(backend=args.backend)
+        states = [
+            prob.allocate_state(n, seed=m, dtype=dtype) for m in member_ids
+        ]
+        record, ensemble = measure_ensemble(
+            plan, states, reps, workers=args.workers
+        )
+        with ensemble:
+            for local, m in enumerate(member_ids):
+                views = ensemble.member_arrays(local)
+                member_records[m] = {
+                    "member": m,
+                    "params": params,
+                    "gradients": {
+                        name: round(float(np.linalg.norm(views[name])), 12)
+                        for name in grad_names
+                    },
+                }
+        group_records.append({"params": params, "members": member_ids, **record})
+        total_loop_us += record["loop_us_per_member_step"] * len(member_ids)
+        total_ensemble_us += record["ensemble_us_per_member_step"] * len(member_ids)
+        bitwise = bitwise and record["bitwise_identical"]
+        plan.close()
+
+    speedup = total_loop_us / total_ensemble_us if total_ensemble_us else 0.0
+    record = {
+        "benchmark": "ensemble_sweep",
+        "problem": prob.name,
+        "n": n,
+        "members": members,
+        "reps": reps,
+        "backend": args.backend,
+        "workers": args.workers,
+        "dtype": args.dtype,
+        "param_grid": {name: list(vals) for name, vals in args.param},
+        "loop_us_per_member_step": round(total_loop_us / members, 3),
+        "ensemble_us_per_member_step": round(total_ensemble_us / members, 3),
+        "speedup": round(speedup, 3),
+        "bitwise_identical": bitwise,
+        "unix_time": round(time.time(), 1),
+        "groups": group_records,
+        "member_results": member_records,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {args.output} ({prob.name} n={n}, {members} members, "
+        f"{len(combos)} grid point(s), backend={args.backend}, "
+        f"workers={args.workers})"
+    )
+    print(
+        f"  per-member loop  {record['loop_us_per_member_step']:8.1f} us/member-step\n"
+        f"  batched ensemble {record['ensemble_us_per_member_step']:8.1f} us/member-step\n"
+        f"  throughput       {record['speedup']:8.2f}x  "
+        f"bitwise={'ok' if bitwise else 'MISMATCH'}"
+    )
+    ok = bitwise
+    if args.baseline is not None:
+        ok = _check_ensemble_baseline(record, args.baseline, args.max_slowdown) and ok
+    return 0 if ok else 1
+
+
+def _check_ensemble_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
+    """The ensemble CI perf gate: current sweep record vs a checked-in one.
+
+    Mirrors :func:`_check_baseline` through the same helpers: the gated
+    quantity is the batched ensemble per-member-timestep time
+    machine-corrected via the naive per-member loop measured in the
+    same run (:func:`_corrected_slowdown`); a baseline whose context —
+    including the parameter grid, which changes how members group into
+    plans and therefore the fusion width — differs from the current run
+    fails outright (:func:`_load_baseline`).
+    """
+    print(f"ensemble baseline gate vs {baseline_path} (max slowdown {max_slowdown}x):")
+    baseline = _load_baseline(
+        record, baseline_path,
+        ("benchmark", "problem", "n", "members", "reps", "backend",
+         "workers", "dtype", "param_grid"),
+        "ensemble baseline gate",
+    )
+    if baseline is None:
+        return False
+    if not record["bitwise_identical"]:
+        print("  FAIL: lost bitwise identity")
+        print("  ensemble baseline gate: FAIL")
+        return False
+    raw, machine, slowdown = _corrected_slowdown(
+        record["ensemble_us_per_member_step"],
+        baseline["ensemble_us_per_member_step"],
+        record["loop_us_per_member_step"],
+        baseline["loop_us_per_member_step"],
+    )
+    ok = slowdown <= max_slowdown
+    print(
+        f"  ensemble {record['ensemble_us_per_member_step']:.1f} us/member-step "
+        f"vs baseline {baseline['ensemble_us_per_member_step']:.1f} "
+        f"({raw:.2f}x raw, {machine:.2f}x machine factor, "
+        f"{slowdown:.2f}x corrected)"
+    )
+    print("  ensemble baseline gate: " + ("PASS" if ok else "FAIL"))
     return ok
 
 
@@ -441,6 +707,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_loop_counts(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import time
 import tracemalloc
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["bitwise_equal", "measure_steady_state"]
+__all__ = ["bitwise_equal", "measure_steady_state", "measure_ensemble"]
 
 _WARMUP_CALLS = 3
 _TIMING_ROUNDS = 3
@@ -92,3 +92,82 @@ def measure_steady_state(
         "native_statements": bound.native_statement_count,
         "total_statements": bound.statement_count,
     }
+
+
+def measure_ensemble(
+    plan,
+    member_base: Sequence[Mapping[str, np.ndarray]],
+    reps: int,
+    workers: int = 1,
+):
+    """Ensemble-vs-loop steady-state measurement of one plan.
+
+    *member_base* holds each member's pristine working set.  The
+    baseline is the naive per-member loop of single-scenario
+    :class:`~repro.runtime.bound.BoundPlan` runs; against it runs one
+    :class:`~repro.runtime.ensemble.EnsemblePlan` over the stacked
+    members.  Returns ``(record, ensemble)``: a JSON-ready record —
+    per-member-timestep timings, throughput speedup, bitwise verdict,
+    statement-shape counters — plus the live ensemble, whose batched
+    state is left exactly one kernel application past the base values
+    (callers extract per-member results from it).
+    """
+    from repro.runtime.ensemble import EnsemblePlan, stack_arrays
+
+    members = len(member_base)
+    loop_arrays = [
+        {name: arr.copy() for name, arr in mem.items()} for mem in member_base
+    ]
+    loop_bounds = [plan.bind(arrays) for arrays in loop_arrays]
+    batched = stack_arrays(member_base)  # stacks copies
+    ensemble = EnsemblePlan(plan, batched, workers=workers)
+
+    def run_loop() -> None:
+        for bound in loop_bounds:
+            bound.run()
+
+    for _ in range(_WARMUP_CALLS):  # sizes replay buffers, warms caches
+        run_loop()
+        ensemble.run()
+
+    t_loop = _best_of(run_loop, reps)
+    t_ensemble = _best_of(ensemble.run, reps)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    for _ in range(_ALLOC_CALLS):
+        ensemble.run()
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # Bitwise check on fresh values: every ensemble member equals its
+    # looped single-scenario run.
+    for m, mem in enumerate(member_base):
+        for name, arr in mem.items():
+            loop_arrays[m][name][...] = arr
+            batched[name][m][...] = arr
+    run_loop()
+    ensemble.run()
+    bitwise = all(
+        bitwise_equal(loop_arrays[m][name], batched[name][m])
+        for m in range(members)
+        for name in member_base[m]
+    )
+
+    record = {
+        "members": members,
+        "workers": workers,
+        "chunks": ensemble.chunk_count,
+        "loop_us_per_member_step": round(t_loop / members * 1e6, 3),
+        "ensemble_us_per_member_step": round(t_ensemble / members * 1e6, 3),
+        "speedup": round(t_loop / t_ensemble, 3),
+        "steady_alloc_calls": _ALLOC_CALLS,
+        "steady_net_alloc_bytes": current - before,
+        "steady_peak_alloc_bytes": peak - before,
+        "bitwise_identical": bitwise,
+        "batched_statements": ensemble.batched_statement_count,
+        "native_statements": ensemble.native_statement_count,
+        "member_statements": ensemble.member_statement_count,
+    }
+    return record, ensemble

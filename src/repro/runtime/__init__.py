@@ -10,6 +10,7 @@ from .cache import (
     native_cache_dir,
 )
 from .distributed import DistributedExecutor, RankSlab, decompose
+from .ensemble import EnsemblePlan, batch_safe_statement, stack_arrays
 from .native import NativeLibrary, native_available, native_toolchain
 from .compiler import (
     CompiledKernel,
@@ -22,7 +23,12 @@ from .interpreter import interpret_nests
 from .parallel import ParallelExecutor
 from .plan import ExecutionConfig, ExecutionPlan, validate_scatter_kernel
 from .profiler import KernelProfile, RegionProfile, profile_kernel
-from .scheduler import choose_split_axis, safe_split_axis, split_box
+from .scheduler import (
+    WorkStealingScheduler,
+    choose_split_axis,
+    safe_split_axis,
+    split_box,
+)
 from .tiling import run_tiled, safe_to_tile, tile_box
 
 __all__ = [
@@ -30,9 +36,13 @@ __all__ = [
     "BoundPlan",
     "CompiledKernel",
     "DistributedExecutor",
+    "EnsemblePlan",
     "ExecutionConfig",
     "ExecutionPlan",
     "KernelCache",
+    "WorkStealingScheduler",
+    "batch_safe_statement",
+    "stack_arrays",
     "RankSlab",
     "decompose",
     "KernelError",

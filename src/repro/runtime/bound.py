@@ -457,6 +457,22 @@ class BoundPlan:
     builds (and memoises) one transparently.  :meth:`run` executes the
     kernel with the discipline fixed at plan-build time, touching only
     compute in steady state.
+
+    >>> from repro import adjoint_loops, heat_problem
+    >>> from repro.runtime import compile_nests
+    >>> prob = heat_problem(1)
+    >>> kernel = compile_nests(
+    ...     adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(16))
+    >>> arrays = prob.allocate_state(16, seed=0)
+    >>> bound = kernel.plan().bind(arrays)
+    >>> for _ in range(10):     # first run records, the rest replay
+    ...     bound.run()
+    >>> bound.inplace_statement_count == bound.statement_count
+    True
+    >>> bound.matches(arrays)   # still bound to these exact objects
+    True
+    >>> bound.matches({**arrays, "u_b": arrays["u_b"].copy()})
+    False
     """
 
     def __init__(self, plan, arrays: Mapping[str, np.ndarray]) -> None:

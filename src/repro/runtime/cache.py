@@ -52,6 +52,10 @@ def native_cache_dir() -> Path:
     volume.  Entries never expire: the key covers everything that
     determines the binary, so stale entries are merely unused, and
     ``rm -rf`` of the directory is always safe.
+
+    >>> from repro.runtime import native_cache_dir
+    >>> native_cache_dir().name
+    'native'
     """
     root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
     return Path(root) / "native"
@@ -124,6 +128,15 @@ def kernel_key(
 
     ``extra`` lets callers fold additional backend options into the key
     without subclassing the cache.
+
+    >>> from repro import heat_problem
+    >>> from repro.runtime import kernel_key
+    >>> prob = heat_problem(1)
+    >>> key = kernel_key([prob.primal], prob.bindings(16))
+    >>> key == kernel_key([prob.primal], prob.bindings(16))   # deterministic
+    True
+    >>> key == kernel_key([prob.primal], prob.bindings(17))   # sizes differ
+    False
     """
     payload = "\n".join(
         [f"kernel={name!r}"]
@@ -134,7 +147,17 @@ def kernel_key(
 
 
 class KernelCache:
-    """LRU cache of compiled kernels keyed by content hash."""
+    """LRU cache of compiled kernels keyed by content hash.
+
+    >>> from repro.runtime import KernelCache
+    >>> cache = KernelCache(maxsize=2)
+    >>> cache.get_or_compile("key-a", lambda: "kernel-a")
+    'kernel-a'
+    >>> cache.get_or_compile("key-a", lambda: "never called")   # hit
+    'kernel-a'
+    >>> cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    True
+    """
 
     def __init__(self, maxsize: int = 256):
         if maxsize < 1:
@@ -182,10 +205,23 @@ _GLOBAL_CACHE = KernelCache()
 
 
 def get_kernel_cache() -> KernelCache:
-    """The process-wide cache consulted by ``compile_nests`` by default."""
+    """The process-wide cache consulted by ``compile_nests`` by default.
+
+    >>> from repro.runtime import KernelCache, get_kernel_cache
+    >>> isinstance(get_kernel_cache(), KernelCache)
+    True
+    >>> get_kernel_cache() is get_kernel_cache()
+    True
+    """
     return _GLOBAL_CACHE
 
 
 def clear_kernel_cache() -> None:
-    """Drop all cached kernels and reset hit/miss counters."""
+    """Drop all cached kernels and reset hit/miss counters.
+
+    >>> from repro.runtime import clear_kernel_cache, get_kernel_cache
+    >>> clear_kernel_cache()
+    >>> len(get_kernel_cache())
+    0
+    """
     _GLOBAL_CACHE.clear()

@@ -76,6 +76,10 @@ class CompiledStatement:
     rhs_expr: sp.Expr | None = None
     # Lazily filled by repro.runtime.bound (memoised eligibility check).
     inplace_ok: bool | None = None
+    # Lazily filled by repro.runtime.ensemble: True when the expression
+    # evaluates strictly elementwise, so stacking a member axis onto the
+    # operands cannot change any per-member result bit.
+    batch_safe: bool | None = None
 
 
 def _frame_view(

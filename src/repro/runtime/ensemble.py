@@ -1,0 +1,476 @@
+"""Batched ensemble execution: many scenarios through one bound plan.
+
+The gather-form adjoint transformation makes each timestep of a stencil
+kernel embarrassingly parallel *within* one scenario; this module adds
+the next scale axis the ROADMAP calls for — many scenarios (ensemble
+members: different initial conditions, different parameter values)
+through the same compiled kernel at hardware speed.
+
+An :class:`EnsemblePlan` binds one
+:class:`~repro.runtime.plan.ExecutionPlan` against arrays carrying a
+**leading member axis**: every array of the kernel's working set is
+stacked as ``(members, *shape)``, and member ``m``'s scenario lives in
+the slice ``batched[name][m]``.  All members share the compiled
+statements, the plan's frozen decomposition and the scratch layout;
+per-member views are resolved once at bind time through the same
+machinery as :class:`~repro.runtime.bound.BoundPlan`.
+
+Three execution shapes, chosen per statement at bind time:
+
+* **Fused batched** (python backend) — statements whose expression
+  evaluates strictly elementwise (:func:`batch_safe_statement`) bind a
+  single :class:`~repro.runtime.bound._BoundStatement` whose geometry is
+  *batch-shifted*: the member axis becomes frame axis 0, every access
+  slot moves one axis right, and one ufunc call sweeps all members of a
+  chunk.  On small grids this amortises NumPy's per-call dispatch over
+  the whole ensemble — the dominant cost of a single-member steady
+  state — and is where the ensemble throughput win comes from.
+* **Native chained** (native backend) — each statement binds per member
+  to the JIT-built C entry (:mod:`repro.runtime.native`), and all
+  consecutive native statements of a chunk collapse into one
+  chain-runner FFI call: a whole member-timestep — in fact a whole
+  chunk-timestep — stays one C call.
+* **Per-member fallback** — statements that are neither (user-bound
+  functions whose NumPy implementations might mix members, e.g. via
+  reductions) bind one python statement per member against the member's
+  slice views.
+
+Why per-member results are bitwise identical by construction
+------------------------------------------------------------
+
+The fused path executes the *same* lambdify-generated code on the same
+per-member operand values; every operation in it is a NumPy ufunc (or a
+composition of ufuncs: ``where``/``select``), and ufuncs are elementwise
+— the value at output index ``(m, i, j)`` depends only on the inputs at
+``(m, i, j)``, computed by the same scalar kernel regardless of the
+leading extent.  Reductions over *frame* axes (reduced targets) reduce
+the same operand sequence per member.  Stacking members therefore
+changes operand shapes but not one per-member bit; the batched run
+equals a loop of single-member runs by construction, and
+``tests/test_ensemble.py`` asserts it bit for bit across apps, backends
+and dtypes.  The native path inherits the native backend's own bitwise
+contract unchanged, since each member binds exactly like a
+single-scenario run.
+
+Member chunks and scheduling
+----------------------------
+
+Members are split into contiguous chunks (``split_box`` over the member
+range).  With ``workers == 1`` there is a single chunk — maximal
+fusion, no threads.  With ``workers > 1`` the chunks (about four per
+worker, so stealing has slack to rebalance) are driven by a
+:class:`~repro.runtime.scheduler.WorkStealingScheduler`; chunks touch
+disjoint member slices, so they need no synchronisation beyond the
+final join.  Results are bitwise independent of ``workers`` and chunk
+count.
+
+Example
+-------
+
+>>> import numpy as np
+>>> from repro.apps import heat_problem
+>>> from repro.core import adjoint_loops
+>>> from repro.runtime import compile_nests, stack_arrays
+>>> prob = heat_problem(1)
+>>> kernel = compile_nests(
+...     adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(8))
+>>> states = [prob.allocate_state(8, seed=m) for m in range(4)]
+>>> ensemble = kernel.plan().ensemble(stack_arrays(states))
+>>> ensemble.run()                        # one timestep, all 4 members
+>>> member0 = ensemble.member_arrays(0)   # views into the batched state
+>>> single = {k: v.copy() for k, v in states[0].items()}
+>>> kernel.plan().bind(single).run()
+>>> bool(np.array_equal(member0["u_1_b"], single["u_1_b"]))
+True
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Mapping, Sequence
+
+import numpy as np
+import sympy as sp
+
+from .bound import _ALLOWED_FUNCS, _BoundStatement, _supports_inplace
+from .compiler import CompiledAccess, CompiledStatement, KernelError
+from .native import chain_runnables, library_for_kernel, make_native_statement
+from .scheduler import WorkStealingScheduler, split_box
+
+__all__ = ["EnsemblePlan", "stack_arrays", "batch_safe_statement"]
+
+
+def stack_arrays(
+    member_arrays: Sequence[Mapping[str, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """Stack per-member array dicts into one batched dict.
+
+    Every member mapping must hold the same names with equal shapes and
+    dtypes; the result maps each name to a fresh C-contiguous
+    ``(members, *shape)`` array (member values are copied, so mutating
+    the batched state never aliases the inputs).
+
+    >>> import numpy as np
+    >>> from repro.runtime import stack_arrays
+    >>> batched = stack_arrays([{"u": np.zeros(3)}, {"u": np.ones(3)}])
+    >>> batched["u"].shape
+    (2, 3)
+    """
+    members = list(member_arrays)
+    if not members:
+        raise ValueError("need at least one ensemble member")
+    names = sorted(members[0])
+    for m, arrays in enumerate(members):
+        if sorted(arrays) != names:
+            raise ValueError(
+                f"member {m} holds arrays {sorted(arrays)}, expected {names}"
+            )
+        for name in names:
+            # np.stack would silently promote mixed dtypes (and raise a
+            # shapeless error on ragged shapes) — and a promoted member
+            # is no longer bitwise-comparable to its single-scenario
+            # run, so mismatches must fail loudly here.
+            arr, ref = arrays[name], members[0][name]
+            if arr.dtype != ref.dtype or arr.shape != ref.shape:
+                raise ValueError(
+                    f"member {m} array {name!r} is "
+                    f"{arr.dtype}{arr.shape}, but member 0 has "
+                    f"{ref.dtype}{ref.shape}; members must match exactly"
+                )
+    return {name: np.stack([mem[name] for mem in members]) for name in names}
+
+
+# -- batch eligibility --------------------------------------------------------
+
+# Constructs whose lambdify-generated NumPy evaluation is strictly
+# elementwise, so a leading member axis cannot change per-member bits:
+# the inplace whitelist (pure ufuncs), Min/Max (pairwise
+# minimum/maximum), Heaviside/DiracDelta (where/zeros_like fallbacks)
+# and Piecewise with relational/boolean conditions (numpy.select).
+_BATCH_FUNCS = _ALLOWED_FUNCS + (
+    sp.Min,
+    sp.Max,
+    sp.Heaviside,
+    sp.DiracDelta,
+)
+_BATCH_NODES = (
+    sp.Add,
+    sp.Mul,
+    sp.Pow,
+    sp.Number,
+    sp.NumberSymbol,
+    sp.Symbol,
+    sp.Piecewise,
+    sp.functions.elementary.piecewise.ExprCondPair,
+    sp.core.relational.Relational,
+    sp.logic.boolalg.BooleanFunction,
+    sp.logic.boolalg.BooleanAtom,
+)
+
+
+def batch_safe_statement(stmt: CompiledStatement) -> bool:
+    """True when *stmt* may evaluate with a stacked member axis.
+
+    Conservative whitelist over the statement's substituted RHS: only
+    constructs known to evaluate elementwise qualify.  User-bound
+    functions (arbitrary callables that could reduce across what they
+    are given) and statements compiled without an inspectable expression
+    stay on the per-member path.  Memoised on the statement.
+    """
+    if stmt.batch_safe is None:
+        ok = stmt.rhs_expr is not None
+        if ok:
+            for node in sp.preorder_traversal(stmt.rhs_expr):
+                if isinstance(node, _BATCH_FUNCS):
+                    continue
+                if isinstance(node, _BATCH_NODES):
+                    continue
+                ok = False
+                break
+        stmt.batch_safe = ok
+    return stmt.batch_safe
+
+
+def _batch_shifted(stmt: CompiledStatement) -> CompiledStatement:
+    """*stmt* with its access geometry shifted one axis right.
+
+    Frame axis 0 becomes the member axis: every access gains a leading
+    ``(0, 0)`` slot (member ``m`` of the batch maps to member ``m`` of
+    every operand), existing slots and bare counters move up one axis,
+    and the rank grows by one.  The eval function and expression are
+    shared — only geometry changes — so
+    :class:`~repro.runtime.bound._BoundStatement` binds the shifted
+    statement exactly as it would a ``dim+1``-dimensional kernel.
+    """
+
+    def shift(slots: tuple[tuple[int, int], ...]) -> tuple[tuple[int, int], ...]:
+        return ((0, 0),) + tuple((axis + 1, off) for axis, off in slots)
+
+    _supports_inplace(stmt)  # fill the memo so the verdict transfers
+    return CompiledStatement(
+        target=CompiledAccess(stmt.target.name, shift(stmt.target.slots)),
+        op=stmt.op,
+        eval_fn=stmt.eval_fn,
+        reads=tuple(
+            CompiledAccess(acc.name, shift(acc.slots)) for acc in stmt.reads
+        ),
+        bare_axes=tuple(axis + 1 for axis in stmt.bare_axes),
+        guard_box=None,  # boxes arrive pre-intersected from the plan
+        dim=stmt.dim + 1,
+        rhs_expr=stmt.rhs_expr,
+        inplace_ok=stmt.inplace_ok,
+        batch_safe=stmt.batch_safe,
+    )
+
+
+class _MemberChunk:
+    """One schedulable unit: a contiguous member range, fully bound.
+
+    ``items`` are execution-ordered runnables — fused batched
+    statements over the chunk's member window, native chains, or
+    per-member python statements.  Statement order follows the plan's
+    flat serial order, so every member's statements run in the same
+    order as a single-scenario serial run; interleaving *across*
+    members is free because member slices are disjoint.
+    """
+
+    __slots__ = ("lo", "hi", "items")
+
+    def __init__(self, lo: int, hi: int, items: Sequence) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.items = tuple(items)
+
+    def run(self) -> None:
+        for item in self.items:
+            item.run()
+
+
+class EnsemblePlan:
+    """One execution plan bound against a stacked ensemble of scenarios.
+
+    Build via :meth:`ExecutionPlan.ensemble
+    <repro.runtime.plan.ExecutionPlan.ensemble>` (or directly); call
+    :meth:`run` once per ensemble timestep.  The binding holds views
+    into the batched array objects — like a
+    :class:`~repro.runtime.bound.BoundPlan`, it stays valid while the
+    caller updates values in place and must be rebuilt after replacing
+    an array object.
+
+    Parameters
+    ----------
+    plan:
+        The member execution plan.  Any non-scatter configuration works
+        — serial, threaded or tiled decompositions are replayed per
+        member in the plan's flat serial order (ensemble parallelism
+        comes from ``workers``, not from the member plan's threads);
+        ``backend="native"`` dispatches member statements to JIT-built C
+        and chains them across members.  Scatter plans are rejected:
+        their thread-private merge discipline has no batched equivalent.
+    batched:
+        Mapping of array name to ``(members, *shape)`` array; every
+        kernel array must be present with the same leading extent (see
+        :func:`stack_arrays`).
+    workers:
+        Ensemble worker threads.  ``1`` (default) runs a single fused
+        chunk on the calling thread; ``> 1`` splits members into chunks
+        driven by a work-stealing scheduler.
+    chunks:
+        Override the chunk count (default: 1 for serial, about four per
+        worker otherwise).  More chunks mean finer stealing granularity
+        but less fusion per ufunc call.
+    """
+
+    def __init__(
+        self,
+        plan,
+        batched: Mapping[str, np.ndarray],
+        *,
+        workers: int = 1,
+        chunks: int | None = None,
+    ) -> None:
+        config = plan.config
+        if config.scatter:
+            raise KernelError(
+                "ensemble execution does not support scatter plans: the "
+                "thread-private zero-seeded merge has no batched "
+                "equivalent; use the gather discipline"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        kernel_names = {
+            name
+            for rp in plan.region_plans
+            for st in rp.region.statements
+            for name in (st.target.name, *(acc.name for acc in st.reads))
+        }
+        missing = sorted(kernel_names - set(batched))
+        if missing:
+            raise KernelError(
+                f"batched arrays missing kernel arrays {missing}"
+            )
+        # Keep every provided array (callers extract full member states,
+        # including arrays this kernel happens not to touch), but they
+        # must all share the member axis.
+        names = sorted(batched)
+        extents = {name: batched[name].shape[0] if batched[name].ndim else 0
+                   for name in names}
+        members = min(extents.values(), default=0)
+        if members < 1 or len(set(extents.values())) != 1:
+            raise KernelError(
+                f"batched arrays must share one leading member axis; got "
+                f"extents {extents}"
+            )
+        self.plan = plan
+        self.members = members
+        self.workers = workers
+        self._batched = {name: batched[name] for name in names}
+        self._member_views = [
+            {name: self._batched[name][m] for name in names}
+            for m in range(members)
+        ]
+        if chunks is None:
+            chunks = 1 if workers == 1 else min(members, workers * 4)
+        chunks = max(1, min(chunks, members))
+        native_lib = (
+            library_for_kernel(plan.kernel)
+            if config.backend == "native"
+            else None
+        )
+        self.batched_statement_count = 0
+        self.native_statement_count = 0
+        self.member_statement_count = 0
+        shifted_memo: dict[int, CompiledStatement] = {}
+        self._chunks = tuple(
+            self._bind_chunk(lo, hi, native_lib, shifted_memo)
+            for ((lo, hi),) in split_box(((0, members - 1),), chunks)
+        )
+        self._scheduler: WorkStealingScheduler | None = None
+        self._scheduler_finalizer: weakref.finalize | None = None
+
+    # -- binding -----------------------------------------------------------
+
+    def _flat_statements(self):
+        """(region, si, st, eff) in the plan's flat serial order."""
+        for rp in self.plan.region_plans:
+            for task in rp.tasks:
+                for boxes in task:
+                    for si, (st, eff) in enumerate(
+                        zip(rp.region.statements, boxes)
+                    ):
+                        if eff is not None:
+                            yield rp.region, si, st, eff
+
+    def _bind_chunk(self, lo, hi, native_lib, shifted_memo) -> _MemberChunk:
+        """Bind members ``lo..hi`` statement-major.
+
+        Per statement: all members bind native when every member can
+        (uniform geometry makes that all-or-nothing in practice), else
+        one fused batch-shifted statement when the expression is
+        elementwise, else one python statement per member.  Consecutive
+        native statements — across members *and* statements — collapse
+        into single chain-runner calls.
+        """
+        items: list = []
+        for region, si, st, eff in self._flat_statements():
+            if native_lib is not None:
+                native = [
+                    make_native_statement(
+                        native_lib, region, si, st, self._member_views[m], eff
+                    )
+                    for m in range(lo, hi + 1)
+                ]
+                if all(ns is not None for ns in native):
+                    items.extend(native)
+                    self.native_statement_count += len(native)
+                    continue
+            if batch_safe_statement(st):
+                shifted = shifted_memo.get(id(st))
+                if shifted is None:
+                    shifted = shifted_memo[id(st)] = _batch_shifted(st)
+                items.append(
+                    _BoundStatement(
+                        shifted,
+                        self._batched,
+                        ((lo, hi),) + tuple(eff),
+                        region.dtype,
+                    )
+                )
+                self.batched_statement_count += 1
+            else:
+                for m in range(lo, hi + 1):
+                    items.append(
+                        _BoundStatement(
+                            st, self._member_views[m], eff, region.dtype
+                        )
+                    )
+                self.member_statement_count += hi - lo + 1
+        return _MemberChunk(lo, hi, chain_runnables(native_lib, items))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        """Schedulable member chunks (1 means fully fused, no threads)."""
+        return len(self._chunks)
+
+    @property
+    def statement_count(self) -> int:
+        """Bound runnable statements across all chunks and members."""
+        return (
+            self.batched_statement_count
+            + self.native_statement_count
+            + self.member_statement_count
+        )
+
+    def member_arrays(self, m: int) -> dict[str, np.ndarray]:
+        """Member *m*'s working set as views into the batched arrays.
+
+        Reading gives the member's current state; writing (in place)
+        updates the ensemble.  The views stay valid for the plan's
+        lifetime.
+        """
+        if not 0 <= m < self.members:
+            raise IndexError(f"member {m} out of range [0, {self.members})")
+        return dict(self._member_views[m])
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Advance every member by one kernel application.
+
+        Chunks run on the work-stealing workers when ``workers > 1``
+        (and there is more than one chunk), otherwise inline on the
+        calling thread.  Results are bitwise identical either way.
+        """
+        chunks = self._chunks
+        if self.workers > 1 and len(chunks) > 1:
+            self._ensure_scheduler().run([chunk.run for chunk in chunks])
+        else:
+            for chunk in chunks:
+                chunk.run()
+
+    def _ensure_scheduler(self) -> WorkStealingScheduler:
+        if self._scheduler is None:
+            self._scheduler = WorkStealingScheduler(self.workers)
+            # Ensembles held by memoised plans can outlive their users;
+            # release the worker threads with the ensemble object.
+            self._scheduler_finalizer = weakref.finalize(
+                self, self._scheduler.close
+            )
+        return self._scheduler
+
+    def close(self) -> None:
+        """Shut down the worker threads (recreated lazily on next run)."""
+        if self._scheduler is not None:
+            if self._scheduler_finalizer is not None:
+                self._scheduler_finalizer.detach()
+                self._scheduler_finalizer = None
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "EnsemblePlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -99,6 +99,11 @@ def native_toolchain() -> str | None:
     name an existing executable (absolute path or on ``PATH``) or the
     toolchain is reported missing — no silent fallback, so tests and
     deployments can pin or disable the compiler deterministically.
+
+    >>> from repro.runtime import native_toolchain
+    >>> cc = native_toolchain()
+    >>> cc is None or isinstance(cc, str)   # a path, or None without a cc
+    True
     """
     env = os.environ.get("REPRO_CC")
     with _toolchain_lock:
@@ -116,7 +121,12 @@ def native_toolchain() -> str | None:
 
 
 def native_available() -> bool:
-    """True when the native backend can compile on this machine."""
+    """True when the native backend can compile on this machine.
+
+    >>> from repro.runtime import native_available
+    >>> isinstance(native_available(), bool)
+    True
+    """
     return native_toolchain() is not None
 
 
@@ -411,6 +421,10 @@ def chain_runnables(lib: NativeLibrary | None, stmts: list) -> list:
     every maximal run of :class:`NativeStatement` with one
     :class:`NativeChain`.  With no library (fallback) the list is
     returned unchanged.
+
+    >>> from repro.runtime.native import chain_runnables
+    >>> chain_runnables(None, ["python-stmt-a", "python-stmt-b"])
+    ['python-stmt-a', 'python-stmt-b']
     """
     if lib is None:
         return stmts

@@ -101,6 +101,14 @@ class ExecutionConfig:
     whose rank does not cover the kernel's dimensionality raises
     :class:`~repro.runtime.compiler.KernelError` at plan build, where
     the kernel is known.
+
+    >>> from repro.runtime import ExecutionConfig
+    >>> ExecutionConfig(num_threads=4, tile_shape=(16, 16)).tile_shape
+    (16, 16)
+    >>> ExecutionConfig(backend="fortran")
+    Traceback (most recent call last):
+        ...
+    ValueError: backend must be 'python' or 'native', got 'fortran'
     """
 
     num_threads: int = 1
@@ -167,6 +175,12 @@ def validate_scatter_kernel(kernel: CompiledKernel) -> None:
     array instead of stored, and a read of a written array would observe
     the zeroed scratch instead of the accumulated values.  Raises
     :class:`~repro.runtime.compiler.KernelError` on either violation.
+
+    >>> from repro import heat_problem
+    >>> from repro.runtime import compile_nests, validate_scatter_kernel
+    >>> prob = heat_problem(1)
+    >>> kernel = compile_nests([prob.primal], prob.bindings(16))
+    >>> validate_scatter_kernel(kernel)   # '+=' gather stencil: accepted
     """
     for region in kernel.regions:
         written = {st.target.name for st in region.statements}
@@ -218,6 +232,16 @@ class ExecutionPlan:
     explicitly via :meth:`bind`.  The plan owns a lazily created thread
     pool for standalone parallel runs; callers with their own pool
     (e.g. ``ParallelExecutor``) pass it to ``run``.
+
+    >>> from repro import heat_problem
+    >>> from repro.runtime import compile_nests
+    >>> prob = heat_problem(1)
+    >>> kernel = compile_nests([prob.primal], prob.bindings(32))
+    >>> plan = kernel.plan(num_threads=2, min_block_iterations=1)
+    >>> plan.task_count, plan.unit_count
+    (2, 2)
+    >>> kernel.plan(num_threads=2, min_block_iterations=1) is plan
+    True
     """
 
     def __init__(
@@ -342,6 +366,17 @@ class ExecutionPlan:
         :meth:`~repro.runtime.bound.BoundPlan.run` calls perform no
         per-call geometry work and (after warm-up) no array allocations.
         Rebind after replacing any array *object* in the mapping.
+
+        >>> from repro import heat_problem
+        >>> from repro.runtime import compile_nests
+        >>> prob = heat_problem(1)
+        >>> kernel = compile_nests([prob.primal], prob.bindings(16))
+        >>> arrays = prob.allocate(16)
+        >>> bound = kernel.plan().bind(arrays)
+        >>> for _ in range(100):   # steady state: no per-call rebinding
+        ...     bound.run()
+        >>> bound.matches(arrays)
+        True
         """
         from .bound import BoundPlan  # avoids cycle
 
@@ -377,6 +412,39 @@ class ExecutionPlan:
             while len(memo) > _BOUND_MEMO_SIZE:
                 memo.popitem(last=False)
         return fresh
+
+    def ensemble(
+        self,
+        batched: Mapping[str, np.ndarray],
+        *,
+        workers: int = 1,
+        chunks: int | None = None,
+    ) -> "EnsemblePlan":
+        """Bind this plan against a stacked ensemble of scenarios.
+
+        *batched* maps each kernel array to a ``(members, *shape)``
+        array (see :func:`~repro.runtime.ensemble.stack_arrays`); the
+        returned :class:`~repro.runtime.ensemble.EnsemblePlan` advances
+        all members per :meth:`~repro.runtime.ensemble.EnsemblePlan.run`
+        call, bitwise identical to looping single-member bound plans.
+
+        >>> import numpy as np
+        >>> from repro.apps import heat_problem
+        >>> from repro.core import adjoint_loops
+        >>> from repro.runtime import compile_nests, stack_arrays
+        >>> prob = heat_problem(1)
+        >>> kernel = compile_nests(
+        ...     adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(8))
+        >>> batched = stack_arrays(
+        ...     [prob.allocate_state(8, seed=m) for m in range(3)])
+        >>> ensemble = kernel.plan().ensemble(batched)
+        >>> ensemble.run()
+        >>> ensemble.members
+        3
+        """
+        from .ensemble import EnsemblePlan  # avoids cycle
+
+        return EnsemblePlan(self, batched, workers=workers, chunks=chunks)
 
     def _seen_before(self, arrays: Mapping[str, np.ndarray]) -> bool:
         """Record a sighting of *arrays*; True when seen intact before.
@@ -424,6 +492,21 @@ class ExecutionPlan:
         the call binds, memoises per arrays identity and replays the
         allocation-free steady-state path — so timestep loops that reuse
         their arrays speed up transparently.
+
+        >>> import numpy as np
+        >>> from repro import heat_problem
+        >>> from repro.runtime import compile_nests
+        >>> prob = heat_problem(1)
+        >>> kernel = compile_nests([prob.primal], prob.bindings(16))
+        >>> arrays = prob.allocate(16)
+        >>> check = {k: v.copy() for k, v in arrays.items()}
+        >>> plan = kernel.plan()
+        >>> for _ in range(3):     # binds transparently from the 2nd call
+        ...     plan.run(arrays)
+        >>> for _ in range(3):
+        ...     plan.run_unbound(check)    # the per-call reference path
+        >>> all(np.array_equal(arrays[k], check[k]) for k in arrays)
+        True
         """
         with self._memo_lock:
             key = id(arrays)

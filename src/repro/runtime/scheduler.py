@@ -1,17 +1,33 @@
-"""Static block scheduling of iteration boxes over threads.
+"""Scheduling: static box splitting and a work-stealing task scheduler.
 
-Mirrors OpenMP's static schedule: the outermost parallelisable axis of a
-region is divided into near-equal contiguous chunks, one per thread.  The
-chunks partition the box, so for gather kernels (distinct write indices
-per iteration) chunk execution is race-free — the property that makes the
-PerforAD adjoint parallelisable "in the same way as the primal".
+Two schedulers live here, one per parallelism axis of the runtime:
+
+* :func:`split_box` / :func:`safe_split_axis` mirror OpenMP's static
+  schedule — the outermost parallelisable axis of a region is divided
+  into near-equal contiguous chunks, one per thread.  The chunks
+  partition the box, so for gather kernels (distinct write indices per
+  iteration) chunk execution is race-free — the property that makes the
+  PerforAD adjoint parallelisable "in the same way as the primal".
+* :class:`WorkStealingScheduler` drives *independent* runnables (the
+  member chunks of an :class:`~repro.runtime.ensemble.EnsemblePlan`)
+  over a fixed set of persistent worker threads.  Each worker owns a
+  deque seeded round-robin; owners pop from the front, idle workers
+  steal from the back of the fullest other deque, so an unlucky worker
+  whose chunks run long does not serialise the whole step.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import threading
+from collections import deque
+from typing import Callable, Sequence
 
-__all__ = ["split_box", "choose_split_axis", "safe_split_axis"]
+__all__ = [
+    "split_box",
+    "choose_split_axis",
+    "safe_split_axis",
+    "WorkStealingScheduler",
+]
 
 Box = tuple[tuple[int, int], ...]
 
@@ -40,6 +56,143 @@ def choose_split_axis(bounds: Box) -> int:
     extents = [hi - lo + 1 for lo, hi in bounds]
     best = max(extents)
     return extents.index(best)
+
+
+class WorkStealingScheduler:
+    """Persistent worker threads running independent tasks with stealing.
+
+    Tasks are argument-less callables with no ordering constraints among
+    them (ensemble member chunks: every chunk touches disjoint member
+    slices).  :meth:`run` distributes them round-robin over per-worker
+    deques and blocks until all have finished; workers that drain their
+    own deque steal from the back of the fullest other deque.  The
+    workers are created once and reused across calls, so a steady-state
+    caller (one :meth:`run` per ensemble timestep) pays no thread
+    creation per step.
+
+    The scheduler is *not* reentrant: one :meth:`run` call at a time.
+    The first task exception is re-raised in the caller after the batch
+    drains; remaining tasks still execute (members are independent, so a
+    poisoned member must not silently skip its neighbours).
+
+    Example — four tasks over two workers:
+
+    >>> from repro.runtime.scheduler import WorkStealingScheduler
+    >>> hits = []
+    >>> with WorkStealingScheduler(2) as sched:
+    ...     sched.run([lambda i=i: hits.append(i) for i in range(4)])
+    >>> sorted(hits)
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._queues: list[deque] = [deque() for _ in range(num_workers)]
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._generation = 0
+        self._pending = 0
+        self._failure: BaseException | None = None
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(w,),
+                name=f"repro-steal-{w}",
+                daemon=True,
+            )
+            for w in range(num_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- worker side -------------------------------------------------------
+
+    def _take(self, worker: int):
+        """Pop the worker's next task, stealing when its deque is empty.
+
+        Owners take from the front of their own deque (cache-friendly
+        seeding order); thieves take from the *back* of the fullest
+        victim, the classic split that keeps owner and thief off the
+        same end.  Caller must hold the lock.
+        """
+        own = self._queues[worker]
+        if own:
+            return own.popleft()
+        victim = max(self._queues, key=len)
+        if victim:
+            return victim.pop()
+        return None
+
+    def _worker_loop(self, worker: int) -> None:
+        seen_generation = 0
+        while True:
+            with self._work:
+                while self._generation == seen_generation and not self._closed:
+                    self._work.wait()
+                if self._closed:
+                    return
+                seen_generation = self._generation
+            while True:
+                with self._lock:
+                    task = self._take(worker)
+                if task is None:
+                    break
+                try:
+                    task()
+                except BaseException as exc:  # noqa: BLE001 - re-raised in run()
+                    with self._lock:
+                        if self._failure is None:
+                            self._failure = exc
+                finally:
+                    with self._lock:
+                        self._pending -= 1
+                        if self._pending == 0:
+                            self._idle.notify_all()
+
+    # -- caller side -------------------------------------------------------
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Execute *tasks* to completion; re-raise the first task failure."""
+        tasks = list(tasks)
+        if not tasks:
+            return
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._pending:
+                raise RuntimeError("scheduler already running a batch")
+            self._failure = None
+            for idx, task in enumerate(tasks):
+                self._queues[idx % self.num_workers].append(task)
+            self._pending = len(tasks)
+            self._generation += 1
+            self._work.notify_all()
+            while self._pending:
+                self._idle.wait()
+            failure = self._failure
+            self._failure = None
+        if failure is not None:
+            raise failure
+
+    def close(self) -> None:
+        """Shut the worker threads down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work.notify_all()
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "WorkStealingScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def split_box(bounds: Box, nblocks: int, axis: int | None = None) -> list[Box]:

@@ -101,6 +101,92 @@ def test_bench_quick_writes_runtime_record(tmp_path, capsys):
     assert "speedup" in out and "bitwise=ok" in out
 
 
+def test_sweep_quick_writes_ensemble_record(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "BENCH_ensemble.json"
+    assert main([
+        "sweep", "--quick", "--problem", "heat1d", "--n", "16",
+        "--members", "6", "--param", "alpha=0.1,0.2",
+        "--output", str(out_file),
+    ]) == 0
+    record = json.loads(out_file.read_text())
+    assert record["benchmark"] == "ensemble_sweep"
+    assert record["problem"] == "heat1d"
+    assert record["members"] == 6
+    assert record["bitwise_identical"] is True
+    assert record["param_grid"] == {"alpha": [0.1, 0.2]}
+    assert len(record["groups"]) == 2  # one EnsemblePlan per grid point
+    assert [r["member"] for r in record["member_results"]] == list(range(6))
+    # members cycle over the grid: 0,2,4 -> alpha=0.1; 1,3,5 -> alpha=0.2
+    assert record["member_results"][0]["params"] == {"alpha": 0.1}
+    assert record["member_results"][1]["params"] == {"alpha": 0.2}
+    for member in record["member_results"]:
+        assert member["gradients"]["u_1_b"] > 0
+    assert record["ensemble_us_per_member_step"] > 0
+    out = capsys.readouterr().out
+    assert "throughput" in out and "bitwise=ok" in out
+
+
+def test_sweep_baseline_gate(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_ensemble.json"
+    base_file = tmp_path / "baseline.json"
+    args = [
+        "sweep", "--quick", "--problem", "heat1d", "--n", "16",
+        "--members", "4",
+    ]
+    assert main([*args, "--output", str(base_file)]) == 0
+    capsys.readouterr()
+    assert main([
+        *args, "--output", str(out_file), "--baseline", str(base_file),
+    ]) == 0
+    assert "ensemble baseline gate: PASS" in capsys.readouterr().out
+    # mismatched context is rejected outright
+    assert main([
+        "sweep", "--quick", "--problem", "heat1d", "--n", "16",
+        "--members", "8", "--output", str(out_file),
+        "--baseline", str(base_file),
+    ]) == 1
+    assert "does not match" in capsys.readouterr().out
+    # ... including a different parameter grid (different member
+    # grouping, different fusion width: timings are not comparable)
+    assert main([
+        *args, "--param", "alpha=0.1,0.2", "--output", str(out_file),
+        "--baseline", str(base_file),
+    ]) == 1
+    assert "param_grid" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_parameter(capsys):
+    assert main([
+        "sweep", "--quick", "--problem", "heat1d", "--members", "2",
+        "--param", "nosuch=1.0",
+    ]) == 2
+    assert "unknown parameter" in capsys.readouterr().out
+
+
+def test_sweep_native_backend_falls_back_cleanly(tmp_path, monkeypatch):
+    """--backend native without a toolchain falls back, results intact."""
+    import json
+    import warnings
+
+    monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-compiler"))
+    out_file = tmp_path / "BENCH_ensemble.json"
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # fallback warn-once
+        assert main([
+            "sweep", "--quick", "--problem", "heat1d", "--n", "16",
+            "--members", "4", "--backend", "native",
+            "--output", str(out_file),
+        ]) == 0
+    record = json.loads(out_file.read_text())
+    assert record["backend"] == "native"
+    assert record["bitwise_identical"] is True
+    # no toolchain: every statement ran batched python, none native
+    assert record["groups"][0]["native_statements"] == 0
+    assert record["groups"][0]["batched_statements"] > 0
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,99 @@
+"""Documentation integrity: internal links resolve, docs stay wired up.
+
+The doctests inside ``docs/*.md`` and the runtime docstrings are
+executed by the CI docs job (``pytest --doctest-glob='*.md' docs`` and
+``--doctest-modules``); this module covers what doctests cannot — that
+every internal markdown link (relative path + optional ``#anchor``)
+points at a file and heading that exist, and that the documented CLI
+surface is real.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda p: str(p),
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_:,.()/'\"]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def _anchors(md_path: Path) -> set[str]:
+    return {_anchor(h) for h in _HEADING.findall(md_path.read_text())}
+
+
+def _internal_links(md_path: Path):
+    text = md_path.read_text()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def test_doc_files_exist():
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "ensembles.md").is_file()
+    assert len(DOC_FILES) >= 3  # README + the two docs
+
+
+@pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(md_path):
+    for target in _internal_links(md_path):
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            (md_path.parent / path_part).resolve() if path_part else md_path
+        )
+        assert resolved.exists(), (
+            f"{md_path.relative_to(REPO)} links to missing {target!r}"
+        )
+        if fragment and resolved.suffix == ".md":
+            assert fragment in _anchors(resolved), (
+                f"{md_path.relative_to(REPO)} links to missing anchor "
+                f"{target!r} (known: {sorted(_anchors(resolved))})"
+            )
+
+
+def test_docs_are_cross_linked():
+    """architecture.md and ensembles.md reference each other and README."""
+    arch = (REPO / "docs" / "architecture.md").read_text()
+    ens = (REPO / "docs" / "ensembles.md").read_text()
+    readme = (REPO / "README.md").read_text()
+    assert "ensembles.md" in arch
+    assert "architecture.md" in ens
+    assert "../README.md" in arch and "../README.md" in ens
+    assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
+
+
+def test_documented_cli_commands_exist():
+    """Commands the docs mention parse against the real CLI."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["sweep", "--problem", "heat2d", "--members", "8",
+         "--param", "alpha=0.1,0.2", "--workers", "2", "--quick"]
+    )
+    assert args.command == "sweep"
+    assert args.param == [("alpha", (0.1, 0.2))]
+
+
+def test_docs_doctest_blocks_present():
+    """The docs keep executable examples (the CI docs job runs them)."""
+    for name in ("architecture.md", "ensembles.md"):
+        text = (REPO / "docs" / name).read_text()
+        assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"
