@@ -1,0 +1,152 @@
+"""Checkpointed-adjoint benchmark: revolve over bound plans.
+
+The long-time-horizon adjoint workload stores O(steps) primal states in
+a store-all sweep; the revolve-checkpointed
+:class:`~repro.runtime.checkpoint.CheckpointedAdjointPlan` keeps only a
+preallocated :class:`~repro.runtime.checkpoint.SnapshotPool` of
+``snaps`` states and recomputes forward sub-sweeps, with a provably
+minimal evaluation count.  This benchmark records the trade-off and
+gates the contract (written to ``BENCH_checkpoint.json``):
+
+* **bitwise** — the checkpointed adjoint equals the store-all adjoint
+  bit for bit (the reverse sweep consumes the same primal states);
+* **memory** — resident snapshot bytes are at most
+  ``snaps / steps + eps`` of the store-all state bytes;
+* **recompute** — the forward evaluations per sweep equal the revolve
+  optimum ``optimal_cost(steps, snaps) - steps`` exactly;
+* **steady state** — post-warm-up sweeps allocate no arrays (net
+  tracemalloc bytes stay below interpreter noise).
+"""
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.driver import optimal_cost
+from repro.experiments.steady import bitwise_equal
+
+STEPS = 16
+SNAPS = 4
+OUTPUT = "BENCH_checkpoint.json"
+# Steady-state sweeps still churn small transient Python objects
+# (schedule interpretation, bound-method wrappers); arrays are 100x+.
+NOISE_BYTES = 2048
+
+CASES = {
+    "heat2d": (lambda: heat_problem(2), 18),
+    "wave1d": (lambda: wave_problem(1), 40),
+    "burgers1d": (lambda: burgers_problem(1), 48),
+}
+
+
+def _case_inputs(prob, n, plan):
+    shape = prob.array_shape(n)
+    rng = np.random.default_rng(3)
+    state0 = [rng.standard_normal(shape) * 0.1 for _ in plan.history]
+    seed = prob.allocate_adjoints(n, rng=rng)[
+        prob.adjoint_name_map()[prob.output_name]
+    ]
+    return state0, seed
+
+
+def test_checkpointed_adjoint_contract(benchmark, capsys):
+    cases = {}
+    bench_plan = bench_inputs = None
+    for label, (factory, n) in CASES.items():
+        prob = factory()
+        plan = prob.checkpointed_adjoint(n, steps=STEPS, snaps=SNAPS)
+        state0, seed = _case_inputs(prob, n, plan)
+
+        ref = {k: v.copy() for k, v in plan.run_store_all(state0, seed).items()}
+        out = plan.adjoint(state0, seed)
+        bitwise = all(bitwise_equal(ref[k], out[k]) for k in ref)
+        forward_steps = plan.forward_steps
+
+        plan.adjoint(state0, seed)  # steady state reached
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        before = tracemalloc.get_traced_memory()[0]
+        for _ in range(3):
+            plan.adjoint(state0, seed)
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        cases[label] = {
+            "problem": prob.name,
+            "n": n,
+            "steps": STEPS,
+            "snaps": SNAPS,
+            "snapshot_bytes": plan.snapshot_bytes,
+            "store_all_state_bytes": plan.store_all_bytes,
+            "memory_ratio": round(plan.snapshot_bytes / plan.store_all_bytes, 6),
+            "forward_steps_per_sweep": forward_steps,
+            "predicted_forward_steps": plan.evaluation_cost - STEPS,
+            "optimal_evaluations": optimal_cost(STEPS, SNAPS),
+            "recompute_factor": round(forward_steps / STEPS, 3),
+            "steady_net_alloc_bytes": current - before,
+            "bitwise_identical": bitwise,
+        }
+        if label == "heat2d":
+            bench_plan, bench_inputs = plan, (state0, seed)
+
+    def checkpointed_sweep():
+        bench_plan.adjoint(*bench_inputs)
+
+    benchmark.pedantic(checkpointed_sweep, rounds=3, iterations=2)
+
+    record = {
+        "benchmark": "checkpointed_adjoint_contract",
+        "steps": STEPS,
+        "snaps": SNAPS,
+        "backend": "python",
+        "cases": cases,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info.update(record)
+
+    with capsys.disabled():
+        print(f"\ncheckpointed adjoint, {STEPS} steps / {SNAPS} snapshots:")
+        for label, case in cases.items():
+            print(
+                f"  {label:10s} n={case['n']:3d}  "
+                f"memory {case['memory_ratio']:.3f}x of store-all  "
+                f"recompute {case['recompute_factor']:.2f}x "
+                f"(optimum {case['predicted_forward_steps']})  "
+                f"steady alloc {case['steady_net_alloc_bytes']} B  "
+                f"bitwise={'ok' if case['bitwise_identical'] else 'MISMATCH'}"
+            )
+        print(f"  (recorded in {OUTPUT})")
+
+    for label, case in cases.items():
+        assert case["bitwise_identical"], (
+            f"{label}: checkpointed adjoint diverged from store-all"
+        )
+        assert case["memory_ratio"] <= SNAPS / STEPS + 1e-9, (
+            f"{label}: snapshot memory {case['memory_ratio']:.6f} of "
+            f"store-all exceeds the snaps/steps bound {SNAPS / STEPS:.6f}"
+        )
+        assert (
+            case["forward_steps_per_sweep"] == case["predicted_forward_steps"]
+        ), (
+            f"{label}: {case['forward_steps_per_sweep']} forward steps per "
+            f"sweep; revolve optimum is {case['predicted_forward_steps']}"
+        )
+        assert case["steady_net_alloc_bytes"] <= NOISE_BYTES, (
+            f"{label}: steady-state sweep retained "
+            f"{case['steady_net_alloc_bytes']} bytes"
+        )
+
+
+@pytest.mark.parametrize("snaps", [2, 3, 8])
+def test_recompute_tracks_optimum_across_snaps(snaps):
+    """More snapshots monotonically buy less recomputation, exactly."""
+    prob = heat_problem(1)
+    plan = prob.checkpointed_adjoint(24, steps=20, snaps=snaps)
+    state0, seed = _case_inputs(prob, 24, plan)
+    plan.adjoint(state0, seed)
+    assert plan.forward_steps == optimal_cost(20, snaps) - 20

@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""Revolve-checkpointed adjoint time stepping around stencil adjoints.
+"""Revolve-checkpointed adjoint time stepping over bound plans.
 
-Adjoint time stepping needs the primal state at every reverse step.  For
-long simulations on large grids, storing all states is impossible; the
-classical remedy is binomial checkpointing (Griewank & Walther's
-*revolve*), which this repository implements in ``repro.driver``.  This
-example runs a Burgers simulation for 60 steps, reverses it with only 5
-resident snapshots, and shows:
+Adjoint time stepping needs the primal state at every reverse step.
+For long simulations on large grids, storing all states is impossible;
+the classical remedy is binomial checkpointing (Griewank & Walther's
+*revolve*).  This repository executes revolve schedules **through the
+plan/bind runtime**: snapshots live in a preallocated pool, every
+schedule action replays a bound ``run()``, and steady-state sweeps
+allocate nothing.  This example runs a Burgers simulation for 60 steps,
+reverses it with only 5 resident snapshots, and shows:
 
 * the checkpointed gradient is **bitwise identical** to the store-all
-  gradient (the reverse sweep consumes the same primal states);
-* the evaluation count matches the provably optimal schedule cost;
-* memory drops from 60 stored states to 5.
+  gradient (the reverse sweep consumes the same primal states) and to
+  the generic-callable ``AdjointTimeStepper`` driver;
+* the recompute count lands exactly on the provably optimal schedule
+  cost;
+* resident state memory drops from 60 stored states to 5.
 
 Run:  python examples/checkpointed_timeloop.py
 """
@@ -19,14 +23,29 @@ Run:  python examples/checkpointed_timeloop.py
 import numpy as np
 
 from repro import adjoint_loops, burgers_problem, compile_nests
-from repro.driver import AdjointTimeStepper, optimal_cost, schedule, schedule_cost
-
+from repro.driver import AdjointTimeStepper, optimal_cost
 
 def main() -> None:
     prob = burgers_problem(1)
     n, steps, snaps = 20_000, 60, 5
-    bindings = prob.bindings(n, C=0.3, D=0.05)
     shape = prob.array_shape(n)
+
+    x = np.linspace(0, 2 * np.pi, n + 1)
+    u0 = np.sin(x) + 0.3
+
+    # The runtime-native path: one object owns the schedule, the
+    # snapshot pool and the bound forward/reverse plans.
+    chk = prob.checkpointed_adjoint(n, steps=steps, snaps=snaps, C=0.3, D=0.05)
+    (final,) = chk.run_forward([u0])
+    seed = final.copy()  # dJ/du_T for J = 0.5||u_T||^2
+
+    grad_all = {k: v.copy() for k, v in chk.run_store_all([u0], seed).items()}
+    grad_chk = chk.adjoint([u0], seed)
+    identical = np.array_equal(grad_all["u_1_b"], grad_chk["u_1_b"])
+
+    # The generic-callable driver reverses the same loop through plain
+    # step closures — same schedule, copy-based snapshots.
+    bindings = prob.bindings(n, C=0.3, D=0.05)
     fwd = compile_nests([prob.primal], bindings)
     adj = compile_nests(adjoint_loops(prob.primal, prob.adjoint_map), bindings)
 
@@ -42,30 +61,27 @@ def main() -> None:
         return {"u": arrays["u_1_b"]}
 
     stepper = AdjointTimeStepper(forward_step, reverse_step)
+    grad_generic = stepper.run_checkpointed(
+        {"u": u0}, steps, {"u": seed}, snaps=snaps
+    )
+    generic_identical = np.array_equal(grad_chk["u_1_b"], grad_generic["u"])
 
-    x = np.linspace(0, 2 * np.pi, n + 1)
-    u0 = {"u": np.sin(x) + 0.3}
-    final = stepper.run_forward(u0, steps)
-    seed = {"u": final["u"].copy()}  # dJ/du_T for J = 0.5||u_T||^2
-
-    grad_all = stepper.run_store_all(u0, steps, seed)
-    grad_chk = stepper.run_checkpointed(u0, steps, seed, snaps=snaps)
-
-    identical = np.array_equal(grad_all["u"], grad_chk["u"])
-    acts = schedule(steps, snaps)
-    cost = schedule_cost(acts)
+    cost = chk.evaluation_cost
     print(f"steps: {steps}, snapshots: {snaps}")
     print(f"checkpointed gradient bitwise identical to store-all: {identical}")
+    print(f"...and to the generic AdjointTimeStepper driver: {generic_identical}")
+    print(f"forward steps per sweep: {chk.forward_steps} "
+          f"(revolve optimum {cost - steps})")
     print(f"schedule evaluations: {cost} "
           f"(DP optimum {optimal_cost(steps, snaps)}, "
           f"store-all {2 * steps - 1})")
-    print(f"recomputation overhead: {cost / (2 * steps - 1):.2f}x evaluations")
-    print(f"memory: {snaps} states resident instead of {steps + 1} "
-          f"({(steps + 1) / snaps:.1f}x less)")
-    assert identical
+    print(f"memory: {chk.snapshot_bytes / 1e6:.1f} MB snapshot pool instead "
+          f"of {chk.store_all_bytes / 1e6:.1f} MB stored states "
+          f"({chk.store_all_bytes / chk.snapshot_bytes:.1f}x less)")
+    assert identical and generic_identical
     assert cost == optimal_cost(steps, snaps)
+    assert chk.forward_steps == cost - steps
     print("\nOK: revolve-checkpointed adjoint sweep verified.")
-
 
 if __name__ == "__main__":
     main()

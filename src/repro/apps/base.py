@@ -142,6 +142,102 @@ class StencilProblem:
         arrays.update(self.allocate_adjoints(n, rng=rng, dtype=dtype))
         return arrays
 
+    def history_fields(self) -> tuple[str, ...]:
+        """The time-level input fields, newest first (``u_1``, ``u_2``...).
+
+        By the repository's naming convention a time stepper reads its
+        output field's earlier levels as ``{output}_1``, ``{output}_2``,
+        ...; every other input (e.g. the wave velocity model ``c``) is
+        constant in time.
+
+        >>> from repro.apps import heat_problem, wave_problem
+        >>> heat_problem(1).history_fields()
+        ('u_1',)
+        >>> wave_problem(2).history_fields()
+        ('u_1', 'u_2')
+        """
+        import re
+
+        levels = []
+        for name in self.input_names():
+            m = re.fullmatch(re.escape(self.output_name) + r"_(\d+)", name)
+            if m:
+                levels.append((int(m.group(1)), name))
+        return tuple(name for _, name in sorted(levels))
+
+    def constant_fields(self) -> tuple[str, ...]:
+        """Input fields that are constant across time steps."""
+        history = set(self.history_fields())
+        return tuple(n for n in self.input_names() if n not in history)
+
+    def checkpointed_adjoint(
+        self,
+        n: int,
+        *,
+        steps: int,
+        snaps: int,
+        dtype: type = np.float64,
+        backend: str = "python",
+        members: int | None = None,
+        workers: int = 1,
+        constants: Mapping[str, np.ndarray] | None = None,
+        num_threads: int = 1,
+        **param_overrides,
+    ):
+        """A revolve-checkpointed adjoint time loop for this problem.
+
+        Compiles the primal and adjoint kernels (through the content-
+        addressed cache), plans them on *backend*, and wires them into a
+        :class:`~repro.runtime.checkpoint.CheckpointedAdjointPlan` with
+        the problem's history/constant field layout.  Constant fields
+        (e.g. the wave velocity model) are taken from *constants* when
+        given; otherwise a deterministic random field (seed 0, scaled
+        like :meth:`allocate`) is allocated for each.  In ensemble mode
+        a constant of per-scenario shape — supplied or generated — is
+        broadcast-copied across the member axis; pass a
+        ``(members, *shape)`` array for per-member constants.
+
+        >>> from repro.apps import heat_problem
+        >>> chk = heat_problem(1).checkpointed_adjoint(16, steps=6, snaps=3)
+        >>> chk.steps, chk.snaps, chk.history
+        (6, 3, ('u_1',))
+        """
+        from ..core.transform import adjoint_loops
+        from ..runtime.compiler import compile_nests
+
+        history = self.history_fields()
+        bindings = self.bindings(n, dtype=dtype, **param_overrides)
+        fwd = compile_nests([self.primal], bindings, name=self.name)
+        rev = compile_nests(
+            adjoint_loops(self.primal, self.adjoint_map),
+            bindings,
+            name=f"{self.name}_b",
+        )
+        shape = self.array_shape(n)
+        full_shape = shape if members is None else (members, *shape)
+        const_arrays = dict(constants or {})
+        rng = np.random.default_rng(0)
+        for name in self.constant_fields():
+            field = const_arrays.get(name)
+            if field is None:
+                field = rng.standard_normal(shape).astype(dtype) * 0.1
+            if members is not None and tuple(field.shape) == shape:
+                field = np.ascontiguousarray(np.broadcast_to(field, full_shape))
+            const_arrays[name] = field
+        return fwd.plan(backend=backend, num_threads=num_threads).checkpointed_adjoint(
+            rev.plan(backend=backend, num_threads=num_threads),
+            shape,
+            steps=steps,
+            snaps=snaps,
+            output=self.output_name,
+            history=history,
+            constants=const_arrays,
+            adjoint_map=self.adjoint_name_map(),
+            dtype=dtype,
+            members=members,
+            workers=workers,
+        )
+
     def allocate_adjoints(
         self,
         n: int,

@@ -29,6 +29,13 @@ Commands
     any member diverges bitwise from its single-scenario run.
     ``--baseline benchmarks/baseline_ensemble.json`` is the ensemble CI
     perf gate.
+``adjoint``
+    Run a revolve-checkpointed adjoint time loop (memory O(snaps)
+    instead of O(steps); see ``docs/checkpointing.md``) against its
+    store-all reference, verify bitwise identity, the snapshot-memory
+    ratio and the recompute count, and write ``BENCH_checkpoint.json``.
+    ``--baseline benchmarks/baseline_checkpoint.json`` is the
+    checkpoint CI perf gate (machine-corrected like ``bench``/``sweep``).
 """
 
 from __future__ import annotations
@@ -254,6 +261,67 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
         help="largest tolerated machine-corrected ensemble_us_per_member_step "
+        "ratio vs the baseline (default: 1.5)",
+    )
+
+    adj = sub.add_parser(
+        "adjoint",
+        help="revolve-checkpointed adjoint time loop "
+        "(writes BENCH_checkpoint.json)",
+    )
+    adj.add_argument("--problem", choices=sorted(_PROBLEMS), default="burgers1d")
+    adj.add_argument("--n", type=int, default=None, help="grid size")
+    adj.add_argument(
+        "--steps", type=int, default=24,
+        help="time steps to reverse (default: 24)",
+    )
+    adj.add_argument(
+        "--snaps", type=int, default=4,
+        help="resident snapshot slots (default: 4); memory is O(snaps) "
+        "instead of the store-all sweep's O(steps)",
+    )
+    adj.add_argument(
+        "--members", type=int, default=1,
+        help="ensemble members; > 1 runs one revolve schedule across a "
+        "leading member axis (default: 1)",
+    )
+    adj.add_argument(
+        "--workers", type=_thread_count, default=1,
+        help="ensemble worker threads (only with --members > 1)",
+    )
+    adj.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="bound-execution backend for both the forward and reverse "
+        "plans",
+    )
+    adj.add_argument(
+        "--dtype", choices=["f64", "f32"], default="f64",
+        help="state dtype (default: f64)",
+    )
+    adj.add_argument(
+        "--reps", type=int, default=5,
+        help="timing repetitions per sweep variant (default: 5)",
+    )
+    adj.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions (CI smoke / perf gate)",
+    )
+    adj.add_argument(
+        "--output", default="BENCH_checkpoint.json",
+        help="where to write the JSON record (default: ./BENCH_checkpoint.json)",
+    )
+    adj.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="checkpoint perf-regression gate: compare the checkpointed "
+        "per-sweep time against this recorded JSON (machine-corrected "
+        "via the store-all sweep of the same run) and fail beyond "
+        "--max-slowdown, on lost bitwise identity, on a snapshot-memory "
+        "ratio above snaps/steps, or on recompute above the revolve "
+        "optimum",
+    )
+    adj.add_argument(
+        "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
+        help="largest tolerated machine-corrected checkpointed_us_per_sweep "
         "ratio vs the baseline (default: 1.5)",
     )
     return parser
@@ -686,6 +754,170 @@ def _check_ensemble_baseline(record, baseline_path: str, max_slowdown: float) ->
     return ok
 
 
+def _cmd_adjoint(args) -> int:
+    """Checkpointed adjoint time loop: verify, measure, gate, JSON."""
+    import json
+    import time
+
+    import numpy as np
+
+    from .experiments.steady import _best_of, bitwise_equal
+
+    if args.steps < 1:
+        print("adjoint needs at least one time step")
+        return 2
+    if args.snaps < 1:
+        print("adjoint needs at least one snapshot slot")
+        return 2
+    if args.members < 1:
+        print("adjoint needs at least one member")
+        return 2
+    prob = _PROBLEMS[args.problem]()
+    n = args.n or _DEFAULT_N[args.problem]
+    steps, snaps = args.steps, args.snaps
+    reps = max(1, min(args.reps, 2)) if args.quick else args.reps
+    dtype = np.float64 if args.dtype == "f64" else np.float32
+    members = None if args.members == 1 else args.members
+
+    plan = prob.checkpointed_adjoint(
+        n, steps=steps, snaps=snaps, dtype=dtype, backend=args.backend,
+        members=members, workers=args.workers,
+    )
+    shape = prob.array_shape(n)
+    name_map = prob.adjoint_name_map()
+
+    def member_case(m: int):
+        rng = np.random.default_rng(m)
+        state = [
+            (rng.standard_normal(shape) * 0.1).astype(dtype)
+            for _ in plan.history
+        ]
+        seed = prob.allocate_adjoints(
+            n, rng=np.random.default_rng(1000 + m), dtype=dtype
+        )[name_map[prob.output_name]]
+        return state, seed
+
+    if members is None:
+        state0, seed = member_case(0)
+    else:
+        cases = [member_case(m) for m in range(args.members)]
+        state0 = [
+            np.stack([case[0][k] for case in cases])
+            for k in range(len(plan.history))
+        ]
+        seed = np.stack([case[1] for case in cases])
+
+    with plan:
+        ref = {
+            k: v.copy() for k, v in plan.run_store_all(state0, seed).items()
+        }
+        out = plan.adjoint(state0, seed)
+        bitwise = all(bitwise_equal(ref[k], out[k]) for k in ref)
+        forward_steps = plan.forward_steps
+        t_store = _best_of(lambda: plan.run_store_all(state0, seed), reps)
+        t_chk = _best_of(lambda: plan.adjoint(state0, seed), reps)
+
+    predicted = plan.evaluation_cost - steps
+    memory_ratio = plan.snapshot_bytes / plan.store_all_bytes
+    record = {
+        "benchmark": "checkpointed_adjoint",
+        "problem": prob.name,
+        "n": n,
+        "steps": steps,
+        "snaps": snaps,
+        "members": args.members,
+        "workers": args.workers,
+        "backend": args.backend,
+        "dtype": args.dtype,
+        "reps": reps,
+        "store_all_us_per_sweep": round(t_store * 1e6, 3),
+        "checkpointed_us_per_sweep": round(t_chk * 1e6, 3),
+        "overhead": round(t_chk / t_store, 3) if t_store else 0.0,
+        "snapshot_bytes": plan.snapshot_bytes,
+        "store_all_state_bytes": plan.store_all_bytes,
+        "memory_ratio": round(memory_ratio, 6),
+        "forward_steps_per_sweep": forward_steps,
+        "predicted_forward_steps": predicted,
+        "optimal_evaluations": plan.evaluation_cost,
+        "recompute_factor": round(forward_steps / steps, 3),
+        "bitwise_identical": bitwise,
+        "unix_time": round(time.time(), 1),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {args.output} ({prob.name} n={n}, steps={steps}, "
+        f"snaps={snaps}, members={args.members}, backend={args.backend})"
+    )
+    print(
+        f"  store-all    {record['store_all_us_per_sweep']:10.1f} us/sweep  "
+        f"memory {record['store_all_state_bytes']} B\n"
+        f"  checkpointed {record['checkpointed_us_per_sweep']:10.1f} us/sweep  "
+        f"memory {record['snapshot_bytes']} B "
+        f"({memory_ratio:.3f}x, bound {snaps}/{steps})\n"
+        f"  recompute    {forward_steps} forward steps "
+        f"(revolve optimum {predicted}, {record['recompute_factor']:.2f}x)  "
+        f"bitwise={'ok' if bitwise else 'MISMATCH'}"
+    )
+    ok = bitwise
+    if forward_steps != predicted:
+        print(
+            f"  FAIL: {forward_steps} forward steps, revolve optimum is "
+            f"{predicted}"
+        )
+        ok = False
+    if memory_ratio > snaps / steps + 1e-9:
+        print(
+            f"  FAIL: snapshot memory ratio {memory_ratio:.6f} exceeds "
+            f"snaps/steps = {snaps / steps:.6f}"
+        )
+        ok = False
+    if args.baseline is not None:
+        ok = _check_checkpoint_baseline(
+            record, args.baseline, args.max_slowdown
+        ) and ok
+    return 0 if ok else 1
+
+
+def _check_checkpoint_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
+    """The checkpoint CI perf gate: current adjoint record vs a checked-in one.
+
+    Mirrors :func:`_check_baseline` through the same helpers: the gated
+    quantity is the checkpointed per-sweep time, machine-corrected via
+    the store-all sweep measured in the same run (it runs the same
+    kernels through the same bound plans, so it is the ideal in-run
+    hardware reference); context mismatches fail outright.
+    """
+    print(
+        f"checkpoint baseline gate vs {baseline_path} "
+        f"(max slowdown {max_slowdown}x):"
+    )
+    baseline = _load_baseline(
+        record, baseline_path,
+        ("benchmark", "problem", "n", "steps", "snaps", "members",
+         "workers", "backend", "dtype", "reps"),
+        "checkpoint baseline gate",
+    )
+    if baseline is None:
+        return False
+    raw, machine, slowdown = _corrected_slowdown(
+        record["checkpointed_us_per_sweep"],
+        baseline["checkpointed_us_per_sweep"],
+        record["store_all_us_per_sweep"],
+        baseline["store_all_us_per_sweep"],
+    )
+    ok = slowdown <= max_slowdown
+    print(
+        f"  checkpointed {record['checkpointed_us_per_sweep']:.1f} us/sweep "
+        f"vs baseline {baseline['checkpointed_us_per_sweep']:.1f} "
+        f"({raw:.2f}x raw, {machine:.2f}x machine factor, "
+        f"{slowdown:.2f}x corrected)"
+    )
+    print("  checkpoint baseline gate: " + ("PASS" if ok else "FAIL"))
+    return ok
+
+
 def _cmd_loop_counts(args) -> int:
     print(f"{'problem':12s}{'adjoint loop nests':>20s}")
     for name, factory in sorted(_PROBLEMS.items()):
@@ -709,6 +941,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "adjoint":
+        return _cmd_adjoint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

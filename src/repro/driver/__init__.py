@@ -1,11 +1,18 @@
 """Adjoint time-stepping drivers and revolve checkpointing."""
 
-from .revolve import Action, optimal_cost, schedule, schedule_cost
+from .revolve import (
+    Action,
+    execute_schedule,
+    optimal_cost,
+    schedule,
+    schedule_cost,
+)
 from .timestepping import AdjointTimeStepper, make_stencil_steps
 
 __all__ = [
     "Action",
     "AdjointTimeStepper",
+    "execute_schedule",
     "make_stencil_steps",
     "optimal_cost",
     "schedule",

@@ -29,7 +29,13 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
-__all__ = ["Action", "schedule", "optimal_cost", "schedule_cost"]
+__all__ = [
+    "Action",
+    "execute_schedule",
+    "schedule",
+    "optimal_cost",
+    "schedule_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -138,6 +144,70 @@ def schedule(steps: int, snaps: int) -> list[Action]:
 
     rec(0, steps, None)
     return actions
+
+
+def execute_schedule(
+    actions,
+    *,
+    snapshot,
+    advance,
+    restore,
+    reverse,
+) -> None:
+    """Drive a schedule through four action callbacks, checking validity.
+
+    The executor owns the live-step bookkeeping every schedule consumer
+    needs (and previously duplicated): ``snapshot(slot, step)`` and
+    ``reverse(step)`` only fire when the live state is at ``step``,
+    ``advance(begin, end)`` only from ``begin``; a schedule that
+    violates this — impossible for :func:`schedule` output, possible
+    for hand-built action lists — raises :class:`ValueError` instead of
+    silently adjoining the wrong state.  Both
+    :meth:`repro.driver.timestepping.AdjointTimeStepper.run_checkpointed`
+    and :class:`repro.runtime.checkpoint.CheckpointedAdjointPlan`
+    execute their sweeps through this one loop.
+    """
+    live = 0
+    stored: dict[int, int] = {}  # slot -> step it holds
+    for a in actions:
+        if a.kind == "snapshot":
+            if a.step != live:
+                raise ValueError(
+                    f"snapshot of step {a.step} but live state is at {live}"
+                )
+            stored[a.slot] = live
+            snapshot(a.slot, a.step)
+        elif a.kind == "advance":
+            if a.step != live:
+                raise ValueError(
+                    f"advance from step {a.step} but live state is at {live}"
+                )
+            if a.step2 <= a.step:
+                raise ValueError(
+                    f"advance must move forward, got {a.step} -> {a.step2}"
+                )
+            advance(a.step, a.step2)
+            live = a.step2
+        elif a.kind == "restore":
+            if a.slot not in stored:
+                raise ValueError(
+                    f"restore from slot {a.slot}, which holds no snapshot"
+                )
+            if stored[a.slot] != a.step:
+                raise ValueError(
+                    f"restore claims step {a.step} but slot {a.slot} holds "
+                    f"step {stored[a.slot]}"
+                )
+            restore(a.slot, a.step)
+            live = a.step
+        elif a.kind == "reverse":
+            if a.step != live:
+                raise ValueError(
+                    f"reverse of step {a.step} but live state is at {live}"
+                )
+            reverse(a.step)
+        else:
+            raise ValueError(f"unknown action kind {a.kind!r}")
 
 
 def schedule_cost(actions: list[Action]) -> int:

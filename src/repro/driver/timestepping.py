@@ -28,7 +28,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from .revolve import Action, schedule
+from .revolve import execute_schedule, schedule
 
 __all__ = ["AdjointTimeStepper", "make_stencil_steps"]
 
@@ -165,29 +165,38 @@ class AdjointTimeStepper:
     ) -> State:
         """Adjoint sweep with at most *snaps* resident snapshots.
 
-        Executes the optimal revolve schedule; evaluation count equals
+        Executes the optimal revolve schedule through the shared
+        :func:`repro.driver.revolve.execute_schedule` driver (which owns
+        the live-step bookkeeping); evaluation count equals
         :func:`repro.driver.revolve.optimal_cost` and the result is
         bitwise identical to :meth:`run_store_all`.
+
+        This is the generic-callable compatibility path (snapshots are
+        fresh state copies); time loops over compiled stencil kernels
+        should prefer the allocation-free
+        :class:`repro.runtime.checkpoint.CheckpointedAdjointPlan`, which
+        replays the same schedule with preallocated snapshot pools and
+        bound plan runs.
         """
-        actions = schedule(steps, snaps)
         slots: dict[int, State] = {}
-        live = _copy(state0)
-        live_step = 0
-        lam = _copy(adjoint_seed)
-        for action in actions:
-            if action.kind == "snapshot":
-                slots[action.slot] = _copy(live)
-            elif action.kind == "advance":
-                assert live_step == action.step, "schedule/live-state mismatch"
-                for _ in range(action.step2 - action.step):
-                    live = self.forward_step(live)
-                live_step = action.step2
-            elif action.kind == "restore":
-                live = _copy(slots[action.slot])
-                live_step = action.step
-            elif action.kind == "reverse":
-                assert live_step == action.step, "schedule/live-state mismatch"
-                lam = self.reverse_step(live, lam)
-            else:  # pragma: no cover - schedule only emits the four kinds
-                raise ValueError(f"unknown action {action.kind}")
-        return lam
+        box = {"live": _copy(state0), "lam": _copy(adjoint_seed)}
+
+        def advance(begin: int, end: int) -> None:
+            for _ in range(end - begin):
+                box["live"] = self.forward_step(box["live"])
+
+        def reverse(step: int) -> None:
+            box["lam"] = self.reverse_step(box["live"], box["lam"])
+
+        execute_schedule(
+            schedule(steps, snaps),
+            snapshot=lambda slot, step: slots.__setitem__(
+                slot, _copy(box["live"])
+            ),
+            advance=advance,
+            restore=lambda slot, step: box.__setitem__(
+                "live", _copy(slots[slot])
+            ),
+            reverse=reverse,
+        )
+        return box["lam"]

@@ -2,6 +2,7 @@
 
 from .bindings import Bindings
 from .bound import BoundPlan
+from .checkpoint import CheckpointedAdjointPlan, SnapshotPool
 from .cache import (
     KernelCache,
     clear_kernel_cache,
@@ -34,6 +35,7 @@ from .tiling import run_tiled, safe_to_tile, tile_box
 __all__ = [
     "Bindings",
     "BoundPlan",
+    "CheckpointedAdjointPlan",
     "CompiledKernel",
     "DistributedExecutor",
     "EnsemblePlan",
@@ -50,6 +52,7 @@ __all__ = [
     "NativeLibrary",
     "ParallelExecutor",
     "RegionProfile",
+    "SnapshotPool",
     "profile_kernel",
     "RegionKernel",
     "assert_disjoint_writes",

@@ -1,0 +1,561 @@
+"""Checkpointed adjoint time loops over bound execution plans.
+
+The paper reverses one stencil loop and delegates reversal of the
+surrounding *time* loop to "a general-purpose AD tool" (Section 3.1).
+:mod:`repro.driver` fills that gap generically — revolve schedules plus
+an :class:`~repro.driver.timestepping.AdjointTimeStepper` over arbitrary
+step callables — but every snapshot and restore there is a fresh
+``.copy()``, which contradicts the allocation-free steady-state contract
+the plan/bind runtime establishes.  This module is the runtime-native
+integration: the revolve schedule becomes *data* executed by a layer
+that owns all of its buffers, in the PyOP2 style the rest of the
+runtime follows.
+
+* :class:`SnapshotPool` — a preallocated ring of state buffers sized
+  from the revolve schedule (``snaps`` slots of the full time-stepping
+  state); ``np.copyto`` in and out, zero steady-state allocations.
+* :class:`CheckpointedAdjointPlan` — binds a forward plan and a reverse
+  (adjoint) plan **once** against a rotating set of state buffers (one
+  binding per rotation parity, so every schedule action replays a bound
+  ``run()``), then executes the optimal revolve action sequence per
+  :meth:`~CheckpointedAdjointPlan.adjoint` call.  Memory is O(snaps)
+  instead of O(steps); the evaluation count is provably minimal
+  (:func:`repro.driver.revolve.optimal_cost`); and the result is
+  **bitwise identical** to :meth:`~CheckpointedAdjointPlan.run_store_all`
+  by construction, because the reverse sweep consumes exactly the same
+  primal states either way.
+
+The state model covers the repository's time-stepping applications: one
+output field (``u``) computed from ``h`` earlier time levels
+(``history = ("u_1",)`` for heat/Burgers, ``("u_1", "u_2")`` for wave)
+plus optional *constant* fields (the wave velocity model ``c``) whose
+gradients accumulate across the whole reverse sweep.  A forward step
+rotates ``h + 1`` persistent buffers (the :func:`make_stencil_steps`
+double-buffering generalised to any history depth); since rotation
+only permutes *roles*, each of the ``h + 1`` parities binds the plans
+once and every subsequent step of that parity is a pure bound run.
+
+With ``members`` set, the same schedule runs across a leading member
+axis through :class:`~repro.runtime.ensemble.EnsemblePlan` bindings:
+one revolve action sequence advances and reverses the whole ensemble,
+member ``m`` bitwise identical to its single-scenario checkpointed run.
+
+>>> import numpy as np
+>>> from repro.apps import heat_problem
+>>> prob = heat_problem(1)
+>>> plan = prob.checkpointed_adjoint(16, steps=6, snaps=2)
+>>> u0 = prob.allocate_state(16, seed=0)["u_1"]
+>>> seed = prob.allocate_adjoints(16)["u_b"]
+>>> ref = {k: v.copy() for k, v in plan.run_store_all([u0], seed).items()}
+>>> out = plan.adjoint([u0], seed)
+>>> all(np.array_equal(out[k], ref[k]) for k in ref)
+True
+>>> plan.forward_steps == plan.evaluation_cost - plan.steps
+True
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..driver.revolve import execute_schedule, schedule, schedule_cost
+from .compiler import KernelError
+
+__all__ = ["SnapshotPool", "CheckpointedAdjointPlan"]
+
+
+class SnapshotPool:
+    """A preallocated ring of revolve snapshot buffers.
+
+    ``slots`` snapshots, each holding ``fields`` state arrays of
+    ``shape``/``dtype`` (one per history level of the time stepper).
+    All memory is allocated here, once; :meth:`store` and :meth:`load`
+    are pure ``np.copyto`` calls, so a steady-state revolve sweep
+    performs zero snapshot allocations.
+
+    >>> import numpy as np
+    >>> pool = SnapshotPool(3, (4, 4), np.float64, fields=2)
+    >>> pool.slots, pool.fields, pool.nbytes
+    (3, 2, 768)
+    >>> state = [np.ones((4, 4)), np.zeros((4, 4))]
+    >>> pool.store(1, state)
+    >>> out = [np.empty((4, 4)), np.empty((4, 4))]
+    >>> pool.load(1, out)
+    >>> bool(np.array_equal(out[0], state[0]))
+    True
+    """
+
+    __slots__ = ("_bufs", "shape", "dtype")
+
+    def __init__(
+        self, slots: int, shape: tuple[int, ...], dtype, fields: int = 1
+    ) -> None:
+        if slots < 1:
+            raise ValueError("snapshot pool needs at least one slot")
+        if fields < 1:
+            raise ValueError("snapshot pool needs at least one field per slot")
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._bufs = tuple(
+            tuple(np.empty(self.shape, dtype=self.dtype) for _ in range(fields))
+            for _ in range(slots)
+        )
+
+    @property
+    def slots(self) -> int:
+        return len(self._bufs)
+
+    @property
+    def fields(self) -> int:
+        return len(self._bufs[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the pool (the resident snapshot memory)."""
+        return sum(buf.nbytes for slot in self._bufs for buf in slot)
+
+    def store(self, slot: int, state: Sequence[np.ndarray]) -> None:
+        """Copy *state* (one array per field) into *slot*."""
+        bufs = self._bufs[slot]
+        if len(state) != len(bufs):
+            raise ValueError(
+                f"snapshot needs {len(bufs)} field(s), got {len(state)}"
+            )
+        for buf, arr in zip(bufs, state):
+            np.copyto(buf, arr)
+
+    def load(self, slot: int, out: Sequence[np.ndarray]) -> None:
+        """Copy *slot*'s snapshot into the *out* arrays (one per field)."""
+        bufs = self._bufs[slot]
+        if len(out) != len(bufs):
+            raise ValueError(
+                f"snapshot holds {len(bufs)} field(s), got {len(out)} outputs"
+            )
+        for buf, arr in zip(bufs, out):
+            np.copyto(arr, buf)
+
+
+def _kernel_array_names(plan) -> set[str]:
+    """All array names a plan's kernel touches."""
+    return {
+        name
+        for rp in plan.region_plans
+        for st in rp.region.statements
+        for name in (st.target.name, *(acc.name for acc in st.reads))
+    }
+
+
+class CheckpointedAdjointPlan:
+    """A revolve schedule executed entirely through bound plan runs.
+
+    Parameters
+    ----------
+    forward_plan:
+        :class:`~repro.runtime.plan.ExecutionPlan` of the primal kernel:
+        writes *output* reading the *history* fields (and *constants*).
+    reverse_plan:
+        Plan of the adjoint kernel: reads the adjoint of *output* plus
+        the saved primal state, accumulates (``+=``) into the adjoints
+        of the history fields and constants.
+    shape:
+        Per-member array shape of every state field.
+    steps:
+        Time steps to reverse (the primal runs ``steps`` steps).
+    snaps:
+        Resident snapshot slots; memory is ``snaps`` states instead of
+        the ``steps`` states a store-all sweep keeps.
+    output, history:
+        Field names: the written field and the earlier time levels it
+        is computed from, newest first (``("u_1",)`` or
+        ``("u_1", "u_2")``).
+    constants:
+        Name -> array for kernel fields constant in time (e.g. the wave
+        velocity model ``c``).  In ensemble mode these carry the member
+        axis like everything else.
+    adjoint_map:
+        Primal name -> adjoint name; defaults to ``name + "_b"``.
+    dtype:
+        State dtype (reduced-precision sweeps stay reduced end to end).
+    members:
+        ``None`` for a single scenario; an integer ``m >= 1`` runs one
+        schedule across a leading member axis of extent ``m`` via
+        :class:`~repro.runtime.ensemble.EnsemblePlan` bindings.
+    workers:
+        Ensemble worker threads (ignored without *members*).
+
+    The plan preallocates everything at construction: ``h + 1`` rotating
+    state buffers bound against both plans once per parity, the reverse
+    working set, and a :class:`SnapshotPool` sized ``snaps`` from the
+    revolve schedule.  Steady-state :meth:`adjoint` calls (after the
+    first, which records the slot tapes) perform **zero array
+    allocations** — asserted by ``tests/test_checkpoint_plan.py`` and
+    recorded by ``benchmarks/bench_checkpoint.py``.
+
+    The returned mapping holds the plan's persistent result buffers
+    (adjoints of the step-0 state in the history-adjoint names, plus
+    the constant adjoints); they are overwritten by the next sweep, so
+    copy anything that must survive one.
+    """
+
+    def __init__(
+        self,
+        forward_plan,
+        reverse_plan,
+        shape: tuple[int, ...],
+        *,
+        steps: int,
+        snaps: int,
+        output: str = "u",
+        history: Sequence[str] = ("u_1",),
+        constants: Mapping[str, np.ndarray] | None = None,
+        adjoint_map: Mapping[str, str] | None = None,
+        dtype=np.float64,
+        members: int | None = None,
+        workers: int = 1,
+    ) -> None:
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if snaps < 1:
+            raise ValueError("snaps must be >= 1")
+        if members is not None and members < 1:
+            raise ValueError("members must be >= 1")
+        history = tuple(history)
+        if not history:
+            raise ValueError("need at least one history field")
+        if forward_plan.config.scatter or reverse_plan.config.scatter:
+            raise KernelError(
+                "checkpointed adjoints do not support scatter plans: the "
+                "sweep replays bound runs, and ensembles of scatter plans "
+                "are rejected outright; use the gather discipline"
+            )
+        constants = dict(constants or {})
+        adjoint_map = dict(adjoint_map or {})
+        adj = lambda name: adjoint_map.get(name, f"{name}_b")  # noqa: E731
+
+        self.steps = steps
+        self.snaps = snaps
+        self.members = members
+        self.output = output
+        self.history = history
+        self.dtype = np.dtype(dtype)
+        shape = tuple(shape)
+        full_shape = shape if members is None else (members, *shape)
+        self._full_shape = full_shape
+        h = len(history)
+
+        # Validate the plans against the state model up front: a missing
+        # field would otherwise surface as a bare KeyError from binding.
+        fwd_names = _kernel_array_names(forward_plan)
+        allowed_fwd = {output, *history, *constants}
+        if not fwd_names <= allowed_fwd:
+            raise KernelError(
+                f"forward kernel touches arrays "
+                f"{sorted(fwd_names - allowed_fwd)} outside the time-"
+                f"stepping state (output={output!r}, history={history}, "
+                f"constants={sorted(constants)})"
+            )
+        rev_names = _kernel_array_names(reverse_plan)
+        # The reverse binding holds the saved history, the constants and
+        # the adjoint working set — *not* the primal output, which the
+        # repository's adjoint kernels never read (they consume its
+        # adjoint instead).  A reverse kernel reading it must fail here,
+        # not as a bare KeyError from binding.
+        allowed_rev = {*history, *constants, adj(output)} | {
+            adj(name) for name in (*history, *constants)
+        }
+        if not rev_names <= allowed_rev:
+            raise KernelError(
+                f"reverse kernel touches arrays "
+                f"{sorted(rev_names - allowed_rev)} outside the adjoint "
+                f"state (allowed: {sorted(allowed_rev)})"
+            )
+        for name, arr in constants.items():
+            if tuple(arr.shape) != full_shape:
+                raise ValueError(
+                    f"constant {name!r} has shape {arr.shape}, expected "
+                    f"{full_shape} (the member axis leads in ensemble mode)"
+                )
+            if arr.dtype != self.dtype:
+                raise ValueError(
+                    f"constant {name!r} is {arr.dtype}, expected "
+                    f"{self.dtype}: a promoted constant would break the "
+                    f"end-to-end reduced-precision contract; cast it first"
+                )
+
+        # h + 1 rotating state buffers; buffer q holds the *newest*
+        # state component, q-1 the one before, and so on (mod h + 1).
+        # A forward step writes the oldest buffer, so rotation is a
+        # pointer move, never a copy, and each parity's role assignment
+        # is a fixed arrays dict that binds once.
+        self._rot = tuple(
+            np.zeros(full_shape, dtype=self.dtype) for _ in range(h + 1)
+        )
+        self._pool = SnapshotPool(snaps, full_shape, self.dtype, fields=h)
+
+        # Reverse working set: the output-adjoint seed buffer and one
+        # accumulator per history field, plus the constant adjoints.
+        self._seed_buf = np.zeros(full_shape, dtype=self.dtype)
+        self._hist_adj = tuple(
+            np.zeros(full_shape, dtype=self.dtype) for _ in range(h)
+        )
+        self._const = constants
+        self._const_adj = {
+            adj(name): np.zeros(full_shape, dtype=self.dtype)
+            for name in sorted(constants)
+            if adj(name) in rev_names
+        }
+        self._result = {
+            **{adj(history[k]): self._hist_adj[k] for k in range(h)},
+            **self._const_adj,
+        }
+
+        # One scheduler serves every parity binding: each schedule
+        # action runs exactly one binding at a time, so per-binding
+        # worker pools would be 2 * (h + 1) idle thread sets.
+        self._scheduler = None
+        self._scheduler_finalizer = None
+        if members is not None and workers > 1:
+            from .scheduler import WorkStealingScheduler
+
+            self._scheduler = WorkStealingScheduler(workers)
+            self._scheduler_finalizer = weakref.finalize(
+                self, self._scheduler.close
+            )
+
+        def bind(plan, arrays):
+            if members is None:
+                return plan.bind(arrays)
+            from .ensemble import EnsemblePlan  # avoids import cycle
+
+            return EnsemblePlan(
+                plan, arrays, workers=workers, scheduler=self._scheduler
+            )
+
+        # One forward binding per parity p (output lands in buffer p),
+        # one reverse binding per live pointer q (newest state in q).
+        m = h + 1
+        self._fwd = tuple(
+            bind(
+                forward_plan,
+                {
+                    output: self._rot[p],
+                    **{history[k]: self._rot[(p - 1 - k) % m] for k in range(h)},
+                    **constants,
+                },
+            )
+            for p in range(m)
+        )
+        rev_arrays_base = {
+            adj(output): self._seed_buf,
+            **{adj(history[k]): self._hist_adj[k] for k in range(h)},
+            **constants,
+            **self._const_adj,
+        }
+        self._rev = tuple(
+            bind(
+                reverse_plan,
+                {
+                    **rev_arrays_base,
+                    **{history[k]: self._rot[(q - k) % m] for k in range(h)},
+                },
+            )
+            for q in range(m)
+        )
+
+        self._actions = tuple(schedule(steps, snaps))
+        self.evaluation_cost = schedule_cost(list(self._actions))
+        self.forward_steps = 0  # actual primal runs of the last sweep
+        self._live = 0  # rotation pointer: buffer holding the newest state
+        self._fresh_seed = True  # next reverse consumes the seed directly
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def actions(self) -> tuple:
+        """The revolve action sequence executed per :meth:`adjoint` call."""
+        return self._actions
+
+    @property
+    def snapshot_pool(self) -> SnapshotPool:
+        return self._pool
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Resident snapshot memory (the checkpointed sweep's state cost)."""
+        return self._pool.nbytes
+
+    @property
+    def store_all_bytes(self) -> int:
+        """State bytes a store-all sweep keeps (``steps`` saved states)."""
+        per_state = len(self.history) * int(
+            np.prod(self._full_shape, dtype=np.int64)
+        ) * self.dtype.itemsize
+        return self.steps * per_state
+
+    # -- state plumbing ----------------------------------------------------
+
+    def _live_state(self) -> list[np.ndarray]:
+        """The live state's arrays, newest first."""
+        m = len(self._rot)
+        return [self._rot[(self._live - k) % m] for k in range(len(self.history))]
+
+    def _load_state0(self, state0: Sequence[np.ndarray]) -> None:
+        h = len(self.history)
+        state0 = list(state0)
+        if len(state0) != h:
+            raise ValueError(
+                f"state0 must hold {h} array(s) (newest first, one per "
+                f"history field {self.history}), got {len(state0)}"
+            )
+        for arr in state0:
+            if tuple(np.shape(arr)) != self._full_shape:
+                raise ValueError(
+                    f"state0 arrays must have shape {self._full_shape}, "
+                    f"got {tuple(np.shape(arr))}"
+                )
+        self._live = 0
+        for k, arr in enumerate(state0):
+            np.copyto(self._rot[(-k) % len(self._rot)], arr)
+
+    def _advance(self, count: int) -> None:
+        m = len(self._rot)
+        for _ in range(count):
+            p = (self._live + 1) % m
+            out = self._rot[p]
+            out[...] = 0
+            self._fwd[p].run()
+            self._live = p
+        self.forward_steps += count
+
+    def _begin_reverse(self, seed: np.ndarray) -> None:
+        np.copyto(self._seed_buf, seed)
+        for buf in self._hist_adj:
+            buf[...] = 0
+        for buf in self._const_adj.values():
+            buf[...] = 0
+
+    def _rotate_adjoint(self) -> None:
+        # lambda state for step t from step t+1: the output adjoint is
+        # the previous newest history adjoint; each history adjoint
+        # accumulator is preloaded with the next-older one (the pure
+        # "shift" part of the state adjoint); the oldest starts at 0.
+        np.copyto(self._seed_buf, self._hist_adj[0])
+        for k in range(len(self._hist_adj) - 1):
+            np.copyto(self._hist_adj[k], self._hist_adj[k + 1])
+        self._hist_adj[-1][...] = 0
+
+    # -- schedule action handlers (bound once, reused every sweep) ---------
+
+    def _on_snapshot(self, slot: int, step: int) -> None:
+        self._pool.store(slot, self._live_state())
+
+    def _on_advance(self, begin: int, end: int) -> None:
+        self._advance(end - begin)
+
+    def _on_restore(self, slot: int, step: int) -> None:
+        self._pool.load(slot, self._live_state())
+
+    def _on_reverse(self, step: int) -> None:
+        # The first reverse of a sweep consumes the caller's seed
+        # directly; every later one first shifts the adjoint state.
+        if self._fresh_seed:
+            self._fresh_seed = False
+        else:
+            self._rotate_adjoint()
+        self._rev[self._live].run()
+
+    # -- execution ---------------------------------------------------------
+
+    def run_forward(self, state0: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Run the primal ``steps`` steps; returns copies of the final
+        state (newest first — the final output field leads)."""
+        self._load_state0(state0)
+        self.forward_steps = 0
+        self._advance(self.steps)
+        return [arr.copy() for arr in self._live_state()]
+
+    def adjoint(
+        self, state0: Sequence[np.ndarray], seed: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """One checkpointed adjoint sweep: revolve with bound runs.
+
+        *state0* holds the initial state (newest first, one array per
+        history field); *seed* is the adjoint of the final output
+        (``dJ/du^T``).  Returns the plan's persistent result buffers:
+        the adjoint of initial-state component ``k`` under the adjoint
+        name of ``history[k]``, plus accumulated constant adjoints.
+        Bitwise identical to :meth:`run_store_all` by construction —
+        the reverse sweep consumes exactly the same primal states.
+        """
+        if tuple(np.shape(seed)) != self._full_shape:
+            raise ValueError(
+                f"seed must have shape {self._full_shape}, got "
+                f"{tuple(np.shape(seed))}"
+            )
+        self._load_state0(state0)
+        self.forward_steps = 0
+        self._begin_reverse(seed)
+        self._fresh_seed = True
+        execute_schedule(
+            self._actions,
+            snapshot=self._on_snapshot,
+            advance=self._on_advance,
+            restore=self._on_restore,
+            reverse=self._on_reverse,
+        )
+        return self._result
+
+    def run_store_all(
+        self, state0: Sequence[np.ndarray], seed: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """The O(steps)-memory reference sweep over the same bound plans.
+
+        Stores a copy of every intermediate state during one forward
+        pass (``steps`` states — the baseline the memory gate compares
+        against), then reverses consuming them in descending step
+        order.  This path allocates its history per call; it exists as
+        the bitwise reference and benchmark baseline, not a steady-state
+        path.
+        """
+        if tuple(np.shape(seed)) != self._full_shape:
+            raise ValueError(
+                f"seed must have shape {self._full_shape}, got "
+                f"{tuple(np.shape(seed))}"
+            )
+        self._load_state0(state0)
+        self.forward_steps = 0
+        history = []
+        for _ in range(self.steps):
+            history.append([arr.copy() for arr in self._live_state()])
+            self._advance(1)
+        self._begin_reverse(seed)
+        self._fresh_seed = True
+        for t in reversed(range(self.steps)):
+            for arr, saved in zip(self._live_state(), history[t]):
+                np.copyto(arr, saved)
+            self._on_reverse(t)
+        return self._result
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release ensemble worker threads (no-op in single mode)."""
+        for bound in (*self._fwd, *self._rev):
+            close = getattr(bound, "close", None)
+            if close is not None:
+                close()
+        if self._scheduler is not None:
+            if self._scheduler_finalizer is not None:
+                self._scheduler_finalizer.detach()
+                self._scheduler_finalizer = None
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "CheckpointedAdjointPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

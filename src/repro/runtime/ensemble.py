@@ -279,6 +279,13 @@ class EnsemblePlan:
         Override the chunk count (default: 1 for serial, about four per
         worker otherwise).  More chunks mean finer stealing granularity
         but less fusion per ufunc call.
+    scheduler:
+        An externally owned
+        :class:`~repro.runtime.scheduler.WorkStealingScheduler` to run
+        chunks on, shared between several ensembles (the checkpointed
+        adjoint runtime binds one plan per rotation parity and drives
+        them all through one scheduler).  The caller keeps ownership:
+        :meth:`close` leaves a shared scheduler running.
     """
 
     def __init__(
@@ -288,6 +295,7 @@ class EnsemblePlan:
         *,
         workers: int = 1,
         chunks: int | None = None,
+        scheduler: WorkStealingScheduler | None = None,
     ) -> None:
         config = plan.config
         if config.scatter:
@@ -345,6 +353,7 @@ class EnsemblePlan:
             self._bind_chunk(lo, hi, native_lib, shifted_memo)
             for ((lo, hi),) in split_box(((0, members - 1),), chunks)
         )
+        self._shared_scheduler = scheduler
         self._scheduler: WorkStealingScheduler | None = None
         self._scheduler_finalizer: weakref.finalize | None = None
 
@@ -451,6 +460,8 @@ class EnsemblePlan:
                 chunk.run()
 
     def _ensure_scheduler(self) -> WorkStealingScheduler:
+        if self._shared_scheduler is not None:
+            return self._shared_scheduler
         if self._scheduler is None:
             self._scheduler = WorkStealingScheduler(self.workers)
             # Ensembles held by memoised plans can outlive their users;
@@ -461,7 +472,11 @@ class EnsemblePlan:
         return self._scheduler
 
     def close(self) -> None:
-        """Shut down the worker threads (recreated lazily on next run)."""
+        """Shut down owned worker threads (recreated lazily on next run).
+
+        A shared scheduler passed at construction stays running — its
+        owner closes it.
+        """
         if self._scheduler is not None:
             if self._scheduler_finalizer is not None:
                 self._scheduler_finalizer.detach()

@@ -187,6 +187,39 @@ def test_sweep_native_backend_falls_back_cleanly(tmp_path, monkeypatch):
     assert record["groups"][0]["batched_statements"] > 0
 
 
+def test_adjoint_writes_checkpoint_record(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "BENCH_checkpoint.json"
+    assert main([
+        "adjoint", "--problem", "heat1d", "--n", "14", "--steps", "6",
+        "--snaps", "2", "--reps", "1", "--output", str(out_file),
+    ]) == 0
+    record = json.loads(out_file.read_text())
+    assert record["benchmark"] == "checkpointed_adjoint"
+    assert record["bitwise_identical"] is True
+    assert record["forward_steps_per_sweep"] == record["predicted_forward_steps"]
+    assert record["memory_ratio"] <= 2 / 6 + 1e-9
+    out = capsys.readouterr().out
+    assert "bitwise=ok" in out
+
+
+def test_adjoint_ensemble_members_and_baseline_gate(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_checkpoint.json"
+    baseline = tmp_path / "baseline_checkpoint.json"
+    argv = [
+        "adjoint", "--problem", "burgers1d", "--n", "20", "--steps", "5",
+        "--snaps", "2", "--members", "3", "--reps", "1",
+    ]
+    assert main(argv + ["--output", str(baseline)]) == 0
+    assert main(
+        argv + ["--output", str(out_file), "--baseline", str(baseline),
+                "--max-slowdown", "1000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint baseline gate: PASS" in out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])

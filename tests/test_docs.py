@@ -48,7 +48,8 @@ def _internal_links(md_path: Path):
 def test_doc_files_exist():
     assert (REPO / "docs" / "architecture.md").is_file()
     assert (REPO / "docs" / "ensembles.md").is_file()
-    assert len(DOC_FILES) >= 3  # README + the two docs
+    assert (REPO / "docs" / "checkpointing.md").is_file()
+    assert len(DOC_FILES) >= 4  # README + the three docs
 
 
 @pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
@@ -69,14 +70,18 @@ def test_internal_links_resolve(md_path):
 
 
 def test_docs_are_cross_linked():
-    """architecture.md and ensembles.md reference each other and README."""
+    """The docs reference each other and the README, and vice versa."""
     arch = (REPO / "docs" / "architecture.md").read_text()
     ens = (REPO / "docs" / "ensembles.md").read_text()
+    chk = (REPO / "docs" / "checkpointing.md").read_text()
     readme = (REPO / "README.md").read_text()
     assert "ensembles.md" in arch
     assert "architecture.md" in ens
+    assert "architecture.md" in chk and "ensembles.md" in chk
     assert "../README.md" in arch and "../README.md" in ens
+    assert "../README.md" in chk
     assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
+    assert "docs/checkpointing.md" in readme
 
 
 def test_documented_cli_commands_exist():
@@ -90,10 +95,17 @@ def test_documented_cli_commands_exist():
     )
     assert args.command == "sweep"
     assert args.param == [("alpha", (0.1, 0.2))]
+    args = parser.parse_args(
+        ["adjoint", "--problem", "burgers1d", "--steps", "24",
+         "--snaps", "4", "--members", "2", "--backend", "native",
+         "--baseline", "benchmarks/baseline_checkpoint.json"]
+    )
+    assert args.command == "adjoint"
+    assert (args.steps, args.snaps) == (24, 4)
 
 
 def test_docs_doctest_blocks_present():
     """The docs keep executable examples (the CI docs job runs them)."""
-    for name in ("architecture.md", "ensembles.md"):
+    for name in ("architecture.md", "ensembles.md", "checkpointing.md"):
         text = (REPO / "docs" / name).read_text()
         assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"

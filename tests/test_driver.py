@@ -6,12 +6,55 @@ import pytest
 from repro.apps import burgers_problem, heat_problem
 from repro.core import adjoint_loops
 from repro.driver import (
+    Action,
     AdjointTimeStepper,
+    execute_schedule,
     optimal_cost,
     schedule,
     schedule_cost,
 )
 from repro.runtime import compile_nests
+
+
+def simulate_schedule(actions, steps, snaps):
+    """Replay a schedule checking slot/step validity; returns the peak
+    resident snapshot count.
+
+    The simulator asserts the full execution contract: every snapshot
+    stores the live step into a valid slot, every restore loads a slot
+    holding exactly the step it claims, advances move forward from the
+    live state, at most *snaps* snapshots are ever resident, and every
+    step is reversed exactly once in descending order.
+    """
+    slots: dict[int, int] = {}
+    live = 0
+    reversed_steps = []
+    max_resident = 0
+
+    for a in actions:
+        if a.kind == "snapshot":
+            assert 0 <= a.slot < snaps, f"slot {a.slot} outside budget {snaps}"
+            assert a.step == live, "snapshot of a non-live step"
+            slots[a.slot] = live
+            max_resident = max(max_resident, len(slots))
+        elif a.kind == "advance":
+            assert a.step == live, "advance from a non-live step"
+            assert a.step < a.step2 <= steps, "advance outside the sweep"
+            live = a.step2
+        elif a.kind == "restore":
+            assert a.slot in slots, f"restore from empty slot {a.slot}"
+            assert slots[a.slot] == a.step, "restore claims the wrong step"
+            live = a.step
+        elif a.kind == "reverse":
+            assert a.step == live, "reverse of a non-live step"
+            reversed_steps.append(a.step)
+        else:  # pragma: no cover - schedule only emits the four kinds
+            raise AssertionError(f"unknown action {a.kind}")
+    assert reversed_steps == list(range(steps - 1, -1, -1)), (
+        "steps must be reversed exactly once, in descending order"
+    )
+    assert max_resident <= snaps
+    return max_resident
 
 
 # -- revolve schedule ------------------------------------------------------------
@@ -55,29 +98,22 @@ def test_schedule_is_optimal(steps, snaps):
 def test_schedule_semantics_by_simulation(steps, snaps):
     """Simulate the schedule: slot budget respected, every step reversed
     exactly once in descending order, states consistent."""
-    acts = schedule(steps, snaps)
-    slots: dict[int, int] = {}
-    live = 0
-    reversed_steps = []
-    max_resident = 0
-    for a in acts:
-        if a.kind == "snapshot":
-            assert a.slot not in slots or slots[a.slot] is not None
-            slots[a.slot] = live
-            assert a.step == live
-            max_resident = max(max_resident, len(slots))
-        elif a.kind == "advance":
-            assert a.step == live
-            assert a.step2 > a.step
-            live = a.step2
-        elif a.kind == "restore":
-            assert slots[a.slot] == a.step
-            live = a.step
-        elif a.kind == "reverse":
-            assert a.step == live
-            reversed_steps.append(a.step)
-    assert reversed_steps == list(range(steps - 1, -1, -1))
-    assert max_resident <= snaps
+    simulate_schedule(schedule(steps, snaps), steps, snaps)
+
+
+@pytest.mark.parametrize("snaps", range(1, 13))
+def test_exhaustive_certification_over_full_grid(snaps):
+    """Exhaustive revolve certification: for the full grid of sweep
+    lengths l <= 64 and this snapshot budget, the emitted schedule (a)
+    passes the validity simulator and (b) costs *exactly* the dynamic-
+    programming optimum ``t(l, s)`` of Griewank & Walther's recurrence
+    — the emitter is certified optimal, not just heuristically close."""
+    for steps in range(1, 65):
+        acts = schedule(steps, snaps)
+        assert schedule_cost(acts) == optimal_cost(steps, snaps), (
+            f"suboptimal schedule for steps={steps}, snaps={snaps}"
+        )
+        simulate_schedule(acts, steps, snaps)
 
 
 def test_schedule_rejects_bad_args():
@@ -85,6 +121,45 @@ def test_schedule_rejects_bad_args():
         schedule(0, 1)
     with pytest.raises(ValueError):
         schedule(5, 0)
+
+
+# -- the shared schedule executor -------------------------------------------------
+
+
+def _recording_handlers(log):
+    return dict(
+        snapshot=lambda slot, step: log.append(("snapshot", slot, step)),
+        advance=lambda begin, end: log.append(("advance", begin, end)),
+        restore=lambda slot, step: log.append(("restore", slot, step)),
+        reverse=lambda step: log.append(("reverse", step)),
+    )
+
+
+def test_execute_schedule_replays_every_action():
+    acts = schedule(9, 3)
+    log = []
+    execute_schedule(acts, **_recording_handlers(log))
+    assert len(log) == len(acts)
+    assert [e for e in log if e[0] == "reverse"] == [
+        ("reverse", t) for t in range(8, -1, -1)
+    ]
+
+
+@pytest.mark.parametrize("bad,match", [
+    ([Action("snapshot", 3, slot=0)], "snapshot of step 3"),
+    ([Action("advance", 2, 5)], "advance from step 2"),
+    ([Action("advance", 0, 0)], "advance must move forward"),
+    ([Action("advance", 0, 2), Action("reverse", 1)], "reverse of step 1"),
+    ([Action("restore", 0, slot=1)], "holds no snapshot"),
+    ([Action("snapshot", 0, slot=0), Action("advance", 0, 2),
+      Action("restore", 1, slot=0)], "slot 0 holds step 0"),
+    ([Action("noop", 0)], "unknown action"),
+])
+def test_execute_schedule_rejects_inconsistent_sequences(bad, match):
+    """Hand-built action lists that desynchronise the live state fail
+    loudly instead of adjoining the wrong step."""
+    with pytest.raises(ValueError, match=match):
+        execute_schedule(bad, **_recording_handlers([]))
 
 
 # -- adjoint time-stepping driver -------------------------------------------------

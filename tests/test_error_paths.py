@@ -1,0 +1,177 @@
+"""Error-path coverage: ensemble stacking/binding and CLI validation.
+
+The happy paths of :func:`~repro.runtime.ensemble.stack_arrays`,
+:class:`~repro.runtime.ensemble.EnsemblePlan` and the CLI are covered by
+their own suites; this module pins down the *rejection* behaviour —
+malformed ensembles must fail loudly at construction (a silently
+promoted dtype or ragged stack would break the bitwise contract
+downstream), degenerate worker/chunk configurations must still be
+bitwise correct, and ``repro adjoint`` must reject nonsensical
+arguments with a diagnostic exit code instead of a traceback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import heat_problem
+from repro.cli import main
+from repro.core import adjoint_loops
+from repro.runtime import KernelError, compile_nests, stack_arrays
+from repro.runtime.ensemble import EnsemblePlan
+
+
+def _kernel(n=10):
+    prob = heat_problem(1)
+    return (
+        prob,
+        compile_nests(
+            adjoint_loops(prob.primal, prob.adjoint_map), prob.bindings(n)
+        ),
+        n,
+    )
+
+
+# -- stack_arrays ---------------------------------------------------------------
+
+
+def test_stack_arrays_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        stack_arrays([])
+
+
+def test_stack_arrays_rejects_mismatched_names():
+    with pytest.raises(ValueError, match="member 1 holds arrays"):
+        stack_arrays([{"u": np.zeros(3)}, {"v": np.zeros(3)}])
+
+
+def test_stack_arrays_rejects_mixed_dtypes():
+    """np.stack would silently promote f32 -> f64; the stacker must not."""
+    members = [
+        {"u": np.zeros(3, dtype=np.float64)},
+        {"u": np.zeros(3, dtype=np.float32)},
+    ]
+    with pytest.raises(ValueError, match="float32.*member 0 has.*float64"):
+        stack_arrays(members)
+
+
+def test_stack_arrays_rejects_mixed_shapes():
+    members = [{"u": np.zeros((3, 3))}, {"u": np.zeros((3, 4))}]
+    with pytest.raises(ValueError, match=r"\(3, 4\).*member 0 has"):
+        stack_arrays(members)
+
+
+# -- EnsemblePlan construction ----------------------------------------------------
+
+
+def test_ensemble_rejects_missing_kernel_arrays():
+    prob, kernel, n = _kernel()
+    batched = stack_arrays([prob.allocate_state(n, seed=0)])
+    del batched["u_b"]
+    with pytest.raises(KernelError, match=r"missing kernel arrays \['u_b'\]"):
+        EnsemblePlan(kernel.plan(), batched)
+
+
+def test_ensemble_rejects_mismatched_member_extents():
+    prob, kernel, n = _kernel()
+    batched = stack_arrays([prob.allocate_state(n, seed=m) for m in range(3)])
+    batched["u_b"] = batched["u_b"][:2]
+    with pytest.raises(KernelError, match="one leading member axis"):
+        EnsemblePlan(kernel.plan(), batched)
+
+
+def test_ensemble_rejects_scatter_plans_and_bad_workers():
+    prob, kernel, n = _kernel()
+    batched = stack_arrays([prob.allocate_state(n, seed=0)])
+    with pytest.raises(KernelError, match="scatter"):
+        EnsemblePlan(kernel.plan(scatter=True, num_threads=2), batched)
+    with pytest.raises(ValueError, match="workers"):
+        EnsemblePlan(kernel.plan(), batched, workers=0)
+
+
+def test_ensemble_member_arrays_bounds_checked():
+    prob, kernel, n = _kernel()
+    ens = EnsemblePlan(
+        kernel.plan(), stack_arrays([prob.allocate_state(n, seed=0)])
+    )
+    with pytest.raises(IndexError):
+        ens.member_arrays(1)
+    with pytest.raises(IndexError):
+        ens.member_arrays(-1)
+
+
+# -- degenerate worker/chunk configurations stay bitwise correct -------------------
+
+
+def _run_config(prob, kernel, n, members, **kwargs):
+    states = [prob.allocate_state(n, seed=m) for m in range(members)]
+    batched = stack_arrays(states)
+    with EnsemblePlan(kernel.plan(), batched, **kwargs) as ens:
+        for _ in range(3):
+            ens.run()
+    return batched
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(workers=8),            # more workers than members
+    dict(chunks=1, workers=2),  # single chunk under threads
+    dict(chunks=99),            # more chunks than members: clamped
+    dict(workers=2, chunks=2),
+])
+def test_degenerate_configs_match_reference(kwargs):
+    prob, kernel, n = _kernel()
+    members = 2
+    ref = _run_config(prob, kernel, n, members)
+    out = _run_config(prob, kernel, n, members, **kwargs)
+    for name in ref:
+        assert ref[name].tobytes() == out[name].tobytes(), (name, kwargs)
+
+
+def test_chunk_count_clamped_to_members():
+    prob, kernel, n = _kernel()
+    batched = stack_arrays([prob.allocate_state(n, seed=m) for m in range(2)])
+    assert EnsemblePlan(kernel.plan(), batched, chunks=99).chunk_count == 2
+    assert EnsemblePlan(kernel.plan(), batched, chunks=0).chunk_count == 1
+
+
+# -- `repro adjoint` CLI argument validation ---------------------------------------
+
+
+@pytest.mark.parametrize("argv,message", [
+    (["adjoint", "--steps", "0"], "at least one time step"),
+    (["adjoint", "--steps", "-3"], "at least one time step"),
+    (["adjoint", "--snaps", "0"], "at least one snapshot slot"),
+    (["adjoint", "--members", "0"], "at least one member"),
+])
+def test_adjoint_cli_rejects_bad_counts(argv, message, capsys, tmp_path):
+    assert main(argv + ["--output", str(tmp_path / "b.json")]) == 2
+    assert message in capsys.readouterr().out
+    assert not (tmp_path / "b.json").exists()
+
+
+def test_adjoint_cli_rejects_unknown_problem_and_workers():
+    with pytest.raises(SystemExit):
+        main(["adjoint", "--problem", "navier3d"])
+    with pytest.raises(SystemExit):
+        main(["adjoint", "--workers", "0"])
+
+
+def test_adjoint_cli_rejects_baseline_context_mismatch(tmp_path, capsys):
+    """A baseline recorded with different options must not be compared."""
+    import json
+
+    out = tmp_path / "BENCH_checkpoint.json"
+    assert main([
+        "adjoint", "--problem", "heat1d", "--n", "12", "--steps", "4",
+        "--snaps", "2", "--reps", "1", "--output", str(out),
+    ]) == 0
+    record = json.loads(out.read_text())
+    record["snaps"] = 3  # pretend the baseline used another budget
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(record))
+    rc = main([
+        "adjoint", "--problem", "heat1d", "--n", "12", "--steps", "4",
+        "--snaps", "2", "--reps", "1", "--output", str(out),
+        "--baseline", str(baseline),
+    ])
+    assert rc == 1
+    assert "does not match this" in capsys.readouterr().out
