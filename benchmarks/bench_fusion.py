@@ -1,0 +1,173 @@
+"""Fusion benchmark + CI gate: fused loop nests vs the per-statement path.
+
+The dependence-aware fusion pass (``core/fusion.py``, ``docs/fusion.md``)
+merges the heat2d adjoint's 17 native statements into one loop nest —
+one memory sweep per timestep instead of 17.  This benchmark records the
+real cost of both paths at a grid past the dispatch-dominated regime
+(``BENCH_fusion.json``) and gates the pass in CI:
+
+* **hard** — fused results bitwise identical to the per-statement native
+  path *and* to the unbound serial reference,
+* **hard** — memory-sweep reduction >= 3x (heat2d measures 17x) and a
+  wall-clock speedup floor of 1.3x over the per-statement native path,
+* **machine-corrected** — fused per-timestep time vs the checked-in
+  ``baseline_fusion.json``, corrected via the per-statement native time
+  of the same run (the two paths run identical arithmetic through the
+  same FFI layer, so their ratio isolates fused-codegen regressions
+  from runner hardware), failing beyond ``MAX_SLOWDOWN``; the baseline
+  may also never record *more* sweeps than the current run (fusion
+  coverage must not silently shrink).
+
+Refresh the baseline by copying a freshly recorded ``BENCH_fusion.json``
+over ``benchmarks/baseline_fusion.json``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import heat_problem
+from repro.core import adjoint_loops
+from repro.experiments.steady import _best_of, bitwise_equal
+from repro.runtime import compile_nests, native_available
+
+REPS = 100
+N = 128
+OUTPUT = "BENCH_fusion.json"
+BASELINE = Path(__file__).parent / "baseline_fusion.json"
+MAX_SLOWDOWN = 1.5
+MIN_SWEEP_REDUCTION = 3.0
+MIN_SPEEDUP = 1.3
+
+
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+def test_fused_sweeps_and_speedup(benchmark, capsys):
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(N), name="fusion_bench")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+
+    ref_plan = kernel.plan(backend="native", fusion="off")
+    fus_plan = kernel.plan(backend="native", fusion="auto")
+    ref_arrays = {k: v.copy() for k, v in base.items()}
+    fus_arrays = {k: v.copy() for k, v in base.items()}
+    ref_bound = ref_plan.bind(ref_arrays)
+    fus_bound = fus_plan.bind(fus_arrays)
+
+    # -- fusion shape: the whole adjoint collapses into one nest -------------
+    assert ref_bound.native_statement_count == ref_bound.statement_count
+    assert fus_bound.fused_group_count >= 1
+    sweep_reduction = fus_bound.statement_count / fus_bound.sweep_count
+    assert sweep_reduction >= MIN_SWEEP_REDUCTION, (
+        f"expected >={MIN_SWEEP_REDUCTION}x sweep reduction, got "
+        f"{fus_bound.statement_count} statements in {fus_bound.sweep_count} "
+        f"sweeps ({sweep_reduction:.1f}x)"
+    )
+
+    for _ in range(3):  # warm-up: replay buffers, code + data caches
+        ref_bound.run()
+        fus_bound.run()
+
+    # -- bitwise identity: fused == per-statement == serial reference --------
+    serial = {k: v.copy() for k, v in base.items()}
+    ref_plan.run_unbound(serial)
+    for arrays in (ref_arrays, fus_arrays):
+        for name, arr in base.items():
+            arrays[name][...] = arr
+    ref_bound.run()
+    fus_bound.run()
+    bitwise = all(
+        bitwise_equal(serial[name], fus_arrays[name])
+        and bitwise_equal(serial[name], ref_arrays[name])
+        for name in serial
+    )
+
+    # -- steady-state per-timestep timing ------------------------------------
+    t_ref = _best_of(ref_bound.run, REPS)
+    t_fused = _best_of(fus_bound.run, REPS)
+    speedup = t_ref / t_fused
+
+    def fused_loop():
+        for _ in range(REPS):
+            fus_bound.run()
+
+    benchmark.pedantic(fused_loop, rounds=3, iterations=1)
+
+    record = {
+        "benchmark": "fused_native_steady_state",
+        "problem": prob.name,
+        "n": N,
+        "reps": REPS,
+        "iterations_per_call": kernel.total_iterations(),
+        "per_statement_us_per_call": round(t_ref * 1e6, 3),
+        "fused_us_per_call": round(t_fused * 1e6, 3),
+        "speedup_vs_per_statement": round(speedup, 3),
+        "total_statements": fus_bound.statement_count,
+        "fused_groups": fus_bound.fused_group_count,
+        "fused_statements": fus_bound.fused_statement_count,
+        "sweeps_per_timestep": fus_bound.sweep_count,
+        "sweep_reduction": round(sweep_reduction, 3),
+        "bitwise_identical": bitwise,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info.update(record)
+
+    with capsys.disabled():
+        print(f"\nfused native, {prob.name} n={N}, best of {REPS}-call loops:")
+        print(
+            f"  per-statement native {t_ref * 1e6:8.1f} us/call "
+            f"({fus_bound.statement_count} sweeps)"
+        )
+        print(
+            f"  fused native         {t_fused * 1e6:8.1f} us/call "
+            f"({fus_bound.sweep_count} sweep(s))"
+        )
+        print(
+            f"  speedup              {speedup:8.2f}x  "
+            f"sweep reduction {sweep_reduction:.0f}x  (recorded in {OUTPUT})"
+        )
+
+    ref_plan.close()
+    fus_plan.close()
+
+    assert bitwise, "fused path diverged bitwise"
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >={MIN_SPEEDUP}x fused speedup over the per-statement "
+        f"native path, got {speedup:.2f}x"
+    )
+
+    # -- machine-corrected gate vs the checked-in baseline -------------------
+    if BASELINE.exists():
+        with open(BASELINE) as fh:
+            baseline = json.load(fh)
+        for key in ("benchmark", "problem", "n", "reps"):
+            assert record[key] == baseline[key], (
+                f"baseline {key}={baseline[key]!r} does not match this "
+                f"run's {key}={record[key]!r}; refresh the baseline"
+            )
+        assert record["sweeps_per_timestep"] <= baseline["sweeps_per_timestep"], (
+            f"fusion coverage regressed: {record['sweeps_per_timestep']} "
+            f"sweeps vs baseline {baseline['sweeps_per_timestep']}"
+        )
+        raw = record["fused_us_per_call"] / baseline["fused_us_per_call"]
+        machine = (
+            record["per_statement_us_per_call"]
+            / baseline["per_statement_us_per_call"]
+        )
+        corrected = raw / machine
+        with capsys.disabled():
+            print(
+                f"  baseline gate        {raw:.2f}x raw, {machine:.2f}x "
+                f"machine factor, {corrected:.2f}x corrected "
+                f"(max {MAX_SLOWDOWN}x)"
+            )
+        assert corrected <= MAX_SLOWDOWN, (
+            f"fused path regressed {corrected:.2f}x machine-corrected vs "
+            f"baseline (limit {MAX_SLOWDOWN}x)"
+        )

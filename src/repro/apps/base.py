@@ -178,6 +178,7 @@ class StencilProblem:
         snaps: int,
         dtype: type = np.float64,
         backend: str = "python",
+        fusion: str = "auto",
         members: int | None = None,
         workers: int = 1,
         constants: Mapping[str, np.ndarray] | None = None,
@@ -224,8 +225,10 @@ class StencilProblem:
             if members is not None and tuple(field.shape) == shape:
                 field = np.ascontiguousarray(np.broadcast_to(field, full_shape))
             const_arrays[name] = field
-        return fwd.plan(backend=backend, num_threads=num_threads).checkpointed_adjoint(
-            rev.plan(backend=backend, num_threads=num_threads),
+        return fwd.plan(
+            backend=backend, num_threads=num_threads, fusion=fusion
+        ).checkpointed_adjoint(
+            rev.plan(backend=backend, num_threads=num_threads, fusion=fusion),
             shape,
             steps=steps,
             snaps=snaps,

@@ -20,6 +20,11 @@ Commands
     JIT-compiled C backend; ``--baseline benchmarks/baseline_runtime.json``
     turns the run into the CI perf-regression gate, failing on a
     >--max-slowdown per-timestep slowdown or lost bitwise identity.
+``fuse``
+    Show the dependence-aware fusion plan (``docs/fusion.md``) for a
+    problem's adjoint: which statement chains merge into single native
+    loop nests, why the others stay separate, and the resulting memory
+    sweeps per timestep.  ``--explain`` prints the per-group detail.
 ``sweep``
     Run a batched ensemble (many scenarios — distinct initial
     conditions, optional parameter grids — through one kernel; see
@@ -191,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         "python, with a warning, when no C compiler is available)",
     )
     ben.add_argument(
+        "--fusion", choices=["auto", "off"], default="auto",
+        help="dependence-aware statement fusion for the serial native "
+        "path (default: auto; 'off' forces the per-statement reference "
+        "path; inert for --backend python)",
+    )
+    ben.add_argument(
         "--output", default="BENCH_runtime.json",
         help="where to write the JSON record (default: ./BENCH_runtime.json)",
     )
@@ -204,6 +215,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-slowdown", type=float, default=1.5, metavar="FACTOR",
         help="largest tolerated bound_us_per_call ratio vs the baseline "
         "(default: 1.5)",
+    )
+
+    fus = sub.add_parser(
+        "fuse",
+        help="show the dependence-aware fusion plan for a problem's adjoint",
+    )
+    fus.add_argument("--problem", choices=sorted(_PROBLEMS), default="heat2d")
+    fus.add_argument("--n", type=int, default=None, help="grid size")
+    fus.add_argument(
+        "--dtype", choices=["f64", "f32"], default="f64",
+        help="kernel dtype (default: f64); eligibility is dtype-dependent",
+    )
+    fus.add_argument(
+        "--fusion", choices=["auto", "off"], default="auto",
+        help="fusion mode to plan with (default: auto)",
+    )
+    fus.add_argument(
+        "--explain", action="store_true",
+        help="print per-group detail: members, written arrays, and the "
+        "dependence or eligibility reason each group boundary exists",
     )
 
     swp = sub.add_parser(
@@ -479,7 +510,7 @@ def _cmd_bench(args) -> int:
 
     cases = {}
     for label, cfg in configs.items():
-        plan = kernel.plan(backend=args.backend, **cfg)
+        plan = kernel.plan(backend=args.backend, fusion=args.fusion, **cfg)
         arrays = {k: v.copy() for k, v in base.items()}
         cases[label] = measure_steady_state(plan, arrays, base, reps)
         plan.close()
@@ -490,6 +521,7 @@ def _cmd_bench(args) -> int:
         "n": n,
         "reps": reps,
         "backend": args.backend,
+        "fusion": args.fusion,
         "iterations_per_call": kernel.total_iterations(),
         "unix_time": round(time.time(), 1),
         "cases": cases,
@@ -505,6 +537,7 @@ def _cmd_bench(args) -> int:
             f"speedup {case['speedup']:5.2f}x  "
             f"steady alloc {case['steady_net_alloc_bytes']} B  "
             f"native {case['native_statements']}/{case['total_statements']}  "
+            f"sweeps {case['sweeps_per_timestep']}  "
             f"bitwise={'ok' if case['bitwise_identical'] else 'MISMATCH'}"
         )
     ok = all(c["bitwise_identical"] for c in cases.values())
@@ -598,6 +631,44 @@ def _check_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
             ok = False
     print("  baseline gate: " + ("PASS" if ok else "FAIL"))
     return ok
+
+
+def _cmd_fuse(args) -> int:
+    """Print the fusion plan the native backend would use for a problem."""
+    import numpy as np
+
+    from .core import adjoint_loops
+    from .runtime import compile_nests
+
+    prob = _PROBLEMS[args.problem]()
+    n = args.n or _DEFAULT_N[args.problem]
+    dtype = np.float64 if args.dtype == "f64" else np.float32
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(n, dtype=dtype), name="fuse")
+    rng = np.random.default_rng(0)
+    arrays = prob.allocate(n, rng=rng, dtype=dtype)
+    arrays.update(prob.allocate_adjoints(n, rng=rng, dtype=dtype))
+    plan = kernel.plan(backend="native", fusion=args.fusion)
+    try:
+        bound = plan.bind(arrays)
+        print(
+            f"problem {prob.name}, n={n}, dtype={args.dtype}, "
+            f"fusion={args.fusion}"
+        )
+        if args.explain:
+            for line in bound.fusion_explain():
+                print(f"  {line}")
+        else:
+            print(
+                f"  {bound.statement_count} statements -> "
+                f"{bound.sweep_count} memory sweeps per timestep "
+                f"({bound.fused_group_count} fused groups covering "
+                f"{bound.fused_statement_count} statements; "
+                f"use --explain for the per-group reasons)"
+            )
+    finally:
+        plan.close()
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -939,6 +1010,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_loop_counts(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fuse":
+        return _cmd_fuse(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "adjoint":

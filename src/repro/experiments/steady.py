@@ -91,6 +91,9 @@ def measure_steady_state(
         "inplace_statements": bound.inplace_statement_count,
         "native_statements": bound.native_statement_count,
         "total_statements": bound.statement_count,
+        "fused_groups": getattr(bound, "fused_group_count", 0),
+        "fused_statements": getattr(bound, "fused_statement_count", 0),
+        "sweeps_per_timestep": getattr(bound, "sweep_count", bound.statement_count),
     }
 
 
@@ -169,5 +172,7 @@ def measure_ensemble(
         "batched_statements": ensemble.batched_statement_count,
         "native_statements": ensemble.native_statement_count,
         "member_statements": ensemble.member_statement_count,
+        "fused_groups": getattr(ensemble, "fused_group_count", 0),
+        "fused_statements": getattr(ensemble, "fused_statement_count", 0),
     }
     return record, ensemble

@@ -79,6 +79,8 @@ from typing import Mapping, Sequence
 import numpy as np
 import sympy as sp
 
+from ..codegen.native_c import native_eligibility
+from ..core.fusion import FusionEntry, describe_groups, plan_groups
 from .compiler import (
     CompiledStatement,
     RegionKernel,
@@ -89,6 +91,7 @@ from .native import (
     NativeStatement,
     chain_runnables,
     library_for_kernel,
+    make_fused_statement,
     make_native_statement,
 )
 
@@ -393,7 +396,9 @@ def _bind_unit(
     With a native library, each statement that was lowered to C *and*
     whose concrete arrays satisfy the lowering assumptions binds to a
     :class:`~repro.runtime.native.NativeStatement`; everything else
-    keeps the Python slot-tape path.  Both expose ``run()``.
+    keeps the Python slot-tape path.  Both expose ``run()``.  Returns
+    ``(bound, statement, eff_box)`` triples so the caller can feed the
+    fusion planner without re-deriving the statement stream.
     """
     out: list = []
     for si, (st, eff) in enumerate(zip(region.statements, stmt_boxes)):
@@ -404,7 +409,7 @@ def _bind_unit(
             bound = make_native_statement(native_lib, region, si, st, arrays, eff)
         if bound is None:
             bound = _BoundStatement(st, arrays, eff, region.dtype)
-        out.append(bound)
+        out.append((bound, st, eff))
     return out
 
 
@@ -497,6 +502,7 @@ class BoundPlan:
         serial_mode = config.num_threads == 1
         regions: list[_BoundRegion] = []
         flat: list = []
+        meta: list = []  # (region, statement, eff box) aligned with flat
         for rp, barrier in zip(plan.region_plans, plan.barriers):
             names = {st.target.name for st in rp.region.statements}
             names.update(
@@ -518,9 +524,11 @@ class BoundPlan:
                     task_arrays = local
                 stmts: list = []
                 for boxes in task_boxes:
-                    stmts.extend(
-                        _bind_unit(rp.region, boxes, task_arrays, native_lib)
-                    )
+                    for bound, st, eff in _bind_unit(
+                        rp.region, boxes, task_arrays, native_lib
+                    ):
+                        stmts.append(bound)
+                        meta.append((rp.region, st, eff))
                 items = (
                     stmts if serial_mode else chain_runnables(native_lib, stmts)
                 )
@@ -531,13 +539,86 @@ class BoundPlan:
         self._sources = sources
         self._regions: tuple[_BoundRegion, ...] = tuple(regions)
         self._flat: tuple = tuple(flat)
+        # Dependence-aware fusion is a post-pass over the serial stream:
+        # per-statement binds stay (counters, profiler, the reference
+        # oracle); fused groups substitute contiguous slices of the
+        # execution stream only.  Restricted to serial untiled native
+        # bindings — the fused nests bake their geometry, so per-tile or
+        # per-thread boxes would mean one compile per tile.
+        self.fused_group_count = 0
+        self.fused_statement_count = 0
+        self._fusion_groups: tuple = ()
+        self._fusion_bound: tuple[bool, ...] = ()
+        stream: list = flat
+        if (
+            serial_mode
+            and native_lib is not None
+            and config.fusion != "off"
+            and config.tile_shape is None
+            and not scatter_mode
+        ):
+            stream = self._apply_fusion(flat, meta)
         # Serial execution order is the flat statement order, so chain
         # across region/task boundaries: a fully native kernel runs one
         # FFI call per timestep.  (Unused — and unchained — for
         # threaded/scatter configs, whose run() goes through the tasks.)
         self._serial_items: tuple = (
-            tuple(chain_runnables(native_lib, flat)) if serial_mode else self._flat
+            tuple(chain_runnables(native_lib, stream))
+            if serial_mode
+            else self._flat
         )
+
+    def _apply_fusion(self, flat: list, meta: list) -> list:
+        """Substitute fused groups into the serial execution stream.
+
+        Plans groups over the bound statement stream (statements that
+        fell back to Python, or were never lowered, enter as blocked
+        singletons), then binds each multi-statement group to one
+        generated nest.  A group failing a bind-time gate or its build
+        keeps its original per-statement slice — fallback is per group,
+        never all-or-nothing.
+        """
+        kernel = self.plan.kernel
+        dim = len(kernel.counters)
+        entries = []
+        for bound, (region, st, eff) in zip(flat, meta):
+            dtype_name = (
+                getattr(region.dtype, "__name__", None) or str(region.dtype)
+            )
+            if isinstance(bound, NativeStatement):
+                blocker = None
+            else:
+                blocker = native_eligibility(st, dim, region.dtype) or (
+                    "bind-time native fallback (arrays failed a lowering gate)"
+                )
+            entries.append(
+                FusionEntry(
+                    stmt=st, box=eff, dim=dim, dtype=dtype_name, blocker=blocker
+                )
+            )
+        groups = plan_groups(entries)
+        stream: list = []
+        bound_flags: list[bool] = []
+        pos = 0
+        for group in groups:
+            n = len(group.entries)
+            fused = None
+            if group.fused:
+                fused = make_fused_statement(
+                    kernel, group.entries, self._sources
+                )
+            if fused is not None:
+                stream.append(fused)
+                self.fused_group_count += 1
+                self.fused_statement_count += fused.members
+                bound_flags.append(True)
+            else:
+                stream.extend(flat[pos:pos + n])
+                bound_flags.append(False)
+            pos += n
+        self._fusion_groups = tuple(groups)
+        self._fusion_bound = tuple(bound_flags)
+        return stream
 
     # -- queries -----------------------------------------------------------
 
@@ -559,6 +640,48 @@ class BoundPlan:
     def native_statement_count(self) -> int:
         """Statements dispatched to JIT-built C (0 on the python backend)."""
         return sum(1 for s in self._flat if isinstance(s, NativeStatement))
+
+    @property
+    def sweep_count(self) -> int:
+        """Memory sweeps per serial run after fusion.
+
+        Each unfused statement is one pass over its arrays; each fused
+        group is one.  Without fusion this equals ``statement_count``.
+        """
+        return (
+            self.statement_count
+            - self.fused_statement_count
+            + self.fused_group_count
+        )
+
+    def fusion_explain(self) -> list[str]:
+        """Human lines describing what fused and why the rest did not.
+
+        Backs ``repro fuse --explain``.  Groups that planned fusable but
+        failed a bind-time gate (aliasing arrays, a failed build) are
+        annotated — they execute per-statement.
+        """
+        if not self._fusion_groups:
+            return [
+                "fusion inactive for this binding (python backend, "
+                "threaded/tiled/scatter config, fusion='off', or no C "
+                "toolchain)"
+            ]
+        lines = describe_groups(self._fusion_groups)
+        for gi, (group, ok) in enumerate(
+            zip(self._fusion_groups, self._fusion_bound)
+        ):
+            if group.fused and not ok:
+                lines.append(
+                    f"group {gi}: planned fusable but failed a bind-time "
+                    f"gate; executing per-statement"
+                )
+        lines.append(
+            f"sweeps per timestep: {self.sweep_count} "
+            f"({self.statement_count} statements; {self.fused_group_count} "
+            f"fused groups covering {self.fused_statement_count})"
+        )
+        return lines
 
     def matches(self, arrays: Mapping[str, np.ndarray]) -> bool:
         """True while *arrays* still holds the exact bound array objects.

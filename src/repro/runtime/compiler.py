@@ -477,6 +477,7 @@ class CompiledKernel:
         scatter: bool = False,
         min_block_iterations: int = 1024,
         backend: str = "python",
+        fusion: str = "auto",
     ) -> "ExecutionPlan":
         """The cached :class:`~repro.runtime.plan.ExecutionPlan` for a config.
 
@@ -484,7 +485,9 @@ class CompiledKernel:
         once; repeated calls with an equal configuration return the same
         plan object, so every timestep of a run reuses the decomposition.
         ``backend="native"`` makes bindings of the plan dispatch through
-        JIT-built C statement kernels (see :mod:`repro.runtime.native`).
+        JIT-built C statement kernels (see :mod:`repro.runtime.native`);
+        ``fusion="off"`` pins those bindings to the per-statement path
+        instead of fusing dependence-legal statement chains.
         """
         from .plan import ExecutionConfig, ExecutionPlan  # avoids cycle
 
@@ -494,6 +497,7 @@ class CompiledKernel:
             scatter=scatter,
             min_block_iterations=min_block_iterations,
             backend=backend,
+            fusion=fusion,
         )
         plan = self._plans.get(config)
         if plan is None:

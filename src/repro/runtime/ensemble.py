@@ -92,9 +92,16 @@ from typing import Mapping, Sequence
 import numpy as np
 import sympy as sp
 
+from ..codegen.native_c import native_eligibility
+from ..core.fusion import FusionEntry, plan_groups
 from .bound import _ALLOWED_FUNCS, _BoundStatement, _supports_inplace
 from .compiler import CompiledAccess, CompiledStatement, KernelError
-from .native import chain_runnables, library_for_kernel, make_native_statement
+from .native import (
+    chain_runnables,
+    library_for_kernel,
+    make_fused_statement,
+    make_native_statement,
+)
 from .scheduler import WorkStealingScheduler, split_box
 
 __all__ = ["EnsemblePlan", "stack_arrays", "batch_safe_statement"]
@@ -348,6 +355,38 @@ class EnsemblePlan:
         self.batched_statement_count = 0
         self.native_statement_count = 0
         self.member_statement_count = 0
+        self.fused_group_count = 0
+        self.fused_statement_count = 0
+        self._stream = tuple(self._flat_statements())
+        # Dependence-aware fusion (repro.core.fusion): groups planned
+        # once over the member plan's serial stream, bound per member.
+        # Same scope as BoundPlan — serial untiled native member plans;
+        # member views of one stacked array share strides, so every
+        # member's fused nest is one content-keyed build.
+        self._fusion_groups = None
+        if (
+            native_lib is not None
+            and config.fusion != "off"
+            and config.num_threads == 1
+            and config.tile_shape is None
+        ):
+            dim = len(plan.kernel.counters)
+            entries = []
+            for region, si, st, eff in self._stream:
+                dtype_name = (
+                    getattr(region.dtype, "__name__", None)
+                    or str(region.dtype)
+                )
+                entries.append(
+                    FusionEntry(
+                        stmt=st,
+                        box=eff,
+                        dim=dim,
+                        dtype=dtype_name,
+                        blocker=native_eligibility(st, dim, region.dtype),
+                    )
+                )
+            self._fusion_groups = plan_groups(entries)
         shifted_memo: dict[int, CompiledStatement] = {}
         self._chunks = tuple(
             self._bind_chunk(lo, hi, native_lib, shifted_memo)
@@ -371,50 +410,90 @@ class EnsemblePlan:
                             yield rp.region, si, st, eff
 
     def _bind_chunk(self, lo, hi, native_lib, shifted_memo) -> _MemberChunk:
-        """Bind members ``lo..hi`` statement-major.
+        """Bind members ``lo..hi``, fused-group-major.
 
-        Per statement: all members bind native when every member can
-        (uniform geometry makes that all-or-nothing in practice), else
-        one fused batch-shifted statement when the expression is
-        elementwise, else one python statement per member.  Consecutive
-        native statements — across members *and* statements — collapse
-        into single chain-runner calls.
+        Fusable groups of the member plan's stream bind one generated
+        nest per member; everything else binds statement-major as
+        before: all members native when every member can (uniform
+        geometry makes that all-or-nothing in practice), else one fused
+        batch-shifted statement when the expression is elementwise, else
+        one python statement per member.  Consecutive native statements
+        — across members *and* statements — collapse into single
+        chain-runner calls.  Member slices are disjoint, so any
+        interleaving across members preserves per-member order.
         """
         items: list = []
-        for region, si, st, eff in self._flat_statements():
-            if native_lib is not None:
-                native = [
-                    make_native_statement(
-                        native_lib, region, si, st, self._member_views[m], eff
-                    )
-                    for m in range(lo, hi + 1)
-                ]
-                if all(ns is not None for ns in native):
-                    items.extend(native)
-                    self.native_statement_count += len(native)
-                    continue
-            if batch_safe_statement(st):
-                shifted = shifted_memo.get(id(st))
-                if shifted is None:
-                    shifted = shifted_memo[id(st)] = _batch_shifted(st)
+        if self._fusion_groups is None:
+            for region, si, st, eff in self._stream:
+                self._bind_stmt_members(
+                    items, lo, hi, native_lib, shifted_memo, region, si, st, eff
+                )
+        else:
+            pos = 0
+            for group in self._fusion_groups:
+                n = len(group.entries)
+                fused = None
+                if group.fused:
+                    fused = [
+                        make_fused_statement(
+                            self.plan.kernel,
+                            group.entries,
+                            self._member_views[m],
+                        )
+                        for m in range(lo, hi + 1)
+                    ]
+                    if any(fs is None for fs in fused):
+                        fused = None  # group-wise fallback, all members
+                if fused is not None:
+                    items.extend(fused)
+                    self.fused_group_count += len(fused)
+                    self.fused_statement_count += n * len(fused)
+                    self.native_statement_count += n * len(fused)
+                else:
+                    for region, si, st, eff in self._stream[pos:pos + n]:
+                        self._bind_stmt_members(
+                            items, lo, hi, native_lib, shifted_memo,
+                            region, si, st, eff,
+                        )
+                pos += n
+        return _MemberChunk(lo, hi, chain_runnables(native_lib, items))
+
+    def _bind_stmt_members(
+        self, items, lo, hi, native_lib, shifted_memo, region, si, st, eff
+    ) -> None:
+        """Bind one statement for members ``lo..hi`` (the unfused shapes)."""
+        if native_lib is not None:
+            native = [
+                make_native_statement(
+                    native_lib, region, si, st, self._member_views[m], eff
+                )
+                for m in range(lo, hi + 1)
+            ]
+            if all(ns is not None for ns in native):
+                items.extend(native)
+                self.native_statement_count += len(native)
+                return
+        if batch_safe_statement(st):
+            shifted = shifted_memo.get(id(st))
+            if shifted is None:
+                shifted = shifted_memo[id(st)] = _batch_shifted(st)
+            items.append(
+                _BoundStatement(
+                    shifted,
+                    self._batched,
+                    ((lo, hi),) + tuple(eff),
+                    region.dtype,
+                )
+            )
+            self.batched_statement_count += 1
+        else:
+            for m in range(lo, hi + 1):
                 items.append(
                     _BoundStatement(
-                        shifted,
-                        self._batched,
-                        ((lo, hi),) + tuple(eff),
-                        region.dtype,
+                        st, self._member_views[m], eff, region.dtype
                     )
                 )
-                self.batched_statement_count += 1
-            else:
-                for m in range(lo, hi + 1):
-                    items.append(
-                        _BoundStatement(
-                            st, self._member_views[m], eff, region.dtype
-                        )
-                    )
-                self.member_statement_count += hi - lo + 1
-        return _MemberChunk(lo, hi, chain_runnables(native_lib, items))
+            self.member_statement_count += hi - lo + 1
 
     # -- queries -----------------------------------------------------------
 

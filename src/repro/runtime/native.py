@@ -45,9 +45,11 @@ from pathlib import Path
 
 import numpy as np
 
+from ..codegen.base import CodegenError
 from ..codegen.native_c import (
     CHAIN_RUNNER_NAME,
     NATIVE_ABI_VERSION,
+    generate_fused_source,
     generate_native_source,
 )
 from .cache import native_cache_dir
@@ -60,7 +62,9 @@ __all__ = [
     "library_for_kernel",
     "NativeStatement",
     "NativeChain",
+    "FusedStatement",
     "make_native_statement",
+    "make_fused_statement",
     "chain_runnables",
 ]
 
@@ -160,28 +164,36 @@ _lib_lock = threading.Lock()
 _lib_memo: dict[str, ctypes.CDLL] = {}
 
 
-def _build_key(source: str, cc: str) -> str:
+def _build_key(source: str, cc: str, flags: tuple[str, ...] = _CFLAGS) -> str:
     payload = "\n".join(
         [
             f"abi={NATIVE_ABI_VERSION}",
             f"cc={_compiler_id(cc)}",
-            f"flags={' '.join(_CFLAGS)}",
+            f"flags={' '.join(flags)}",
             source,
         ]
     )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _build_shared_object(source: str, cc: str) -> Path:
+def _build_shared_object(
+    source: str, cc: str, flags: tuple[str, ...] = _CFLAGS
+) -> Path:
     """Compile *source* into the disk cache; return the ``.so`` path.
 
     Content-addressed: an existing object for the same (source,
     compiler, flags) is reused without invoking the compiler.  The
-    compile itself goes through a temporary file renamed into place, so
-    concurrent builders race benignly.
+    compile itself targets a temporary file atomically renamed into
+    place, so a concurrent process building the same key either sees
+    nothing at the final path or a complete object, never a partial
+    write; racing builders produce identical bytes and the last rename
+    wins benignly.  The temporary carries a ``.so.tmp`` suffix so cache
+    scans matching ``*.so`` cannot pick up an in-flight object, and the
+    finished file is opened up to the usual read bits (``mkstemp``
+    creates mode 0600, which would break a cache shared between users).
     """
     cache = native_cache_dir()
-    key = _build_key(source, cc)
+    key = _build_key(source, cc, flags)
     so_path = cache / f"{key}.so"
     if so_path.exists():
         return so_path
@@ -189,14 +201,15 @@ def _build_shared_object(source: str, cc: str) -> Path:
     c_path = cache / f"{key}.c"
     if not c_path.exists():
         tmp_c = tempfile.NamedTemporaryFile(
-            "w", dir=cache, suffix=".c", delete=False
+            "w", dir=cache, suffix=".c.tmp", delete=False
         )
         with tmp_c as fh:
             fh.write(source)
+        os.chmod(tmp_c.name, 0o644)
         os.replace(tmp_c.name, c_path)
-    tmp_fd, tmp_so = tempfile.mkstemp(dir=cache, suffix=".so")
+    tmp_fd, tmp_so = tempfile.mkstemp(dir=cache, suffix=".so.tmp")
     os.close(tmp_fd)
-    cmd = [cc, *_CFLAGS, "-o", tmp_so, str(c_path), "-lm"]
+    cmd = [cc, *flags, "-o", tmp_so, str(c_path), "-lm"]
     try:
         proc = subprocess.run(
             cmd, capture_output=True, text=True, timeout=300
@@ -209,6 +222,7 @@ def _build_shared_object(source: str, cc: str) -> Path:
         raise NativeBuildError(
             f"{cc} failed (exit {proc.returncode}) on {c_path}:\n{proc.stderr}"
         )
+    os.chmod(tmp_so, 0o755)
     os.replace(tmp_so, so_path)
     return so_path
 
@@ -220,6 +234,63 @@ def _load_library(so_path: Path) -> ctypes.CDLL:
         if lib is None:
             lib = _lib_memo[key] = ctypes.CDLL(key)
         return lib
+
+
+def _build_and_load(
+    source: str, cc: str, flags: tuple[str, ...] = _CFLAGS
+) -> tuple[ctypes.CDLL, Path]:
+    """Build (or reuse) and load *source*, recovering a corrupt cache entry.
+
+    A truncated or garbage ``.so`` at the content-keyed path — left by a
+    crashed writer predating the atomic-rename scheme, or by disk
+    corruption — makes ``CDLL`` raise ``OSError`` forever on a pure
+    cache-hit path.  Since the file is content-addressed, deleting it
+    and rebuilding once is always safe and self-heals the cache.
+    """
+    so_path = _build_shared_object(source, cc, flags)
+    try:
+        return _load_library(so_path), so_path
+    except OSError:
+        with _lib_lock:
+            _lib_memo.pop(str(so_path), None)
+        try:
+            os.unlink(so_path)
+        except OSError:
+            pass
+        so_path = _build_shared_object(source, cc, flags)
+        return _load_library(so_path), so_path
+
+
+# -- host-targeted flags for fused builds -------------------------------------
+
+_host_flags_memo: dict[str, tuple[str, ...]] = {}
+
+
+def _host_cflags(cc: str) -> tuple[str, ...]:
+    """Extra codegen flags targeting the build host, probed once per cc.
+
+    Fused nests bake their geometry per binding, so they can afford
+    host-specific code generation: ``-march=native`` lets the compiler
+    vectorise the merged loops with the widest units available.  This
+    preserves the bitwise contract — with ``-ffp-contract=off`` every
+    SIMD lane performs the same IEEE-754 add/mul/div/sqrt the scalar
+    code would, libm calls stay scalar (no ``-ffast-math``), and the
+    fuzz suite asserts identity empirically.  Probed with a one-line
+    compile because some toolchains/targets reject the flag; on failure
+    fused builds silently use the baseline flags.
+    """
+    cached = _host_flags_memo.get(cc)
+    if cached is not None:
+        return cached
+    flags: tuple[str, ...] = ("-march=native",)
+    try:
+        _build_shared_object(
+            "int repro_march_probe(void) { return 0; }\n", cc, _CFLAGS + flags
+        )
+    except NativeBuildError:
+        flags = ()
+    _host_flags_memo[cc] = flags
+    return flags
 
 
 # -- per-kernel native library ------------------------------------------------
@@ -285,8 +356,8 @@ def library_for_kernel(kernel) -> NativeLibrary | None:
     else:
         try:
             source, manifest = generate_native_source(kernel)
-            so_path = _build_shared_object(source, cc)
-            lib = NativeLibrary(kernel, _load_library(so_path), manifest, so_path)
+            cdll, so_path = _build_and_load(source, cc)
+            lib = NativeLibrary(kernel, cdll, manifest, so_path)
         except NativeBuildError as exc:
             _warn_once(
                 f"build-failed:{kernel.name}",
@@ -382,6 +453,96 @@ def make_native_statement(
     )
     geom = (_I64 * len(geom_vals))(*geom_vals)
     return NativeStatement(fn, ptrs, geom, tuple(involved))
+
+
+class FusedStatement(NativeStatement):
+    """A whole fused statement group bound to one generated C loop nest.
+
+    Runs exactly like a :class:`NativeStatement` — same calling
+    convention, same keepalive discipline — so chains, counters and the
+    serial runner treat it uniformly; ``members`` records how many
+    source statements the nest replaces (the sweep-count bookkeeping).
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, fn, ptrs, geom, arrays, members: int) -> None:
+        super().__init__(fn, ptrs, geom, arrays)
+        self.members = members
+
+
+def make_fused_statement(kernel, entries, arrays) -> FusedStatement | None:
+    """Bind one fusion group natively, or None to fall back group-wise.
+
+    *entries* is the entry tuple of a fused
+    :class:`~repro.core.fusion.FusionGroup` (dependence-legal by
+    construction); *arrays* the concrete binding.  The bind gates mirror
+    :func:`make_native_statement` — dtype, rank, bounds, element-aligned
+    strides, writeable targets — plus the cross-name aliasing check
+    applied group-wide: the dependence analysis reasons per array
+    *name*, so any written array sharing memory with a differently-named
+    array of the group voids it.  Any gate failing, or the generate/
+    build step raising, leaves the group on the per-statement path
+    (native or Python), bitwise identical by construction.
+    """
+    cc = native_toolchain()
+    if cc is None:
+        return None
+    expected = np.dtype(entries[0].dtype)
+    itemsize = expected.itemsize
+    order: list[str] = []
+    written: set[str] = set()
+    for entry in entries:
+        st = entry.stmt
+        for name in (st.target.name, *(acc.name for acc in st.reads)):
+            if name not in order:
+                order.append(name)
+        written.add(st.target.name)
+    involved: dict[str, np.ndarray] = {}
+    for name in order:
+        arr = arrays.get(name)
+        if arr is None or arr.dtype != expected:
+            return None
+        if any(s % itemsize for s in arr.strides):
+            return None
+        involved[name] = arr
+    for name in written:
+        if not involved[name].flags.writeable:
+            return None
+        for other in order:
+            if other != name and np.may_share_memory(
+                involved[name], involved[other]
+            ):
+                return None
+    for entry in entries:
+        st = entry.stmt
+        for acc in (st.target, *st.reads):
+            arr = involved[acc.name]
+            if arr.ndim != len(acc.slots):
+                return None
+            for slot, (axis, off) in enumerate(acc.slots):
+                lo, hi = entry.box[axis]
+                if lo + off < 0 or hi + 1 + off > arr.shape[slot]:
+                    return None
+    try:
+        source, fn_name, ptr_order = generate_fused_source(
+            entries, involved, kernel.counters
+        )
+        cdll, _ = _build_and_load(source, cc, _CFLAGS + _host_cflags(cc))
+    except (CodegenError, NativeBuildError) as exc:
+        _warn_once(
+            f"fused-build-failed:{kernel.name}",
+            f"fused native build for kernel {kernel.name!r} failed; the "
+            f"group falls back to per-statement execution: {exc}",
+        )
+        return None
+    fn = getattr(cdll, fn_name)
+    fn.restype = None
+    fn.argtypes = (ctypes.POINTER(ctypes.c_void_p), _I64P)
+    arrs = tuple(involved[name] for name in ptr_order)
+    ptrs = (ctypes.c_void_p * len(arrs))(*(a.ctypes.data for a in arrs))
+    geom = (_I64 * 1)(0)  # unused: the fused nest bakes its geometry
+    return FusedStatement(fn, ptrs, geom, arrs, len(entries))
 
 
 class NativeChain:

@@ -96,6 +96,12 @@ class ExecutionConfig:
     statements to JIT-built C (:mod:`repro.runtime.native`), falling
     back statement-wise — and entirely, with one warning, when no C
     toolchain exists — to the python path with identical results.
+    ``fusion`` controls the native backend's dependence-aware statement
+    fusion (:mod:`repro.core.fusion`): ``"auto"`` (default) merges
+    fusable statement chains of serial untiled native bindings into
+    single C loop nests, ``"off"`` pins the per-statement path (the
+    bitwise reference oracle).  The setting is inert for the python
+    backend and for threaded/tiled/scatter plans.
 
     Invalid values raise :class:`ValueError` here; a ``tile_shape``
     whose rank does not cover the kernel's dimensionality raises
@@ -116,6 +122,7 @@ class ExecutionConfig:
     scatter: bool = False
     min_block_iterations: int = 1024
     backend: str = "python"
+    fusion: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -123,6 +130,10 @@ class ExecutionConfig:
         if self.backend not in ("python", "native"):
             raise ValueError(
                 f"backend must be 'python' or 'native', got {self.backend!r}"
+            )
+        if self.fusion not in ("auto", "off"):
+            raise ValueError(
+                f"fusion must be 'auto' or 'off', got {self.fusion!r}"
             )
         if self.min_block_iterations < 1:
             raise ValueError("min_block_iterations must be >= 1")

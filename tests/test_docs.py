@@ -49,7 +49,8 @@ def test_doc_files_exist():
     assert (REPO / "docs" / "architecture.md").is_file()
     assert (REPO / "docs" / "ensembles.md").is_file()
     assert (REPO / "docs" / "checkpointing.md").is_file()
-    assert len(DOC_FILES) >= 4  # README + the three docs
+    assert (REPO / "docs" / "fusion.md").is_file()
+    assert len(DOC_FILES) >= 5  # README + the four docs
 
 
 @pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
@@ -74,14 +75,16 @@ def test_docs_are_cross_linked():
     arch = (REPO / "docs" / "architecture.md").read_text()
     ens = (REPO / "docs" / "ensembles.md").read_text()
     chk = (REPO / "docs" / "checkpointing.md").read_text()
+    fus = (REPO / "docs" / "fusion.md").read_text()
     readme = (REPO / "README.md").read_text()
-    assert "ensembles.md" in arch
+    assert "ensembles.md" in arch and "fusion.md" in arch
     assert "architecture.md" in ens
     assert "architecture.md" in chk and "ensembles.md" in chk
+    assert "architecture.md" in fus and "ensembles.md" in fus
     assert "../README.md" in arch and "../README.md" in ens
-    assert "../README.md" in chk
+    assert "../README.md" in chk and "../README.md" in fus
     assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
-    assert "docs/checkpointing.md" in readme
+    assert "docs/checkpointing.md" in readme and "docs/fusion.md" in readme
 
 
 def test_documented_cli_commands_exist():
@@ -102,10 +105,19 @@ def test_documented_cli_commands_exist():
     )
     assert args.command == "adjoint"
     assert (args.steps, args.snaps) == (24, 4)
+    args = parser.parse_args(
+        ["fuse", "--problem", "burgers2d", "--dtype", "f32", "--explain"]
+    )
+    assert args.command == "fuse" and args.explain
+    args = parser.parse_args(
+        ["bench", "--backend", "native", "--fusion", "off"]
+    )
+    assert args.fusion == "off"
 
 
 def test_docs_doctest_blocks_present():
     """The docs keep executable examples (the CI docs job runs them)."""
-    for name in ("architecture.md", "ensembles.md", "checkpointing.md"):
+    for name in ("architecture.md", "ensembles.md", "checkpointing.md",
+                 "fusion.md"):
         text = (REPO / "docs" / name).read_text()
         assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"

@@ -1,7 +1,8 @@
 """Seeded random-kernel fuzzing: one semantics across every execution path.
 
 The runtime's layered execution paths — per-call unbound plans, bound
-slot-tape replay, the JIT-built C backend, batched ensembles — all claim
+slot-tape replay, the JIT-built C backend (per-statement and with the
+dependence-aware fusion pass), batched ensembles — all claim
 *bitwise* identity with the plain serial path by construction.  The
 hand-written suites assert that for the application kernels; this fuzz
 suite asserts it for ~50 structurally random stencil kernels (random
@@ -154,7 +155,7 @@ def _mismatch(nest: LoopNest, dtype: np.dtype) -> str | None:
 
     if native_available():
         native_arrays = {k: v.copy() for k, v in base.items()}
-        nplan = kernel.plan(backend="native")
+        nplan = kernel.plan(backend="native", fusion="off")
         nbound = nplan.bind(native_arrays)
         for _ in range(RUNS):
             nbound.run()
@@ -162,6 +163,20 @@ def _mismatch(nest: LoopNest, dtype: np.dtype) -> str | None:
             f"native backend ({nbound.native_statement_count}/"
             f"{nbound.statement_count} native)",
             native_arrays,
+        )
+        if fail:
+            return fail
+
+        fused_arrays = {k: v.copy() for k, v in base.items()}
+        fplan = kernel.plan(backend="native", fusion="auto")
+        fbound = fplan.bind(fused_arrays)
+        for _ in range(RUNS):
+            fbound.run()
+        fail = check(
+            f"fused native backend ({fbound.fused_group_count} groups "
+            f"covering {fbound.fused_statement_count}/"
+            f"{fbound.statement_count} statements)",
+            fused_arrays,
         )
         if fail:
             return fail

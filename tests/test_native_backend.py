@@ -18,7 +18,13 @@ import numpy as np
 import pytest
 import sympy as sp
 
-from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.apps import (
+    advection_problem,
+    anisotropic_problem,
+    burgers_problem,
+    heat_problem,
+    wave_problem,
+)
 from repro.baselines.scatter import tapenade_style_adjoint
 from repro.codegen.native_c import generate_native_source, native_eligibility
 from repro.core import adjoint_loops, make_loop_nest
@@ -83,6 +89,7 @@ def test_heat2d_forward_and_adjoint_bitwise(rng, dtype):
 
 
 @needs_cc
+@pytest.mark.parametrize("fusion", ["auto", "off"])
 @pytest.mark.parametrize(
     "factory,n",
     [
@@ -92,12 +99,19 @@ def test_heat2d_forward_and_adjoint_bitwise(rng, dtype):
         (lambda: wave_problem(2), 18),
         (lambda: burgers_problem(1), 40),
         (lambda: burgers_problem(2), 16),
+        (lambda: anisotropic_problem(), 16),
+        (lambda: anisotropic_problem(active_k=True), 14),
+        (lambda: advection_problem(1), 40),
+        (lambda: advection_problem(2), 40),
     ],
-    ids=["heat1d", "heat3d", "wave1d", "wave2d", "burgers1d", "burgers2d"],
+    ids=[
+        "heat1d", "heat3d", "wave1d", "wave2d", "burgers1d", "burgers2d",
+        "anisotropic", "anisotropic-activek", "advection1", "advection2",
+    ],
 )
-def test_adjoint_apps_bitwise(factory, n, rng):
+def test_adjoint_apps_bitwise(factory, n, rng, fusion):
     kernel, base = _case(factory(), n, rng)
-    _assert_native_matches_seed(kernel, base)
+    _assert_native_matches_seed(kernel, base, fusion=fusion)
 
 
 @needs_cc
