@@ -52,6 +52,15 @@ from .core import (
     make_loop_nest,
 )
 from .driver import AdjointTimeStepper, optimal_cost, schedule
+from .errors import (
+    CheckpointError,
+    EnsembleBindError,
+    KernelError,
+    NativeBuildError,
+    NumericalDivergenceError,
+    ReproError,
+    ValidationError,
+)
 from .frontend import parse_stencil, parse_stencils
 from .machine import BROADWELL, KNL, V100, MachineModel, analyze_nests, analyze_scatter
 from .runtime import (
@@ -80,6 +89,13 @@ __all__ = [
     "AtomicScatterKernel",
     "BROADWELL",
     "Bindings",
+    "CheckpointError",
+    "EnsembleBindError",
+    "KernelError",
+    "NativeBuildError",
+    "NumericalDivergenceError",
+    "ReproError",
+    "ValidationError",
     "V100",
     "Variable",
     "StencilOp",

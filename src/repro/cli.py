@@ -57,8 +57,52 @@ from .codegen import (
     print_function_python,
 )
 from .core import adjoint_loops
+from .errors import (
+    NativeBuildError,
+    NumericalDivergenceError,
+    ReproError,
+    ValidationError,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for"]
+
+# Exit-code contract (documented in docs/reliability.md): scripts
+# driving the CLI can distinguish *what* failed without parsing stderr.
+# 0 success, 1 any other failure, 2 usage (argparse's own convention,
+# kept), then one code per typed failure family.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_VALIDATION = 3
+EXIT_BUILD = 4
+EXIT_DIVERGENCE = 5
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Map a typed runtime error onto the CLI exit-code contract.
+
+    Order matters: :class:`NativeBuildError` is a ``KernelError`` and
+    :class:`NumericalDivergenceError` a ``ReproError``, so the most
+    specific families are tested first.
+
+    >>> from repro.errors import (NativeBuildError,
+    ...     NumericalDivergenceError, ValidationError, KernelError)
+    >>> exit_code_for(ValidationError("bad spec"))
+    3
+    >>> exit_code_for(NativeBuildError("cc failed"))
+    4
+    >>> exit_code_for(NumericalDivergenceError("nan"))
+    5
+    >>> exit_code_for(KernelError("other"))
+    1
+    """
+    if isinstance(exc, NativeBuildError):
+        return EXIT_BUILD
+    if isinstance(exc, NumericalDivergenceError):
+        return EXIT_DIVERGENCE
+    if isinstance(exc, ValidationError):
+        return EXIT_VALIDATION
+    return EXIT_ERROR
 
 _PROBLEMS = {
     "wave1d": lambda: wave_problem(1),
@@ -151,7 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--output", help="write to file instead of stdout")
 
     ver = sub.add_parser("verify", help="run the Section 3.6 verification")
-    ver.add_argument("--problem", choices=sorted(_PROBLEMS), required=True)
+    ver.add_argument("--problem", choices=sorted(_PROBLEMS), default=None)
+    ver.add_argument(
+        "--chaos", action="store_true",
+        help="run the chaos suite instead: fire every registered fault "
+        "point (repro.runtime.faults) and assert the graceful-"
+        "degradation contract — bitwise-identical fallback or one typed "
+        "ReproError with user arrays intact (see docs/reliability.md)",
+    )
     ver.add_argument("--n", type=int, default=None, help="grid size")
     ver.add_argument(
         "--strategy", choices=["disjoint", "guarded"], default="disjoint"
@@ -433,9 +484,37 @@ def _plan_vs_serial_diff(
     )
 
 
+def _cmd_chaos() -> int:
+    from .runtime import faults
+    from .verify.chaos import run_chaos
+
+    results = run_chaos()
+    print(f"chaos suite: {len(results)} registered fault point(s)")
+    for res in results:
+        verdict = "PASS" if res.ok else "FAIL"
+        print(f"  {verdict} {res.point:20s} [{res.contract:11s}] {res.detail}")
+    covered = sum(res.ok for res in results)
+    total = len(faults.registered_fault_points())
+    ok = covered == total
+    print(
+        "  VERDICT: "
+        + (
+            f"graceful-degradation contract holds at all {total} points"
+            if ok
+            else f"CONTRACT VIOLATED ({total - covered} of {total} points)"
+        )
+    )
+    return 0 if ok else 1
+
+
 def _cmd_verify(args) -> int:
     from .verify import compare_adjoints, dot_product_test, finite_difference_test
 
+    if args.chaos:
+        return _cmd_chaos()
+    if args.problem is None:
+        print("verify needs --problem (or --chaos)", file=sys.stderr)
+        return EXIT_USAGE
     prob = _PROBLEMS[args.problem]()
     n = args.n or _DEFAULT_N[args.problem]
     cmp_ = compare_adjoints(prob, n=n, strategy=args.strategy)
@@ -998,8 +1077,7 @@ def _cmd_loop_counts(args) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "verify":
@@ -1017,6 +1095,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "adjoint":
         return _cmd_adjoint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,18 +14,33 @@ PerforAD's transformation is only valid for loop nests satisfying:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import sympy as sp
 from sympy.core.function import AppliedUndef
 
+from ..errors import ValidationError
 from .accesses import InvalidAccessError, classify_applied, extract_access
 from .loopnest import LoopNest, Statement
 from .symbols import array_name
 
-__all__ = ["StencilRestrictionError", "validate_loop_nest", "validate_statement"]
+__all__ = [
+    "StencilRestrictionError",
+    "validate_loop_nest",
+    "validate_statement",
+    "SpecLimits",
+    "DEFAULT_SPEC_LIMITS",
+    "validate_untrusted",
+]
 
 
-class StencilRestrictionError(ValueError):
-    """A loop nest violates the restrictions of Section 3.4."""
+class StencilRestrictionError(ValidationError):
+    """A loop nest violates the restrictions of Section 3.4.
+
+    Subclasses :class:`~repro.errors.ValidationError` (and therefore
+    ``ValueError``, its historical base) so spec rejections are part of
+    the typed graceful-degradation surface.
+    """
 
 
 def _check_affine(expr: sp.Expr, counters: tuple[sp.Symbol, ...], what: str) -> None:
@@ -87,3 +102,77 @@ def validate_loop_nest(nest: LoopNest) -> None:
         raise StencilRestrictionError(
             f"arrays {sorted(overlap)} are both read and written in the nest"
         )
+
+
+# -- resource limits for untrusted specs --------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecLimits:
+    """Resource caps applied to kernel specs from untrusted sources.
+
+    The frontend (ROADMAP item 2: the compile-and-serve daemon) accepts
+    stencil programs over the wire; an adversarial — or merely buggy —
+    spec must be rejected with a typed
+    :class:`~repro.errors.ValidationError` *before* it can exhaust the
+    process: a megabyte of nested parentheses (parser recursion), a
+    statement with millions of expression nodes (lambdify/codegen
+    blow-up), or loop bounds sized to allocate the address space.  The
+    defaults are far above anything the paper's stencils need, so
+    trusted in-process callers never notice them.
+    """
+
+    max_source_bytes: int = 1 << 20  # 1 MiB of stencil text
+    max_statements: int = 512  # per stencil
+    max_expr_nodes: int = 20_000  # sympy nodes per statement
+    max_counters: int = 8  # loop-nest dimensionality
+    # Each grammar level costs ~5 interpreter stack frames
+    # (expr/term/unary/power/atom), so the cap must stay well under a
+    # fifth of sys.getrecursionlimit() or RecursionError fires first.
+    max_expr_depth: int = 100  # parser recursion depth
+    max_loop_extent: int = 1 << 32  # concrete iterations per axis
+
+
+DEFAULT_SPEC_LIMITS = SpecLimits()
+
+
+def _expr_nodes(expr: sp.Expr) -> int:
+    return sum(1 for _ in sp.preorder_traversal(expr))
+
+
+def validate_untrusted(
+    nest: LoopNest, limits: SpecLimits = DEFAULT_SPEC_LIMITS
+) -> None:
+    """Enforce *limits* on a parsed nest; raises :class:`ValidationError`.
+
+    Complements :func:`validate_loop_nest` (which checks the paper's
+    *semantic* restrictions): this checks *resource* bounds — statement
+    and dimension counts, per-statement expression size, and concrete
+    loop extents.  Symbolic bounds are checked again at bind time when
+    sizes become concrete; here only literal extents can be judged.
+    """
+    if len(nest.counters) > limits.max_counters:
+        raise ValidationError(
+            f"nest {nest.name!r} has {len(nest.counters)} loop counters; "
+            f"the limit is {limits.max_counters}"
+        )
+    if len(nest.statements) > limits.max_statements:
+        raise ValidationError(
+            f"nest {nest.name!r} has {len(nest.statements)} statements; "
+            f"the limit is {limits.max_statements}"
+        )
+    for stmt in nest.statements:
+        nodes = _expr_nodes(stmt.rhs) + _expr_nodes(stmt.lhs)
+        if nodes > limits.max_expr_nodes:
+            raise ValidationError(
+                f"statement writing {stmt.target_name!r} has {nodes} "
+                f"expression nodes; the limit is {limits.max_expr_nodes}"
+            )
+    for c in nest.counters:
+        lo, hi = nest.bounds[c]
+        extent = sp.simplify(sp.sympify(hi) - sp.sympify(lo) + 1)
+        if extent.is_Integer and int(extent) > limits.max_loop_extent:
+            raise ValidationError(
+                f"loop {c} spans {int(extent)} iterations; the limit is "
+                f"{limits.max_loop_extent}"
+            )

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..errors import ValidationError
+
 __all__ = ["Token", "LexError", "tokenize"]
 
 _KEYWORDS = {"stencil", "iterate", "max", "min"}
@@ -26,8 +28,12 @@ _TWO_CHAR = {"+=", ".."}
 _ONE_CHAR = set("+-*/^()[]{},=")
 
 
-class LexError(ValueError):
-    """Raised for unrecognised input, with line/column information."""
+class LexError(ValidationError):
+    """Raised for unrecognised input, with line/column information.
+
+    Part of the typed hierarchy (:class:`~repro.errors.ValidationError`,
+    and thus still a ``ValueError`` as before).
+    """
 
     def __init__(self, message: str, line: int, col: int):
         super().__init__(f"{message} (line {line}, column {col})")

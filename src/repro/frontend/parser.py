@@ -30,14 +30,24 @@ from dataclasses import dataclass
 import sympy as sp
 
 from ..core.loopnest import LoopNest, Statement, make_loop_nest
-from ..core.validate import validate_loop_nest
+from ..core.validate import (
+    DEFAULT_SPEC_LIMITS,
+    SpecLimits,
+    validate_loop_nest,
+    validate_untrusted,
+)
+from ..errors import ValidationError
 from .lexer import LexError, Token, tokenize
 
 __all__ = ["ParseError", "parse_stencils", "parse_stencil"]
 
 
-class ParseError(ValueError):
-    """Raised on grammar violations, with token location."""
+class ParseError(ValidationError):
+    """Raised on grammar violations, with token location.
+
+    Part of the typed hierarchy (:class:`~repro.errors.ValidationError`,
+    and thus still a ``ValueError`` as before).
+    """
 
     def __init__(self, message: str, token: Token):
         super().__init__(f"{message} at line {token.line}, column {token.col}")
@@ -73,8 +83,17 @@ class _State:
 
 
 class _Parser:
-    def __init__(self, source: str):
+    def __init__(self, source: str, limits: SpecLimits | None = None):
+        # The source-size cap comes first: an adversarial spec must be
+        # bounced before tokenize() materialises a token per character.
+        if limits is not None and len(source) > limits.max_source_bytes:
+            raise ValidationError(
+                f"stencil source is {len(source)} bytes; the limit is "
+                f"{limits.max_source_bytes}"
+            )
         self.state = _State(tokenize(source))
+        self._limits = limits
+        self._depth = 0
         # Scalars are real symbols except counters, which are integer.
         self._counters: dict[str, sp.Symbol] = {}
         self._scalars: dict[str, sp.Symbol] = {}
@@ -109,6 +128,9 @@ class _Parser:
             nests.append(self.parse_stencil())
         if not nests:
             raise ParseError("no stencil definitions found", self.state.peek())
+        if self._limits is not None:
+            for nest in nests:
+                validate_untrusted(nest, self._limits)
         return nests
 
     def parse_stencil(self) -> LoopNest:
@@ -178,14 +200,32 @@ class _Parser:
     # Expression parsing with precedence climbing.
 
     def parse_expr(self, index_mode: bool = False) -> sp.Expr:
-        expr = self.parse_term(index_mode)
-        while True:
-            if self.state.accept("op", "+"):
-                expr = expr + self.parse_term(index_mode)
-            elif self.state.accept("op", "-"):
-                expr = expr - self.parse_term(index_mode)
-            else:
-                return expr
+        # Depth cap: parse_expr re-enters itself through parentheses,
+        # calls and index lists, so a pathological spec of nested
+        # parens would otherwise hit the interpreter's RecursionError
+        # (an untyped crash) instead of a ValidationError.
+        limit = (
+            self._limits.max_expr_depth
+            if self._limits is not None
+            else DEFAULT_SPEC_LIMITS.max_expr_depth
+        )
+        self._depth += 1
+        try:
+            if self._depth > limit:
+                raise ValidationError(
+                    f"expression nesting exceeds {limit} levels "
+                    f"(line {self.state.peek().line})"
+                )
+            expr = self.parse_term(index_mode)
+            while True:
+                if self.state.accept("op", "+"):
+                    expr = expr + self.parse_term(index_mode)
+                elif self.state.accept("op", "-"):
+                    expr = expr - self.parse_term(index_mode)
+                else:
+                    return expr
+        finally:
+            self._depth -= 1
 
     def parse_term(self, index_mode: bool) -> sp.Expr:
         expr = self.parse_unary(index_mode)
@@ -240,14 +280,27 @@ class _Parser:
         raise ParseError(f"unexpected token {tok!r}", tok)
 
 
-def parse_stencils(source: str) -> list[LoopNest]:
-    """Parse every ``stencil`` definition in *source* into loop nests."""
-    return _Parser(source).parse_program()
+def parse_stencils(
+    source: str, limits: SpecLimits | None = DEFAULT_SPEC_LIMITS
+) -> list[LoopNest]:
+    """Parse every ``stencil`` definition in *source* into loop nests.
+
+    ``limits`` caps the resources an untrusted spec may claim (source
+    size, expression nesting/size, statement count, concrete loop
+    extents — see :class:`~repro.core.validate.SpecLimits`); violations
+    raise a typed :class:`~repro.errors.ValidationError`.  The default
+    limits are generous; pass ``limits=None`` for fully trusted input
+    (a minimal nesting-depth guard still applies, converting the
+    interpreter's ``RecursionError`` into a typed error).
+    """
+    return _Parser(source, limits).parse_program()
 
 
-def parse_stencil(source: str) -> LoopNest:
-    """Parse exactly one stencil definition."""
-    nests = parse_stencils(source)
+def parse_stencil(
+    source: str, limits: SpecLimits | None = DEFAULT_SPEC_LIMITS
+) -> LoopNest:
+    """Parse exactly one stencil definition (same *limits* contract)."""
+    nests = parse_stencils(source, limits)
     if len(nests) != 1:
         raise ParseError(
             f"expected exactly one stencil, found {len(nests)}",

@@ -1,5 +1,15 @@
 """Execution substrate: kernel compiler, plan/cache runtime, executors."""
 
+from . import faults
+from ..errors import (
+    CheckpointError,
+    EnsembleBindError,
+    NativeBuildError,
+    NumericalDivergenceError,
+    ReproError,
+    SchedulerError,
+    ValidationError,
+)
 from .bindings import Bindings
 from .bound import BoundPlan
 from .checkpoint import CheckpointedAdjointPlan, SnapshotPool
@@ -35,7 +45,15 @@ from .tiling import run_tiled, safe_to_tile, tile_box
 __all__ = [
     "Bindings",
     "BoundPlan",
+    "CheckpointError",
     "CheckpointedAdjointPlan",
+    "EnsembleBindError",
+    "NativeBuildError",
+    "NumericalDivergenceError",
+    "ReproError",
+    "SchedulerError",
+    "ValidationError",
+    "faults",
     "CompiledKernel",
     "DistributedExecutor",
     "EnsemblePlan",

@@ -81,6 +81,8 @@ import sympy as sp
 
 from ..codegen.native_c import native_eligibility
 from ..core.fusion import FusionEntry, describe_groups, plan_groups
+from ..errors import KernelError, NumericalDivergenceError, ReproError
+from . import faults
 from .compiler import (
     CompiledStatement,
     RegionKernel,
@@ -413,6 +415,43 @@ def _bind_unit(
     return out
 
 
+class _CheckedStatement:
+    """Divergence-watchdog wrapper: scan the target after each statement.
+
+    Installed by ``ExecutionConfig(check="nan")`` bindings around every
+    runnable (fusion and native chaining are disabled there, so the
+    granularity is exactly one statement).  After the inner statement
+    runs, its written values are scanned; the first non-finite value
+    raises :class:`~repro.errors.NumericalDivergenceError` carrying the
+    plan's step counter and the statement's identity — turning "the
+    simulation went NaN somewhere" into "statement X at step N".
+    """
+
+    __slots__ = ("inner", "target", "label", "owner")
+
+    def __init__(self, inner, target: np.ndarray, label: str, owner) -> None:
+        self.inner = inner
+        self.target = target
+        self.label = label
+        self.owner = owner
+
+    def run(self) -> None:
+        self.inner.run()
+        finite = np.isfinite(self.target)
+        if not finite.all():
+            flat_idx = int(np.argmin(finite.ravel()))
+            idx = np.unravel_index(flat_idx, self.target.shape)
+            value = self.target[idx]
+            step = self.owner._step
+            raise NumericalDivergenceError(
+                f"non-finite value {value!r} first written at index "
+                f"{tuple(int(i) for i in idx)} by statement {self.label} "
+                f"during run #{step}",
+                step=step,
+                statement=self.label,
+            )
+
+
 class _BoundTask:
     """One schedulable task: its runnables plus optional scatter scratch.
 
@@ -433,6 +472,7 @@ class _BoundTask:
             for buf in scratch.values():
                 buf[...] = 0
         for s in self.items:
+            faults.check("bound.run")
             s.run()
 
 
@@ -500,6 +540,10 @@ class BoundPlan:
         # chains.  Pack only the variant this config's run() uses —
         # the other would be dead ctypes-array weight per bind.
         serial_mode = config.num_threads == 1
+        # The divergence watchdog needs per-statement granularity:
+        # chaining and fusion would hide which statement produced the
+        # first non-finite value, so both stay off under check="nan".
+        check_mode = config.check == "nan"
         regions: list[_BoundRegion] = []
         flat: list = []
         meta: list = []  # (region, statement, eff box) aligned with flat
@@ -530,7 +574,9 @@ class BoundPlan:
                         stmts.append(bound)
                         meta.append((rp.region, st, eff))
                 items = (
-                    stmts if serial_mode else chain_runnables(native_lib, stmts)
+                    stmts
+                    if serial_mode or check_mode
+                    else chain_runnables(native_lib, stmts)
                 )
                 task = _BoundTask(items, scratch)
                 tasks.append(task)
@@ -556,17 +602,54 @@ class BoundPlan:
             and config.fusion != "off"
             and config.tile_shape is None
             and not scatter_mode
+            and not check_mode
         ):
             stream = self._apply_fusion(flat, meta)
+        # Reliability bookkeeping: the run counter feeds the divergence
+        # watchdog's reports; written-array identities and their lazily
+        # allocated backups implement the transactional guard.
+        self._step = 0
+        written_names = sorted(
+            {
+                st.target.name
+                for rp in plan.region_plans
+                for st in rp.region.statements
+            }
+        )
+        self._written = tuple(
+            sources[name] for name in written_names if name in sources
+        )
+        self._backups: tuple | None = None
+        if check_mode:
+            labels = {
+                id(b): f"{st.target.name!r} of region {region.name!r}"
+                for b, (region, st, _eff) in zip(flat, meta)
+            }
+
+            def _wrap(bound):
+                target = (
+                    bound.arrays[0]
+                    if isinstance(bound, NativeStatement)
+                    else bound.tview
+                )
+                return _CheckedStatement(bound, target, labels[id(bound)], self)
+
+            for br in regions:
+                for task in br.tasks:
+                    task.items = tuple(_wrap(s) for s in task.items)
+            stream = [_wrap(s) for s in stream]
         # Serial execution order is the flat statement order, so chain
         # across region/task boundaries: a fully native kernel runs one
         # FFI call per timestep.  (Unused — and unchained — for
         # threaded/scatter configs, whose run() goes through the tasks.)
-        self._serial_items: tuple = (
-            tuple(chain_runnables(native_lib, stream))
-            if serial_mode
-            else self._flat
-        )
+        if serial_mode:
+            self._serial_items: tuple = (
+                tuple(stream)
+                if check_mode
+                else tuple(chain_runnables(native_lib, stream))
+            )
+        else:
+            self._serial_items = self._flat
 
     def _apply_fusion(self, flat: list, meta: list) -> list:
         """Substitute fused groups into the serial execution stream.
@@ -698,7 +781,41 @@ class BoundPlan:
     # -- execution ---------------------------------------------------------
 
     def run(self, pool: ThreadPoolExecutor | None = None) -> None:
-        """Execute the bound kernel (all disciplines, like the plan's run)."""
+        """Execute the bound kernel (all disciplines, like the plan's run).
+
+        With ``ExecutionConfig(transactional=True)``, a statement
+        raising mid-run restores every written array to its pre-call
+        contents before the exception propagates (re-typed as
+        :class:`~repro.errors.KernelError` unless already a
+        :class:`~repro.errors.ReproError`) — the graceful-degradation
+        contract's "no half-updated user arrays" clause.  Off by
+        default: the backup copy costs one memory sweep per run, which
+        the fused native hot path cannot afford.
+        """
+        self._step += 1
+        if not self.plan.config.transactional:
+            self._run_inner(pool)
+            return
+        backups = self._backups
+        if backups is None:
+            backups = self._backups = tuple(
+                (arr, np.empty_like(arr)) for arr in self._written
+            )
+        for arr, buf in backups:
+            np.copyto(buf, arr)
+        try:
+            self._run_inner(pool)
+        except BaseException as exc:
+            for arr, buf in backups:
+                np.copyto(arr, buf)
+            if isinstance(exc, ReproError) or not isinstance(exc, Exception):
+                raise
+            raise KernelError(
+                f"bound run of kernel {self.plan.kernel.name!r} failed "
+                f"mid-execution; user arrays were restored: {exc}"
+            ) from exc
+
+    def _run_inner(self, pool: ThreadPoolExecutor | None) -> None:
         config = self.plan.config
         if config.scatter and config.num_threads > 1:
             self._run_scatter(pool)
@@ -706,6 +823,7 @@ class BoundPlan:
             self._run_threaded(pool)
         else:
             for s in self._serial_items:
+                faults.check("bound.run")
                 s.run()
 
     def _run_threaded(self, pool: ThreadPoolExecutor | None) -> None:

@@ -62,6 +62,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..driver.revolve import execute_schedule, schedule, schedule_cost
+from ..errors import CheckpointError, ReproError
+from . import faults
 from .compiler import KernelError
 
 __all__ = ["SnapshotPool", "CheckpointedAdjointPlan"]
@@ -118,14 +120,28 @@ class SnapshotPool:
         return sum(buf.nbytes for slot in self._bufs for buf in slot)
 
     def store(self, slot: int, state: Sequence[np.ndarray]) -> None:
-        """Copy *state* (one array per field) into *slot*."""
+        """Copy *state* (one array per field) into *slot*.
+
+        A failed copy (the OS refusing to commit the preallocated pages,
+        surfacing as ``MemoryError``/``OSError`` under memory pressure)
+        raises :class:`~repro.errors.CheckpointError` naming the slot;
+        the pool's buffers are still valid and the owning sweep is
+        recoverable by its next :meth:`CheckpointedAdjointPlan.adjoint`
+        call, which reloads all state from scratch.
+        """
         bufs = self._bufs[slot]
         if len(state) != len(bufs):
             raise ValueError(
                 f"snapshot needs {len(bufs)} field(s), got {len(state)}"
             )
-        for buf, arr in zip(bufs, state):
-            np.copyto(buf, arr)
+        try:
+            faults.check("checkpoint.snapshot")
+            for buf, arr in zip(bufs, state):
+                np.copyto(buf, arr)
+        except (MemoryError, OSError) as exc:
+            raise CheckpointError(
+                f"storing snapshot into pool slot {slot} failed: {exc}"
+            ) from exc
 
     def load(self, slot: int, out: Sequence[np.ndarray]) -> None:
         """Copy *slot*'s snapshot into the *out* arrays (one per field)."""
@@ -499,13 +515,27 @@ class CheckpointedAdjointPlan:
         self.forward_steps = 0
         self._begin_reverse(seed)
         self._fresh_seed = True
-        execute_schedule(
-            self._actions,
-            snapshot=self._on_snapshot,
-            advance=self._on_advance,
-            restore=self._on_restore,
-            reverse=self._on_reverse,
-        )
+        try:
+            execute_schedule(
+                self._actions,
+                snapshot=self._on_snapshot,
+                advance=self._on_advance,
+                restore=self._on_restore,
+                reverse=self._on_reverse,
+            )
+        except ReproError:
+            # Already typed (CheckpointError from the pool, KernelError
+            # from a bound run, ...).  The caller's arrays are untouched
+            # either way: the sweep works exclusively on plan-owned
+            # buffers, and the next adjoint() call reloads and re-zeros
+            # all of them, so a failed sweep leaves no poisoned state.
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpointed adjoint sweep failed mid-schedule: {exc}; "
+                "the plan is reusable — the next adjoint() call reloads "
+                "all state"
+            ) from exc
         return self._result
 
     def run_store_all(

@@ -26,6 +26,7 @@ from sympy.core.function import AppliedUndef
 from ..codegen.base import match_derivative_call
 from ..core.accesses import classify_applied, extract_access
 from ..core.loopnest import LoopNest, Statement
+from ..errors import KernelError
 from .bindings import Bindings
 
 __all__ = [
@@ -38,9 +39,10 @@ __all__ = [
     "KernelError",
 ]
 
-
-class KernelError(RuntimeError):
-    """Raised for compilation or execution errors in the kernel layer."""
+# KernelError used to be defined here; it now lives in repro.errors as
+# part of the typed hierarchy (ReproError -> KernelError) and stays
+# re-exported via __all__.  It still subclasses RuntimeError, so every
+# pre-existing `except` clause keeps working.
 
 
 _NUMPY_FALLBACKS = {
@@ -478,6 +480,8 @@ class CompiledKernel:
         min_block_iterations: int = 1024,
         backend: str = "python",
         fusion: str = "auto",
+        check: str = "none",
+        transactional: bool = False,
     ) -> "ExecutionPlan":
         """The cached :class:`~repro.runtime.plan.ExecutionPlan` for a config.
 
@@ -498,6 +502,8 @@ class CompiledKernel:
             min_block_iterations=min_block_iterations,
             backend=backend,
             fusion=fusion,
+            check=check,
+            transactional=transactional,
         )
         plan = self._plans.get(config)
         if plan is None:

@@ -94,6 +94,8 @@ import sympy as sp
 
 from ..codegen.native_c import native_eligibility
 from ..core.fusion import FusionEntry, plan_groups
+from ..errors import EnsembleBindError, ReproError
+from . import faults
 from .bound import _ALLOWED_FUNCS, _BoundStatement, _supports_inplace
 from .compiler import CompiledAccess, CompiledStatement, KernelError
 from .native import (
@@ -409,6 +411,26 @@ class EnsemblePlan:
                         if eff is not None:
                             yield rp.region, si, st, eff
 
+    @staticmethod
+    def _member_bind(m, fn):
+        """Bind one member, typing any failure as :class:`EnsembleBindError`.
+
+        Per-member binding is where the ensemble first touches member
+        ``m``'s slice views (and, on the native path, allocates argument
+        buffers) — a failure here must name the member so the caller
+        knows which scenario poisoned the batch, and must not be a bare
+        ``MemoryError``/``ValueError`` from three layers down.
+        """
+        try:
+            faults.check("ensemble.bind")
+            return fn()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise EnsembleBindError(
+                f"binding ensemble member {m} failed: {exc}", member=m
+            ) from exc
+
     def _bind_chunk(self, lo, hi, native_lib, shifted_memo) -> _MemberChunk:
         """Bind members ``lo..hi``, fused-group-major.
 
@@ -435,10 +457,13 @@ class EnsemblePlan:
                 fused = None
                 if group.fused:
                     fused = [
-                        make_fused_statement(
-                            self.plan.kernel,
-                            group.entries,
-                            self._member_views[m],
+                        self._member_bind(
+                            m,
+                            lambda m=m: make_fused_statement(
+                                self.plan.kernel,
+                                group.entries,
+                                self._member_views[m],
+                            ),
                         )
                         for m in range(lo, hi + 1)
                     ]
@@ -464,8 +489,11 @@ class EnsemblePlan:
         """Bind one statement for members ``lo..hi`` (the unfused shapes)."""
         if native_lib is not None:
             native = [
-                make_native_statement(
-                    native_lib, region, si, st, self._member_views[m], eff
+                self._member_bind(
+                    m,
+                    lambda m=m: make_native_statement(
+                        native_lib, region, si, st, self._member_views[m], eff
+                    ),
                 )
                 for m in range(lo, hi + 1)
             ]
@@ -478,19 +506,25 @@ class EnsemblePlan:
             if shifted is None:
                 shifted = shifted_memo[id(st)] = _batch_shifted(st)
             items.append(
-                _BoundStatement(
-                    shifted,
-                    self._batched,
-                    ((lo, hi),) + tuple(eff),
-                    region.dtype,
+                self._member_bind(
+                    f"{lo}..{hi}",
+                    lambda: _BoundStatement(
+                        shifted,
+                        self._batched,
+                        ((lo, hi),) + tuple(eff),
+                        region.dtype,
+                    ),
                 )
             )
             self.batched_statement_count += 1
         else:
             for m in range(lo, hi + 1):
                 items.append(
-                    _BoundStatement(
-                        st, self._member_views[m], eff, region.dtype
+                    self._member_bind(
+                        m,
+                        lambda m=m: _BoundStatement(
+                            st, self._member_views[m], eff, region.dtype
+                        ),
                     )
                 )
             self.member_statement_count += hi - lo + 1

@@ -29,6 +29,18 @@ to a nonexistent path to force the fallback, e.g. in tests); otherwise
 the first of ``cc``, ``gcc``, ``clang`` on ``PATH``.  Build flags pin
 ``-ffp-contract=off`` — fused multiply-adds would break bitwise
 identity with NumPy's two-rounding multiply-then-add.
+
+Compiler invocation is hardened against the real world: every build
+runs under a subprocess timeout (``REPRO_CC_TIMEOUT``, default 300 s —
+a hung compiler must not hang the runtime), transient spawn failures
+and signal-killed compilers are retried with exponential backoff
+(``REPRO_CC_RETRIES``/``REPRO_CC_BACKOFF``), and anything that still
+fails degrades to the python path through
+:class:`~repro.errors.NativeBuildError`.  The fault points
+``native.toolchain``, ``native.cc.spawn``, ``native.cc.timeout``,
+``native.cache.write`` and ``native.cache.load`` (see
+:mod:`repro.runtime.faults`) let the chaos suite fire each of these
+failures deterministically.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import time
 import warnings
 from pathlib import Path
 
@@ -52,6 +65,8 @@ from ..codegen.native_c import (
     generate_fused_source,
     generate_native_source,
 )
+from ..errors import NativeBuildError
+from . import faults
 from .cache import native_cache_dir
 
 __all__ = [
@@ -73,27 +88,38 @@ _CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno")
 _I64 = ctypes.c_int64
 _I64P = ctypes.POINTER(_I64)
 
-
-class NativeBuildError(RuntimeError):
-    """Raised when generating or building a native library fails."""
+# NativeBuildError used to be defined here; it now lives in
+# repro.errors as part of the typed hierarchy (ReproError ->
+# KernelError -> NativeBuildError) and stays re-exported via __all__.
 
 
 # -- toolchain ----------------------------------------------------------------
 
 _toolchain_lock = threading.Lock()
 _toolchain_memo: dict[str | None, str | None] = {}
+_warned_lock = threading.Lock()
 _warned: set[str] = set()
 
 
 def _warn_once(key: str, message: str) -> None:
-    if key not in _warned:
+    """Warn once per process per *key*, safely under concurrent callers.
+
+    Ensemble workers can race a fallback warning (each member bind can
+    fail independently on its own thread); the check-then-add on the
+    module-global set must be atomic or two threads both warn — or
+    worse, mutate the set mid-iteration elsewhere.
+    """
+    with _warned_lock:
+        if key in _warned:
+            return
         _warned.add(key)
-        warnings.warn(message, RuntimeWarning, stacklevel=3)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def _reset_warnings() -> None:
     """Test hook: make the next fallback warn again."""
-    _warned.clear()
+    with _warned_lock:
+        _warned.clear()
 
 
 def native_toolchain() -> str | None:
@@ -113,13 +139,21 @@ def native_toolchain() -> str | None:
     with _toolchain_lock:
         if env in _toolchain_memo:
             return _toolchain_memo[env]
-        if env is not None:
-            found = shutil.which(env)
-        else:
-            found = next(
-                (w for c in ("cc", "gcc", "clang") if (w := shutil.which(c))),
-                None,
-            )
+        try:
+            faults.check("native.toolchain")
+            if env is not None:
+                found = shutil.which(env)
+            else:
+                found = next(
+                    (w for c in ("cc", "gcc", "clang") if (w := shutil.which(c))),
+                    None,
+                )
+        except OSError:
+            # Discovery itself failed (an unreadable PATH entry can make
+            # which() raise).  Report the toolchain missing — callers
+            # fall back to the python path — but do NOT memoise: a
+            # transient failure should not pin the fallback forever.
+            return None
         _toolchain_memo[env] = found
         return found
 
@@ -156,6 +190,83 @@ def _compiler_id(cc: str) -> str:
     ident = out.splitlines()[0] if out else cc
     _compiler_id_memo[cc] = ident
     return ident
+
+
+# -- compiler invocation: timeout, bounded retry, backoff ---------------------
+
+
+def _env_limit(name: str, default: float, minimum: float = 0.0) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
+
+
+def _cc_limits() -> tuple[float, int, float]:
+    """(timeout seconds, retries, initial backoff seconds) for cc runs.
+
+    Environment knobs, all optional (invalid values fall back to the
+    defaults rather than erroring — a misconfigured knob must not take
+    the build path down):
+
+    ``REPRO_CC_TIMEOUT``  seconds before a compile is declared hung
+    (default 300); ``REPRO_CC_RETRIES`` extra attempts after a
+    *transient* failure (default 2); ``REPRO_CC_BACKOFF`` initial sleep
+    between attempts, doubled each retry (default 0.05).
+    """
+    timeout = _env_limit("REPRO_CC_TIMEOUT", 300.0)
+    retries = int(_env_limit("REPRO_CC_RETRIES", 2.0))
+    backoff = _env_limit("REPRO_CC_BACKOFF", 0.05)
+    return timeout, retries, backoff
+
+
+def _invoke_cc(cmd: list[str], what: str) -> subprocess.CompletedProcess:
+    """Run the compiler command with the timeout/retry/backoff ladder.
+
+    The failure taxonomy, from field experience with JIT caches:
+
+    * **Timeout** (:class:`subprocess.TimeoutExpired`): the compiler
+      hung.  No retry — a hung compiler hangs again, and the caller's
+      deadline is already blown.  Degrades immediately.
+    * **Transient** (``OSError``/``SubprocessError`` from the spawn,
+      or the compiler killed by a signal — negative returncode, e.g.
+      the OOM killer or a crashing wrapper script): retried up to
+      ``REPRO_CC_RETRIES`` times with exponential backoff.
+    * **Deterministic** (nonzero exit status): the source does not
+      compile; retrying cannot help.  Returned to the caller, which
+      raises :class:`~repro.errors.NativeBuildError` with the diagnostics.
+    """
+    timeout, retries, backoff = _cc_limits()
+    for attempt in range(retries + 1):
+        try:
+            faults.check("native.cc.timeout")
+            faults.check("native.cc.spawn")
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=timeout or None
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise NativeBuildError(
+                f"{cmd[0]} timed out after {timeout:g}s building {what} "
+                f"(set REPRO_CC_TIMEOUT to adjust)"
+            ) from exc
+        except (OSError, subprocess.SubprocessError) as exc:
+            if attempt < retries:
+                time.sleep(backoff * (2.0**attempt))
+                continue
+            raise NativeBuildError(
+                f"invoking {cmd[0]} failed after {attempt + 1} "
+                f"attempt(s): {exc}"
+            ) from exc
+        if proc.returncode < 0 and attempt < retries:
+            # Killed by a signal: transient (OOM kill, crashed wrapper).
+            time.sleep(backoff * (2.0**attempt))
+            continue
+        return proc
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 # -- disk-cached build --------------------------------------------------------
@@ -197,34 +308,53 @@ def _build_shared_object(
     so_path = cache / f"{key}.so"
     if so_path.exists():
         return so_path
-    cache.mkdir(parents=True, exist_ok=True)
-    c_path = cache / f"{key}.c"
-    if not c_path.exists():
-        tmp_c = tempfile.NamedTemporaryFile(
-            "w", dir=cache, suffix=".c.tmp", delete=False
-        )
-        with tmp_c as fh:
-            fh.write(source)
-        os.chmod(tmp_c.name, 0o644)
-        os.replace(tmp_c.name, c_path)
-    tmp_fd, tmp_so = tempfile.mkstemp(dir=cache, suffix=".so.tmp")
-    os.close(tmp_fd)
+    try:
+        faults.check("native.cache.write")
+        cache.mkdir(parents=True, exist_ok=True)
+        c_path = cache / f"{key}.c"
+        if not c_path.exists():
+            tmp_c = tempfile.NamedTemporaryFile(
+                "w", dir=cache, suffix=".c.tmp", delete=False
+            )
+            with tmp_c as fh:
+                fh.write(source)
+            os.chmod(tmp_c.name, 0o644)
+            os.replace(tmp_c.name, c_path)
+        tmp_fd, tmp_so = tempfile.mkstemp(dir=cache, suffix=".so.tmp")
+        os.close(tmp_fd)
+    except OSError as exc:
+        # Unwritable cache dir (read-only volume, permissions): a cache
+        # problem must degrade like a build problem, not crash the run.
+        raise NativeBuildError(
+            f"cannot write native cache at {cache}: {exc}"
+        ) from exc
     cmd = [cc, *flags, "-o", tmp_so, str(c_path), "-lm"]
     try:
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=300
-        )
-    except (OSError, subprocess.SubprocessError) as exc:
-        os.unlink(tmp_so)
-        raise NativeBuildError(f"invoking {cc} failed: {exc}") from exc
+        proc = _invoke_cc(cmd, what=str(c_path))
+    except NativeBuildError:
+        _unlink_quiet(tmp_so)
+        raise
     if proc.returncode != 0:
-        os.unlink(tmp_so)
+        _unlink_quiet(tmp_so)
         raise NativeBuildError(
             f"{cc} failed (exit {proc.returncode}) on {c_path}:\n{proc.stderr}"
         )
-    os.chmod(tmp_so, 0o755)
-    os.replace(tmp_so, so_path)
+    try:
+        os.chmod(tmp_so, 0o755)
+        os.replace(tmp_so, so_path)
+    except OSError as exc:
+        _unlink_quiet(tmp_so)
+        raise NativeBuildError(
+            f"cannot finalise native cache entry {so_path}: {exc}"
+        ) from exc
     return so_path
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def _load_library(so_path: Path) -> ctypes.CDLL:
@@ -232,6 +362,7 @@ def _load_library(so_path: Path) -> ctypes.CDLL:
     with _lib_lock:
         lib = _lib_memo.get(key)
         if lib is None:
+            faults.check("native.cache.load")
             lib = _lib_memo[key] = ctypes.CDLL(key)
         return lib
 
@@ -358,11 +489,15 @@ def library_for_kernel(kernel) -> NativeLibrary | None:
             source, manifest = generate_native_source(kernel)
             cdll, so_path = _build_and_load(source, cc)
             lib = NativeLibrary(kernel, cdll, manifest, so_path)
-        except NativeBuildError as exc:
+        except (NativeBuildError, OSError) as exc:
+            # OSError covers a cache entry that stays unloadable even
+            # after _build_and_load's one-shot self-heal rebuild.
             _warn_once(
                 f"build-failed:{kernel.name}",
-                f"native build of kernel {kernel.name!r} failed; falling "
-                f"back to the python backend: {exc}",
+                f"native build of kernel {kernel.name!r} failed "
+                f"(cache: {native_cache_dir()}); falling back to the "
+                f"python backend — results are identical, only slower: "
+                f"{exc}",
             )
             lib = None
     kernel._native = (cc, lib)
@@ -529,11 +664,12 @@ def make_fused_statement(kernel, entries, arrays) -> FusedStatement | None:
             entries, involved, kernel.counters
         )
         cdll, _ = _build_and_load(source, cc, _CFLAGS + _host_cflags(cc))
-    except (CodegenError, NativeBuildError) as exc:
+    except (CodegenError, NativeBuildError, OSError) as exc:
         _warn_once(
             f"fused-build-failed:{kernel.name}",
-            f"fused native build for kernel {kernel.name!r} failed; the "
-            f"group falls back to per-statement execution: {exc}",
+            f"fused native build for kernel {kernel.name!r} failed "
+            f"(cache: {native_cache_dir()}); the group falls back to "
+            f"per-statement execution: {exc}",
         )
         return None
     fn = getattr(cdll, fn_name)

@@ -103,6 +103,18 @@ class ExecutionConfig:
     bitwise reference oracle).  The setting is inert for the python
     backend and for threaded/tiled/scatter plans.
 
+    Two opt-in reliability knobs (see ``docs/reliability.md``), both
+    default-off because each costs a memory sweep the fused hot path
+    cannot afford:
+
+    ``check="nan"`` arms the divergence watchdog: serial bindings run
+    statement-by-statement (fusion and native chaining are disabled to
+    keep the granularity) and the first non-finite value raises
+    :class:`~repro.errors.NumericalDivergenceError` naming the step and
+    statement.  ``transactional=True`` makes a bound ``run()`` restore
+    every written array to its pre-call contents when a statement
+    raises mid-run, so user arrays are never left half-updated.
+
     Invalid values raise :class:`ValueError` here; a ``tile_shape``
     whose rank does not cover the kernel's dimensionality raises
     :class:`~repro.runtime.compiler.KernelError` at plan build, where
@@ -115,6 +127,10 @@ class ExecutionConfig:
     Traceback (most recent call last):
         ...
     ValueError: backend must be 'python' or 'native', got 'fortran'
+    >>> ExecutionConfig(check="inf")
+    Traceback (most recent call last):
+        ...
+    ValueError: check must be 'none' or 'nan', got 'inf'
     """
 
     num_threads: int = 1
@@ -123,6 +139,8 @@ class ExecutionConfig:
     min_block_iterations: int = 1024
     backend: str = "python"
     fusion: str = "auto"
+    check: str = "none"
+    transactional: bool = False
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -134,6 +152,10 @@ class ExecutionConfig:
         if self.fusion not in ("auto", "off"):
             raise ValueError(
                 f"fusion must be 'auto' or 'off', got {self.fusion!r}"
+            )
+        if self.check not in ("none", "nan"):
+            raise ValueError(
+                f"check must be 'none' or 'nan', got {self.check!r}"
             )
         if self.min_block_iterations < 1:
             raise ValueError("min_block_iterations must be >= 1")

@@ -22,6 +22,9 @@ import threading
 from collections import deque
 from typing import Callable, Sequence
 
+from ..errors import ReproError, SchedulerError
+from . import faults
+
 __all__ = [
     "split_box",
     "choose_split_axis",
@@ -72,8 +75,13 @@ class WorkStealingScheduler:
 
     The scheduler is *not* reentrant: one :meth:`run` call at a time.
     The first task exception is re-raised in the caller after the batch
-    drains; remaining tasks still execute (members are independent, so a
-    poisoned member must not silently skip its neighbours).
+    drains.  Tasks already *running* on other workers complete (they
+    cannot be interrupted mid-flight), but queued-but-unstarted tasks
+    are **cancelled**: once a failure is recorded, the next dequeue
+    drains every deque, so a poisoned batch fails fast instead of
+    burning a full batch of work whose results the caller will discard.
+    :attr:`last_cancelled` reports how many tasks the previous
+    :meth:`run` abandoned.
 
     Example — four tasks over two workers:
 
@@ -96,6 +104,7 @@ class WorkStealingScheduler:
         self._generation = 0
         self._pending = 0
         self._failure: BaseException | None = None
+        self._cancelled = 0
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -119,6 +128,20 @@ class WorkStealingScheduler:
         victim, the classic split that keeps owner and thief off the
         same end.  Caller must hold the lock.
         """
+        if self._failure is not None:
+            # First failure already recorded: cancel everything not yet
+            # started.  The caller re-raises that failure and discards
+            # the batch's results, so running the remaining tasks would
+            # only burn time (and possibly cascade the same error).
+            dropped = sum(len(q) for q in self._queues)
+            if dropped:
+                for q in self._queues:
+                    q.clear()
+                self._cancelled += dropped
+                self._pending -= dropped
+                if self._pending == 0:
+                    self._idle.notify_all()
+            return None
         own = self._queues[worker]
         if own:
             return own.popleft()
@@ -142,6 +165,7 @@ class WorkStealingScheduler:
                 if task is None:
                     break
                 try:
+                    faults.check("scheduler.task")
                     task()
                 except BaseException as exc:  # noqa: BLE001 - re-raised in run()
                     with self._lock:
@@ -155,8 +179,27 @@ class WorkStealingScheduler:
 
     # -- caller side -------------------------------------------------------
 
+    @property
+    def last_cancelled(self) -> int:
+        """Tasks the previous :meth:`run` cancelled after its first failure."""
+        with self._lock:
+            return self._cancelled
+
     def run(self, tasks: Sequence[Callable[[], None]]) -> None:
-        """Execute *tasks* to completion; re-raise the first task failure."""
+        """Execute *tasks*; re-raise the first failure, cancelling the rest.
+
+        On a clean batch every task runs.  When a task raises, its
+        exception propagates here after in-flight tasks drain, and
+        tasks still queued at that moment are dropped unrun (see the
+        class docstring; the count is exposed as :attr:`last_cancelled`).
+        A failure that is not already a typed
+        :class:`~repro.errors.ReproError` is wrapped in
+        :class:`~repro.errors.SchedulerError` (itself a
+        ``RuntimeError``) recording the cancellation count; typed
+        errors — a member's :class:`~repro.errors.NumericalDivergenceError`,
+        say — and ``BaseException``s like ``KeyboardInterrupt`` pass
+        through unchanged.
+        """
         tasks = list(tasks)
         if not tasks:
             return
@@ -166,6 +209,7 @@ class WorkStealingScheduler:
             if self._pending:
                 raise RuntimeError("scheduler already running a batch")
             self._failure = None
+            self._cancelled = 0
             for idx, task in enumerate(tasks):
                 self._queues[idx % self.num_workers].append(task)
             self._pending = len(tasks)
@@ -175,8 +219,16 @@ class WorkStealingScheduler:
                 self._idle.wait()
             failure = self._failure
             self._failure = None
+            cancelled = self._cancelled
         if failure is not None:
-            raise failure
+            if isinstance(failure, ReproError) or not isinstance(
+                failure, Exception
+            ):
+                raise failure
+            raise SchedulerError(
+                f"worker task failed ({cancelled} queued task(s) "
+                f"cancelled): {failure}"
+            ) from failure
 
     def close(self) -> None:
         """Shut the worker threads down (idempotent)."""

@@ -1,0 +1,342 @@
+"""Chaos verification: exercise every registered fault point's contract.
+
+The runtime's graceful-degradation contract (``docs/reliability.md``)
+says every failure either **falls back** bitwise-identically or raises
+one **typed** :class:`~repro.errors.ReproError` subclass with user
+arrays intact.  This module is the executable form of that sentence:
+one scenario per fault point registered in
+:mod:`repro.runtime.faults`, each arming the injector, driving the
+*production* code path (real plans, real binds, real compiler
+invocations when a toolchain exists) and asserting the contract clause
+the registry declares for that point.
+
+:func:`run_chaos` runs all scenarios and is surfaced as
+``repro verify --chaos`` and as ``tests/test_faults.py``; a fault
+point with no covering scenario is itself a failure, so adding a point
+to the registry without a scenario breaks the suite — the coverage is
+closed by construction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import (
+    CheckpointError,
+    EnsembleBindError,
+    KernelError,
+    SchedulerError,
+)
+from ..runtime import faults
+
+__all__ = ["ChaosResult", "run_chaos", "chaos_scenarios"]
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one fault-point scenario."""
+
+    point: str
+    contract: str
+    ok: bool
+    detail: str
+
+
+@contextlib.contextmanager
+def _env(name: str, value: str):
+    old = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ[name]
+        else:
+            os.environ[name] = old
+
+
+def _fresh_case(seed: int = 0):
+    """A freshly compiled (uncached) heat1d adjoint kernel and arrays.
+
+    ``cache=False`` matters: the native library verdict is memoised on
+    the kernel object, so scenarios that poison the toolchain or the
+    build must start from a kernel nothing has bound yet.
+    """
+    from ..apps import heat_problem
+    from ..core import adjoint_loops
+    from ..runtime import compile_nests
+
+    prob = heat_problem(1)
+    n = 12
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(n), name="chaos", cache=False)
+    rng = np.random.default_rng(seed)
+    arrays = prob.allocate(n, rng=rng)
+    arrays.update(prob.allocate_adjoints(n, rng=rng))
+    return kernel, arrays
+
+
+def _mismatches(ref, got) -> list[str]:
+    return sorted(k for k in ref if not np.array_equal(ref[k], got[k]))
+
+
+def _native_scenario(point: str, *, times: int = 1, expect_native: bool) -> str:
+    """Shared shape of the five native fault points.
+
+    Runs the serial python reference, then the native-backend bound run
+    with *point* armed, in a fresh cache directory (so the build really
+    happens) — and asserts the results are bitwise identical whether
+    the fault forced the python fallback (``expect_native=False``) or
+    the retry/self-heal machinery recovered the native path
+    (``expect_native=True``).
+    """
+    from ..runtime import native as _native
+
+    kernel, base = _fresh_case()
+    ref = {k: v.copy() for k, v in base.items()}
+    kernel(ref)
+    got = {k: v.copy() for k, v in base.items()}
+    _native._reset_warnings()
+    with _native._toolchain_lock:
+        _native._toolchain_memo.clear()
+    with tempfile.TemporaryDirectory() as tmp, _env("REPRO_CACHE_DIR", tmp):
+        with warnings.catch_warnings():
+            # Fallback warnings are part of the contract, not noise to
+            # the chaos run; tests assert them separately.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with faults.inject(point, times=times) as inj:
+                plan = kernel.plan(backend="native")
+                try:
+                    plan.bind(got).run()
+                finally:
+                    plan.close()
+                fired = inj.fired(point)
+    if fired == 0:
+        raise AssertionError(f"{point} was armed but never fired")
+    bad = _mismatches(ref, got)
+    if bad:
+        raise AssertionError(f"degraded run diverged from reference on {bad}")
+    native_used = kernel._native[1] is not None
+    if expect_native and not native_used:
+        raise AssertionError("recovery expected the native path to survive")
+    mode = "native path recovered" if native_used else "python fallback"
+    return f"fired {fired}x; {mode}; bitwise-identical"
+
+
+def _scenario_toolchain() -> str:
+    return _native_scenario("native.toolchain", expect_native=False)
+
+
+def _scenario_cc_spawn() -> str:
+    from ..runtime import native_available
+
+    # One transient spawn failure: the backoff ladder retries and the
+    # build (and therefore the native path) succeeds.  Without a
+    # compiler the spawn is never reached, so the point degrades to the
+    # no-toolchain fallback, which the toolchain scenario already
+    # covers deterministically.
+    if not native_available():
+        return _native_scenario("native.toolchain", expect_native=False)
+    return _native_scenario("native.cc.spawn", expect_native=True)
+
+
+def _scenario_cc_timeout() -> str:
+    from ..runtime import native_available
+
+    if not native_available():
+        return _native_scenario("native.toolchain", expect_native=False)
+    # A hung compiler is not retried: the build fails, the run degrades.
+    return _native_scenario("native.cc.timeout", times=64, expect_native=False)
+
+
+def _scenario_cache_write() -> str:
+    from ..runtime import native_available
+
+    if not native_available():
+        return _native_scenario("native.toolchain", expect_native=False)
+    return _native_scenario("native.cache.write", times=64, expect_native=False)
+
+
+def _scenario_cache_load() -> str:
+    from ..runtime import native_available
+
+    if not native_available():
+        return _native_scenario("native.toolchain", expect_native=False)
+    # One corrupt .so: the content-addressed entry is unlinked and
+    # rebuilt once (self-heal), so the native path survives.
+    return _native_scenario("native.cache.load", expect_native=True)
+
+
+def _scenario_scheduler_task() -> str:
+    from ..runtime.scheduler import WorkStealingScheduler
+
+    done: list[int] = []
+    with WorkStealingScheduler(2) as sched:
+        with faults.inject("scheduler.task") as inj:
+            try:
+                sched.run([lambda i=i: done.append(i) for i in range(6)])
+                raise AssertionError("injected task fault did not propagate")
+            except SchedulerError:
+                pass
+            fired = inj.fired("scheduler.task")
+        if fired != 1:
+            raise AssertionError(f"expected one firing, got {fired}")
+        cancelled = sched.last_cancelled
+        if len(done) + cancelled != 5:
+            raise AssertionError(
+                f"batch accounting broken: {len(done)} ran, "
+                f"{cancelled} cancelled, 5 expected"
+            )
+        sched.run([lambda: done.append(99)])
+        if 99 not in done:
+            raise AssertionError("scheduler did not survive the failure")
+    return (
+        f"typed SchedulerError; {cancelled} queued task(s) cancelled; "
+        f"scheduler reusable"
+    )
+
+
+def _scenario_checkpoint_snapshot() -> str:
+    from ..apps import heat_problem
+
+    prob = heat_problem(1)
+    n = 12
+    u0 = prob.allocate_state(n, seed=0)["u_1"]
+    seed = prob.allocate_adjoints(n)["u_b"]
+    with prob.checkpointed_adjoint(n, steps=6, snaps=2) as plan:
+        ref = {k: v.copy() for k, v in plan.adjoint([u0], seed).items()}
+        with faults.inject("checkpoint.snapshot") as inj:
+            try:
+                plan.adjoint([u0], seed)
+                raise AssertionError("injected snapshot fault did not propagate")
+            except CheckpointError:
+                pass
+            if inj.fired("checkpoint.snapshot") != 1:
+                raise AssertionError("snapshot fault never fired")
+        out = plan.adjoint([u0], seed)
+        bad = _mismatches(ref, out)
+        if bad:
+            raise AssertionError(f"post-failure sweep diverged on {bad}")
+    return "typed CheckpointError; next sweep recovered bitwise-identically"
+
+
+def _scenario_ensemble_bind() -> str:
+    from ..runtime import stack_arrays
+
+    kernel, _ = _fresh_case()
+    from ..apps import heat_problem
+
+    prob = heat_problem(1)
+    n = 12
+    batched = stack_arrays(
+        [prob.allocate_state(n, seed=m) for m in range(3)]
+    )
+    snap = {k: v.copy() for k, v in batched.items()}
+    with faults.inject("ensemble.bind", skip=1) as inj:
+        try:
+            kernel.plan().ensemble(batched)
+            raise AssertionError("injected bind fault did not propagate")
+        except EnsembleBindError as exc:
+            member = exc.member
+        if inj.fired("ensemble.bind") != 1:
+            raise AssertionError("bind fault never fired")
+    if member is None:
+        raise AssertionError("EnsembleBindError did not name the member")
+    bad = _mismatches(snap, batched)
+    if bad:
+        raise AssertionError(f"failed bind mutated batched arrays {bad}")
+    return (
+        f"typed EnsembleBindError naming member(s) {member}; "
+        f"batched arrays intact"
+    )
+
+
+def _scenario_bound_run() -> str:
+    kernel, base = _fresh_case()
+    ref = {k: v.copy() for k, v in base.items()}
+    kernel(ref)
+    got = {k: v.copy() for k, v in base.items()}
+    snap = {k: v.copy() for k, v in got.items()}
+    plan = kernel.plan(transactional=True)
+    try:
+        bound = plan.bind(got)
+        with faults.inject("bound.run", skip=1) as inj:
+            try:
+                bound.run()
+                raise AssertionError("injected run fault did not propagate")
+            except KernelError:
+                pass
+            if inj.fired("bound.run") != 1:
+                raise AssertionError("run fault never fired")
+        bad = _mismatches(snap, got)
+        if bad:
+            raise AssertionError(f"transactional restore missed {bad}")
+        bound.run()
+        bad = _mismatches(ref, got)
+        if bad:
+            raise AssertionError(f"post-restore rerun diverged on {bad}")
+    finally:
+        plan.close()
+    return "typed KernelError; arrays restored; clean rerun bitwise-identical"
+
+
+_SCENARIOS = {
+    "native.toolchain": _scenario_toolchain,
+    "native.cc.spawn": _scenario_cc_spawn,
+    "native.cc.timeout": _scenario_cc_timeout,
+    "native.cache.write": _scenario_cache_write,
+    "native.cache.load": _scenario_cache_load,
+    "scheduler.task": _scenario_scheduler_task,
+    "checkpoint.snapshot": _scenario_checkpoint_snapshot,
+    "ensemble.bind": _scenario_ensemble_bind,
+    "bound.run": _scenario_bound_run,
+}
+
+
+def chaos_scenarios() -> dict:
+    """Scenario callables keyed by fault-point name (a copy)."""
+    return dict(_SCENARIOS)
+
+
+def run_chaos() -> list[ChaosResult]:
+    """Run every fault-point scenario; never raises.
+
+    Returns one :class:`ChaosResult` per *registered* fault point, in
+    registration order.  A registered point without a scenario is
+    reported as a failure — the suite's coverage is closed over the
+    registry, not over whatever scenarios happen to exist.
+    """
+    results: list[ChaosResult] = []
+    for point in faults.registered_fault_points():
+        fn = _SCENARIOS.get(point.name)
+        if fn is None:
+            results.append(
+                ChaosResult(
+                    point.name,
+                    point.contract,
+                    False,
+                    "no scenario covers this registered fault point",
+                )
+            )
+            continue
+        try:
+            detail = fn()
+            results.append(ChaosResult(point.name, point.contract, True, detail))
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            results.append(
+                ChaosResult(
+                    point.name,
+                    point.contract,
+                    False,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        finally:
+            faults.deactivate()
+    return results

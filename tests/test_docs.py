@@ -50,7 +50,8 @@ def test_doc_files_exist():
     assert (REPO / "docs" / "ensembles.md").is_file()
     assert (REPO / "docs" / "checkpointing.md").is_file()
     assert (REPO / "docs" / "fusion.md").is_file()
-    assert len(DOC_FILES) >= 5  # README + the four docs
+    assert (REPO / "docs" / "reliability.md").is_file()
+    assert len(DOC_FILES) >= 6  # README + the five docs
 
 
 @pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
@@ -76,15 +77,20 @@ def test_docs_are_cross_linked():
     ens = (REPO / "docs" / "ensembles.md").read_text()
     chk = (REPO / "docs" / "checkpointing.md").read_text()
     fus = (REPO / "docs" / "fusion.md").read_text()
+    rel = (REPO / "docs" / "reliability.md").read_text()
     readme = (REPO / "README.md").read_text()
     assert "ensembles.md" in arch and "fusion.md" in arch
     assert "architecture.md" in ens
     assert "architecture.md" in chk and "ensembles.md" in chk
     assert "architecture.md" in fus and "ensembles.md" in fus
+    assert "architecture.md" in rel and "ensembles.md" in rel
+    assert "checkpointing.md" in rel and "fusion.md" in rel
     assert "../README.md" in arch and "../README.md" in ens
     assert "../README.md" in chk and "../README.md" in fus
+    assert "../README.md" in rel
     assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
     assert "docs/checkpointing.md" in readme and "docs/fusion.md" in readme
+    assert "docs/reliability.md" in readme
 
 
 def test_documented_cli_commands_exist():
@@ -113,11 +119,13 @@ def test_documented_cli_commands_exist():
         ["bench", "--backend", "native", "--fusion", "off"]
     )
     assert args.fusion == "off"
+    args = parser.parse_args(["verify", "--chaos"])
+    assert args.command == "verify" and args.chaos
 
 
 def test_docs_doctest_blocks_present():
     """The docs keep executable examples (the CI docs job runs them)."""
     for name in ("architecture.md", "ensembles.md", "checkpointing.md",
-                 "fusion.md"):
+                 "fusion.md", "reliability.md"):
         text = (REPO / "docs" / name).read_text()
         assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"
