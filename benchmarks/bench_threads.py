@@ -1,0 +1,177 @@
+"""Threaded-native benchmark + CI gate: OpenMP width vs the serial build.
+
+The threaded native path (``docs/threading.md``) partitions each
+eligible statement's outermost loop into contiguous thread blocks;
+because every native statement writes through an injective
+iteration→element map, the partition is race-free and the results are
+**bitwise identical** to the serial build — that identity is this
+benchmark's hard gate and holds on any machine, including the 1-CPU CI
+box.  The speedup gate is machine-gated: threads cannot beat serial
+without cores, so the wall-clock floor (and the machine-corrected
+baseline comparison) only applies when ``os.cpu_count() >= 2``.
+
+Recorded to ``BENCH_threads.json``: per-call times for the serial
+native build and each threaded width, plus the host facts a reader
+needs to judge them — ``cpu_count``, the thread widths, and the
+compiler identity line.
+
+Refresh the baseline by copying a freshly recorded ``BENCH_threads.json``
+(from a multi-core machine) over ``benchmarks/baseline_threads.json``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import heat_problem
+from repro.core import adjoint_loops
+from repro.experiments.steady import _best_of, bitwise_equal
+from repro.runtime import compile_nests, native_available
+from repro.runtime import native as native_mod
+
+REPS = 50
+N = 192
+WIDTHS = (2, 4)
+OUTPUT = "BENCH_threads.json"
+BASELINE = Path(__file__).parent / "baseline_threads.json"
+MIN_SPEEDUP = 1.5  # best threaded width vs serial native, multi-core only
+MAX_SLOWDOWN = 1.5  # machine-corrected threaded per-call time vs baseline
+
+
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+def test_threaded_determinism_and_speedup(benchmark, capsys):
+    cpus = os.cpu_count() or 1
+    prob = heat_problem(2)
+    nests = adjoint_loops(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(nests, prob.bindings(N), name="threads_bench")
+    rng = np.random.default_rng(0)
+    base = prob.allocate(N, rng=rng)
+    base.update(prob.allocate_adjoints(N, rng=rng))
+
+    plans, bounds, arrays = {}, {}, {}
+    for width in (1, *WIDTHS):
+        arrs = {k: v.copy() for k, v in base.items()}
+        plan = kernel.plan(backend="native", fusion="off", native_threads=width)
+        bound = plan.bind(arrs)
+        plans[width], bounds[width], arrays[width] = plan, bound, arrs
+
+    # The threaded builds must actually be threaded, not a silent
+    # serial fallback — otherwise the determinism gate tests nothing.
+    for width in WIDTHS:
+        assert bounds[width].native_threads == width, (
+            f"native_threads={width} fell back to "
+            f"{bounds[width].native_threads} (OpenMP unavailable?)"
+        )
+        assert (
+            bounds[width].native_statement_count
+            == bounds[width].statement_count
+        )
+
+    for bound in bounds.values():  # warm-up: code + data caches
+        for _ in range(3):
+            bound.run()
+
+    # -- HARD gate: bitwise identity at every width, any machine -------------
+    for width, arrs in arrays.items():
+        for name, arr in base.items():
+            arrs[name][...] = arr
+    for bound in bounds.values():
+        bound.run()
+    bitwise = all(
+        bitwise_equal(arrays[1][name], arrays[width][name])
+        for width in WIDTHS
+        for name in base
+    )
+
+    # -- steady-state per-call timing ----------------------------------------
+    times = {w: _best_of(bounds[w].run, REPS) for w in (1, *WIDTHS)}
+    best_width = min(WIDTHS, key=lambda w: times[w])
+    speedup = times[1] / times[best_width]
+
+    def threaded_loop():
+        for _ in range(REPS):
+            bounds[best_width].run()
+
+    benchmark.pedantic(threaded_loop, rounds=3, iterations=1)
+
+    cc = native_mod.native_toolchain()
+    record = {
+        "benchmark": "threaded_native_steady_state",
+        "problem": prob.name,
+        "n": N,
+        "reps": REPS,
+        "cpu_count": cpus,
+        "thread_widths": list(WIDTHS),
+        "compiler": native_mod._compiler_id(cc) if cc else None,
+        "iterations_per_call": kernel.total_iterations(),
+        "serial_us_per_call": round(times[1] * 1e6, 3),
+        "threaded_us_per_call": {
+            str(w): round(times[w] * 1e6, 3) for w in WIDTHS
+        },
+        "best_width": best_width,
+        "speedup_vs_serial": round(speedup, 3),
+        "bitwise_identical": bitwise,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info.update(record)
+
+    with capsys.disabled():
+        print(
+            f"\nthreaded native, {prob.name} n={N}, {cpus} cpu(s), "
+            f"best of {REPS}-call loops:"
+        )
+        print(f"  serial native  {times[1] * 1e6:8.1f} us/call")
+        for w in WIDTHS:
+            print(f"  {w} threads      {times[w] * 1e6:8.1f} us/call")
+        print(
+            f"  speedup        {speedup:8.2f}x at {best_width} threads "
+            f"(recorded in {OUTPUT})"
+        )
+
+    for plan in plans.values():
+        plan.close()
+
+    assert bitwise, "threaded native diverged bitwise from the serial build"
+
+    if cpus < 2:
+        with capsys.disabled():
+            print("  speedup gate skipped: single-CPU machine")
+        return
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >={MIN_SPEEDUP}x threaded speedup over serial native "
+        f"on a {cpus}-cpu machine, got {speedup:.2f}x"
+    )
+
+    # -- machine-corrected gate vs the checked-in baseline -------------------
+    if BASELINE.exists():
+        with open(BASELINE) as fh:
+            baseline = json.load(fh)
+        for key in ("benchmark", "problem", "n", "reps"):
+            assert record[key] == baseline[key], (
+                f"baseline {key}={baseline[key]!r} does not match this "
+                f"run's {key}={record[key]!r}; refresh the baseline"
+            )
+        width = str(best_width)
+        base_threaded = baseline["threaded_us_per_call"].get(width)
+        if base_threaded is None:
+            return  # baseline machine never ran this width
+        raw = record["threaded_us_per_call"][width] / base_threaded
+        # The serial native build runs identical arithmetic through the
+        # same FFI layer, so its ratio isolates threading regressions
+        # from runner hardware.
+        machine = record["serial_us_per_call"] / baseline["serial_us_per_call"]
+        corrected = raw / machine
+        with capsys.disabled():
+            print(
+                f"  baseline gate  {raw:.2f}x raw, {machine:.2f}x machine "
+                f"factor, {corrected:.2f}x corrected (max {MAX_SLOWDOWN}x)"
+            )
+        assert corrected <= MAX_SLOWDOWN, (
+            f"threaded path regressed {corrected:.2f}x machine-corrected "
+            f"vs baseline (limit {MAX_SLOWDOWN}x)"
+        )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Mapping
 
 import numpy as np
 import sympy as sp
@@ -183,6 +183,7 @@ class StencilProblem:
         workers: int = 1,
         constants: Mapping[str, np.ndarray] | None = None,
         num_threads: int = 1,
+        native_threads: int | None = None,
         **param_overrides,
     ):
         """A revolve-checkpointed adjoint time loop for this problem.
@@ -226,9 +227,17 @@ class StencilProblem:
                 field = np.ascontiguousarray(np.broadcast_to(field, full_shape))
             const_arrays[name] = field
         return fwd.plan(
-            backend=backend, num_threads=num_threads, fusion=fusion
+            backend=backend,
+            num_threads=num_threads,
+            fusion=fusion,
+            native_threads=native_threads,
         ).checkpointed_adjoint(
-            rev.plan(backend=backend, num_threads=num_threads, fusion=fusion),
+            rev.plan(
+                backend=backend,
+                num_threads=num_threads,
+                fusion=fusion,
+                native_threads=native_threads,
+            ),
             shape,
             steps=steps,
             snaps=snaps,

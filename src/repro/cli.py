@@ -564,13 +564,15 @@ def _cmd_figures(args) -> int:
 
 def _cmd_bench(args) -> int:
     import json
+    import os
     import time
 
     import numpy as np
 
     from .core import adjoint_loops
     from .experiments.steady import measure_steady_state
-    from .runtime import compile_nests
+    from .runtime import ExecutionConfig, compile_nests, native_thread_count
+    from .runtime import native as _native
 
     prob = _PROBLEMS[args.problem]()
     n = args.n
@@ -594,6 +596,10 @@ def _cmd_bench(args) -> int:
         cases[label] = measure_steady_state(plan, arrays, base, reps)
         plan.close()
 
+    # Host facts a reader needs to judge the timings: core count, the
+    # effective in-kernel thread width (REPRO_NATIVE_THREADS at bind
+    # time) and which compiler built the native statements.
+    cc = _native.native_toolchain() if args.backend == "native" else None
     record = {
         "benchmark": "steady_state_bound_plan",
         "problem": prob.name,
@@ -601,6 +607,9 @@ def _cmd_bench(args) -> int:
         "reps": reps,
         "backend": args.backend,
         "fusion": args.fusion,
+        "cpu_count": os.cpu_count(),
+        "native_threads": native_thread_count(ExecutionConfig()),
+        "compiler": _native._compiler_id(cc) if cc else None,
         "iterations_per_call": kernel.total_iterations(),
         "unix_time": round(time.time(), 1),
         "cases": cases,

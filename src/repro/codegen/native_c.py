@@ -51,6 +51,7 @@ import sympy as sp
 from sympy.printing.numpy import NumPyPrinter
 from sympy.simplify.cse_main import cse as _cse
 
+from ..core.fusion import parallel_safe_group
 from .base import CodegenError, Emitter
 from .c import CPrinter
 
@@ -62,6 +63,7 @@ _LAMBDIFY_PRINTER = NumPyPrinter()
 __all__ = [
     "NativeCPrinter",
     "native_eligibility",
+    "parallel_eligibility",
     "generate_native_source",
     "generate_fused_source",
     "CHAIN_RUNNER_NAME",
@@ -271,7 +273,50 @@ def native_eligibility(stmt, dim: int, dtype) -> str | None:
     return _expr_eligible(stmt.rhs_expr, dtype_name)
 
 
+def parallel_eligibility(stmt, dim: int) -> str | None:
+    """Why *stmt*'s loop nest cannot partition axis 0 across threads.
+
+    The source paper's central property — gather-form (transformed)
+    adjoints write each output element from exactly one iteration — is
+    what makes native statements thread-safe *without* atomics or
+    private scratch: the target covers every frame axis exactly once
+    (enforced by :func:`native_eligibility`), so the iteration-to-
+    element map is injective and contiguous blocks of the outermost
+    axis write disjoint elements, for ``=`` and ``+=`` alike.  Reads of
+    the target itself are pinned to the exact target slots (same
+    gate), so no iteration observes another iteration's write.  The
+    partition therefore reproduces the serial per-element arithmetic
+    bit for bit — determinism by construction, not by merge order.
+
+    The checks restate those invariants defensively: a statement that
+    ever slipped past the native gate with a non-injective target (or a
+    frameless nest) must run serial, statement-wise, like every other
+    native fallback.
+    """
+    if dim < 1:
+        return "zero-dimensional nest has no axis to partition"
+    target_axes = sorted(axis for axis, _ in stmt.target.slots)
+    if target_axes != list(range(dim)):
+        return "target writes are not injective over the frame"
+    for acc in stmt.reads:
+        if acc.name == stmt.target.name and acc.slots != stmt.target.slots:
+            return "shifted self-read could observe another thread's write"
+    return None
+
+
 # -- source generation ---------------------------------------------------------
+
+
+def _omp_for(nthreads: int) -> str:
+    """The pragma placed on a partitionable outermost loop.
+
+    ``schedule(static)`` assigns contiguous iteration blocks; the exact
+    split does not affect results (each element's arithmetic is a fixed
+    scalar sequence computed by exactly one thread), it only keeps the
+    memory traffic streaming.  The thread count is baked so the build
+    cache key captures the threading mode through the source text.
+    """
+    return f"#pragma omp parallel for schedule(static) num_threads({nthreads})"
 
 
 def _access_index(slots, strides_base: int) -> str:
@@ -286,7 +331,9 @@ def _access_index(slots, strides_base: int) -> str:
     return " + ".join(terms)
 
 
-def generate_native_source(kernel) -> tuple[str, dict[tuple[int, int], str]]:
+def generate_native_source(
+    kernel, nthreads: int = 1
+) -> tuple[str, dict[tuple[int, int], str]]:
     """Lower *kernel*'s eligible statements to one C translation unit.
 
     *kernel* is a :class:`~repro.runtime.compiler.CompiledKernel`
@@ -295,10 +342,22 @@ def generate_native_source(kernel) -> tuple[str, dict[tuple[int, int], str]]:
     name.  Ineligible statements are simply absent — the runtime keeps
     them on the Python path.  The unit always contains the chain runner,
     even when no statement is eligible.
+
+    With ``nthreads > 1`` each statement passing
+    :func:`parallel_eligibility` gets an OpenMP ``parallel for`` on its
+    outermost loop (the build layer adds ``-fopenmp`` after probing the
+    compiler); ineligible statements keep their serial nest in the same
+    unit.  The chain runner stays a serial loop over statement calls —
+    each call is internally parallel and the implicit barrier at the
+    end of its parallel region preserves statement order, so the
+    results are bitwise identical to the serial build at any thread
+    count.
     """
     em = Emitter(indent="  ")
     em.line("/* Generated by repro.codegen.native_c — do not edit. */")
     em.line(f"/* ABI v{NATIVE_ABI_VERSION}, kernel {kernel.name!r} */")
+    if nthreads > 1:
+        em.line(f"/* threaded variant: {nthreads} OpenMP threads */")
     em.line("#include <stdint.h>")
     em.line("#include <math.h>")
     em.line()
@@ -352,7 +411,12 @@ def generate_native_source(kernel) -> tuple[str, dict[tuple[int, int], str]]:
                 em.line(
                     f"const {real} *r{idx} = (const {real} *)ptrs[{idx + 1}];"
                 )
+            threaded = (
+                nthreads > 1 and parallel_eligibility(stmt, dim) is None
+            )
             for axis in range(dim):
+                if axis == 0 and threaded:
+                    em.line(_omp_for(nthreads))
                 em.line(
                     f"for (int64_t i{axis} = geom[{2 * axis}]; "
                     f"i{axis} <= geom[{2 * axis + 1}]; ++i{axis}) {{"
@@ -401,7 +465,10 @@ def _baked_index(slots, strides: Sequence[int]) -> str:
 
 
 def generate_fused_source(
-    entries: Sequence, arrays, counters: Sequence[sp.Symbol]
+    entries: Sequence,
+    arrays,
+    counters: Sequence[sp.Symbol],
+    nthreads: int = 1,
 ) -> tuple[str, str, tuple[str, ...]]:
     """Lower one fused statement group to a single C loop nest.
 
@@ -436,6 +503,15 @@ def generate_fused_source(
     statement the printer cannot lower raises
     :class:`~repro.codegen.base.CodegenError`; the runtime treats that
     as a per-group fallback.
+
+    With ``nthreads > 1`` the nest's outermost loop gets an OpenMP
+    ``parallel for`` — but only when the group's cross-statement
+    dependences all stay within an outer row
+    (:func:`~repro.core.fusion.parallel_safe_group`) and an outer loop
+    exists (``dim >= 2``; a 1-D fused nest interleaves along its only
+    axis, so partitioning it would hand one statement's producer row to
+    another thread).  An unsafe or 1-D group keeps its serial nest:
+    still fused, still bitwise-identical, just not thread-partitioned.
     """
     first = entries[0]
     dim = first.dim
@@ -473,9 +549,14 @@ def generate_fused_source(
         else:
             chunks.append([k])
 
+    threaded = (
+        nthreads > 1 and dim >= 2 and parallel_safe_group(entries) is None
+    )
     em = Emitter(indent="  ")
     em.line("/* Generated by repro.codegen.native_c (fused) — do not edit. */")
     em.line(f"/* ABI v{NATIVE_ABI_VERSION}, {len(entries)}-statement group */")
+    if threaded:
+        em.line(f"/* threaded variant: {nthreads} OpenMP threads */")
     em.line("#include <stdint.h>")
     em.line("#include <math.h>")
     em.line()
@@ -487,6 +568,8 @@ def generate_fused_source(
         em.line(f"{qual}{real} *restrict a{k} = ({qual}{real} *)ptrs[{k}];")
     for axis in range(dim - 1):
         lo, hi = union[axis]
+        if axis == 0 and threaded:
+            em.line(_omp_for(nthreads))
         em.line(
             f"for (int64_t i{axis} = {lo}; i{axis} <= {hi}; ++i{axis}) {{"
         )

@@ -70,6 +70,7 @@ __all__ = [
     "FusionGroup",
     "MAX_GROUP_STATEMENTS",
     "fusable_pair",
+    "parallel_safe_group",
     "plan_groups",
     "describe_groups",
 ]
@@ -222,6 +223,81 @@ def fusable_pair(a: FusionEntry, b: FusionEntry) -> str | None:
                     f"overwrite at distance {delta} before the earlier "
                     f"statement reads"
                 )
+    return None
+
+
+# -- outer-axis thread partitioning --------------------------------------------
+
+
+def parallel_safe_group(entries: Sequence[FusionEntry]) -> str | None:
+    """Why *entries*' fused nest cannot partition axis 0 across threads.
+
+    Returns None when a contiguous block decomposition of the outermost
+    axis is race-free and order-preserving.  A single statement is
+    always safe: the gather-form IR writes each target element from
+    exactly one iteration (the native eligibility gate requires the
+    target to cover every frame axis once), so per-iteration writes are
+    disjoint and reads of other arrays see only pre-statement values.
+    For a multi-statement nest the outer rows interleave *across*
+    statements, so every cross-statement dependence — flow, anti and
+    output — must have **zero distance on axis 0**: a nonzero outer
+    component means one thread's row produces or clobbers a value
+    another thread's row consumes, with no ordering between them.
+
+    >>> class Acc:
+    ...     def __init__(self, name, slots): self.name, self.slots = name, slots
+    >>> class St:
+    ...     def __init__(self, target, reads, op="="):
+    ...         self.target, self.reads, self.op = target, reads, op
+    >>> same_row = St(Acc("w", ((0, 0), (1, 0))), (Acc("u", ((0, 0), (1, -1))),))
+    >>> write_u = St(Acc("u", ((0, 0), (1, 0))), (Acc("v", ((0, 0), (1, 0))),))
+    >>> entries = [
+    ...     FusionEntry(write_u, ((1, 8), (1, 8)), 2, "float64"),
+    ...     FusionEntry(same_row, ((1, 8), (1, 8)), 2, "float64"),
+    ... ]
+    >>> parallel_safe_group(entries)        # row-local dependence: safe
+    >>> up_row = St(Acc("w", ((0, 0), (1, 0))), (Acc("u", ((0, -1), (1, 0))),))
+    >>> entries[1] = FusionEntry(up_row, ((1, 8), (1, 8)), 2, "float64")
+    >>> print(parallel_safe_group(entries))
+    dependence on 'u' crosses thread rows (outer distance -1)
+    """
+    if len(entries) <= 1:
+        return None
+    dim = entries[0].dim
+    for i, a in enumerate(entries):
+        writes_a, reads_a = _accesses(a.stmt)
+        for b in entries[i + 1:]:
+            writes_b, reads_b = _accesses(b.stmt)
+            for w_name, w_slots in writes_a:
+                for o_name, o_slots in reads_b + writes_b:
+                    if o_name != w_name:
+                        continue
+                    delta = _axis_deltas(w_slots, o_slots, dim)
+                    if delta is None:
+                        return (
+                            f"dependence on {w_name!r} unanalyzable "
+                            f"(different slot-axis maps)"
+                        )
+                    if delta[0] != 0:
+                        return (
+                            f"dependence on {w_name!r} crosses thread "
+                            f"rows (outer distance {delta[0]})"
+                        )
+            for w_name, w_slots in writes_b:
+                for r_name, r_slots in reads_a:
+                    if r_name != w_name:
+                        continue
+                    delta = _axis_deltas(w_slots, r_slots, dim)
+                    if delta is None:
+                        return (
+                            f"dependence on {w_name!r} unanalyzable "
+                            f"(different slot-axis maps)"
+                        )
+                    if delta[0] != 0:
+                        return (
+                            f"dependence on {w_name!r} crosses thread "
+                            f"rows (outer distance {delta[0]})"
+                        )
     return None
 
 

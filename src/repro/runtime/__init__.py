@@ -22,7 +22,12 @@ from .cache import (
 )
 from .distributed import DistributedExecutor, RankSlab, decompose
 from .ensemble import EnsemblePlan, batch_safe_statement, stack_arrays
-from .native import NativeLibrary, native_available, native_toolchain
+from .native import (
+    NativeLibrary,
+    native_available,
+    native_thread_count,
+    native_toolchain,
+)
 from .compiler import (
     CompiledKernel,
     KernelError,
@@ -82,6 +87,7 @@ __all__ = [
     "kernel_key",
     "native_available",
     "native_cache_dir",
+    "native_thread_count",
     "native_toolchain",
     "run_tiled",
     "safe_split_axis",

@@ -95,6 +95,7 @@ from .native import (
     library_for_kernel,
     make_fused_statement,
     make_native_statement,
+    native_thread_count,
 )
 
 __all__ = ["BoundPlan"]
@@ -525,7 +526,9 @@ class BoundPlan:
         config = plan.config
         scatter_mode = config.scatter and config.num_threads > 1
         native_lib = (
-            library_for_kernel(plan.kernel) if config.backend == "native" else None
+            library_for_kernel(plan.kernel, native_thread_count(config))
+            if config.backend == "native"
+            else None
         )
         sources: dict[str, np.ndarray] = {}
 
@@ -595,6 +598,10 @@ class BoundPlan:
         self.fused_statement_count = 0
         self._fusion_groups: tuple = ()
         self._fusion_bound: tuple[bool, ...] = ()
+        # The *effective* thread count: the library's, after the OpenMP
+        # probe and build-failure fallbacks, so fused binds and
+        # introspection agree with what the C code actually does.
+        self.native_threads = native_lib.nthreads if native_lib else 1
         stream: list = flat
         if (
             serial_mode
@@ -688,7 +695,8 @@ class BoundPlan:
             fused = None
             if group.fused:
                 fused = make_fused_statement(
-                    kernel, group.entries, self._sources
+                    kernel, group.entries, self._sources,
+                    nthreads=self.native_threads,
                 )
             if fused is not None:
                 stream.append(fused)
@@ -861,6 +869,12 @@ class BoundPlan:
                 f.result()
             futures.clear()
             for task in pending:
+                # The deterministic merge: scratches fold into the
+                # global arrays in task-submission order.  A failure
+                # here leaves the arrays partially merged — exactly the
+                # state the transactional guard exists to restore, so
+                # the fault point sits inside the loop.
+                faults.check("scatter.merge")
                 for name, buf in task.scratch.items():
                     tgt = self._sources[name]
                     np.add(tgt, buf, out=tgt)

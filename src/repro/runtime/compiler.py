@@ -462,6 +462,9 @@ class CompiledKernel:
     _plans: dict = field(default_factory=dict, repr=False, compare=False)
     # (toolchain, NativeLibrary | None) memo filled by runtime.native.
     _native: tuple | None = field(default=None, repr=False, compare=False)
+    # {(toolchain, nthreads): NativeLibrary | None} memo for the
+    # OpenMP-threaded library variants (runtime.native, nthreads > 1).
+    _native_mt: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __call__(self, arrays: Mapping[str, np.ndarray]) -> None:
         # Serial execution also goes through the (memoised) plan, so the
@@ -482,6 +485,7 @@ class CompiledKernel:
         fusion: str = "auto",
         check: str = "none",
         transactional: bool = False,
+        native_threads: int | None = None,
     ) -> "ExecutionPlan":
         """The cached :class:`~repro.runtime.plan.ExecutionPlan` for a config.
 
@@ -504,6 +508,7 @@ class CompiledKernel:
             fusion=fusion,
             check=check,
             transactional=transactional,
+            native_threads=native_threads,
         )
         plan = self._plans.get(config)
         if plan is None:

@@ -103,6 +103,7 @@ from .native import (
     library_for_kernel,
     make_fused_statement,
     make_native_statement,
+    native_thread_count,
 )
 from .scheduler import WorkStealingScheduler, split_box
 
@@ -349,11 +350,17 @@ class EnsemblePlan:
         if chunks is None:
             chunks = 1 if workers == 1 else min(members, workers * 4)
         chunks = max(1, min(chunks, members))
+        # Member kernels inherit in-kernel OpenMP threading through the
+        # member plan's config; with multiple ensemble workers the
+        # parallelism multiplies (workers x native threads), which the
+        # bitwise contract tolerates — each member's arithmetic is
+        # partition-invariant — but docs/threading.md flags for cost.
         native_lib = (
-            library_for_kernel(plan.kernel)
+            library_for_kernel(plan.kernel, native_thread_count(config))
             if config.backend == "native"
             else None
         )
+        self.native_threads = native_lib.nthreads if native_lib else 1
         self.batched_statement_count = 0
         self.native_statement_count = 0
         self.member_statement_count = 0
@@ -463,6 +470,7 @@ class EnsemblePlan:
                                 self.plan.kernel,
                                 group.entries,
                                 self._member_views[m],
+                                nthreads=self.native_threads,
                             ),
                         )
                         for m in range(lo, hi + 1)

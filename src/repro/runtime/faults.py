@@ -48,6 +48,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..errors import NativeBuildError
+
 __all__ = [
     "FaultPoint",
     "FaultInjector",
@@ -137,6 +139,12 @@ _register(
     _default("native.cache.load"),
 )
 _register(
+    "native.omp.probe",
+    "the -fopenmp capability probe fails (compiler without OpenMP)",
+    "fallback",
+    _default("native.omp.probe", NativeBuildError),
+)
+_register(
     "scheduler.task",
     "a worker task raises mid-batch",
     "typed-error",
@@ -159,6 +167,12 @@ _register(
     "a bound statement raises mid-run (half the arrays updated)",
     "typed-error",
     _default("bound.run", RuntimeError),
+)
+_register(
+    "scatter.merge",
+    "merging thread-private scatter scratch raises mid-merge",
+    "typed-error",
+    _default("scatter.merge", RuntimeError),
 )
 
 

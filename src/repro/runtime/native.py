@@ -18,6 +18,19 @@ call, so a steady-state serial timestep costs one FFI crossing.
 ``ctypes`` releases the GIL around calls, so threaded plans run native
 tasks genuinely in parallel.
 
+In-kernel threading (``docs/threading.md``): with
+``ExecutionConfig(native_threads=N)`` or ``REPRO_NATIVE_THREADS=N`` the
+library is built as an OpenMP variant — each eligible statement's
+outermost loop is block-partitioned across ``N`` threads
+(:func:`~repro.codegen.native_c.parallel_eligibility`: gather-form
+writes are injective, so the partition is race-free without scratch or
+atomics and bitwise identical to the serial build by construction).
+The ``-fopenmp`` capability is probed once per compiler like the
+``-march=native`` probe; a compiler without it falls back to the
+serial native library with one warning.  The threaded source text and
+flags differ, so the content-addressed ``.so`` cache keys the
+threading mode automatically.
+
 Fallback is graceful and total: no C toolchain, a failing compile, an
 ineligible statement (see :func:`~repro.codegen.native_c.native_eligibility`)
 or a bind-time mismatch (foreign dtype, unaligned strides) all leave the
@@ -72,6 +85,7 @@ from .cache import native_cache_dir
 __all__ = [
     "native_toolchain",
     "native_available",
+    "native_thread_count",
     "NativeBuildError",
     "NativeLibrary",
     "library_for_kernel",
@@ -424,6 +438,82 @@ def _host_cflags(cc: str) -> tuple[str, ...]:
     return flags
 
 
+# -- OpenMP capability and thread-count resolution ----------------------------
+
+_OMP_PROBE_SOURCE = (
+    "#include <omp.h>\n"
+    "int repro_omp_probe(void) {\n"
+    "  int n = 0;\n"
+    "#pragma omp parallel num_threads(2)\n"
+    "  { n = omp_get_num_threads(); }\n"
+    "  return n;\n"
+    "}\n"
+)
+
+_OMP_UNPROBED = object()
+_omp_flags_memo: dict[str, tuple[str, ...] | None] = {}
+
+
+def _omp_cflags(cc: str) -> tuple[str, ...] | None:
+    """OpenMP build flags for *cc*, probed once; None when unsupported.
+
+    Same shape as the ``-march=native`` probe: compile a small OpenMP
+    translation unit once per compiler and memoise the verdict.  Some
+    toolchains (pared-down clang, tcc) accept no ``-fopenmp`` or lack
+    ``libgomp``; for them threaded requests degrade to the serial
+    native library — bitwise identical, one warning.  The
+    ``native.omp.probe`` fault point lets the chaos suite force that
+    degradation deterministically.
+    """
+    cached = _omp_flags_memo.get(cc, _OMP_UNPROBED)
+    if cached is not _OMP_UNPROBED:
+        return cached
+    flags: tuple[str, ...] | None = ("-fopenmp",)
+    try:
+        faults.check("native.omp.probe")
+        _build_shared_object(_OMP_PROBE_SOURCE, cc, _CFLAGS + flags)
+    except NativeBuildError:
+        flags = None
+    _omp_flags_memo[cc] = flags
+    return flags
+
+
+def native_thread_count(config) -> int:
+    """Resolved OpenMP thread count for a native binding of *config*.
+
+    Knob precedence, highest first: an explicit
+    ``ExecutionConfig(native_threads=…)``; the ``REPRO_NATIVE_THREADS``
+    environment variable (read here, at bind time); the serial default
+    of 1.  Invalid or non-positive values resolve to 1 — a
+    misconfigured knob must not take the run down.  Disciplines that
+    already own the parallelism or need per-statement granularity
+    resolve to serial regardless: python-threaded plans
+    (``num_threads > 1``), the scatter discipline, and the divergence
+    watchdog (``check="nan"``).
+
+    >>> from repro.runtime import ExecutionConfig, native_thread_count
+    >>> native_thread_count(ExecutionConfig(backend="native", native_threads=4))
+    4
+    >>> native_thread_count(                # scatter owns its threading
+    ...     ExecutionConfig(num_threads=2, scatter=True, native_threads=4))
+    1
+    """
+    nt = config.native_threads
+    if nt is None:
+        raw = os.environ.get("REPRO_NATIVE_THREADS", "")
+        try:
+            nt = int(raw)
+        except ValueError:
+            nt = 1
+    if nt < 1:
+        nt = 1
+    if nt > 1 and (
+        config.num_threads > 1 or config.scatter or config.check == "nan"
+    ):
+        return 1
+    return nt
+
+
 # -- per-kernel native library ------------------------------------------------
 
 
@@ -436,9 +526,13 @@ class NativeLibrary:
     that kernel.
     """
 
-    def __init__(self, kernel, cdll: ctypes.CDLL, manifest, so_path: Path):
+    def __init__(
+        self, kernel, cdll: ctypes.CDLL, manifest, so_path: Path,
+        nthreads: int = 1,
+    ):
         self.kernel = kernel
         self.so_path = so_path
+        self.nthreads = nthreads
         self._fns: dict[tuple[int, int], ctypes._CFuncPtr] = {}
         self._region_index = {id(r): ri for ri, r in enumerate(kernel.regions)}
         for (ri, si), fname in manifest.items():
@@ -463,7 +557,7 @@ class NativeLibrary:
         return self._fns.get((ri, si))
 
 
-def library_for_kernel(kernel) -> NativeLibrary | None:
+def library_for_kernel(kernel, nthreads: int = 1) -> NativeLibrary | None:
     """The (memoised) native library for *kernel*, or None on fallback.
 
     Memoised on the kernel object together with the toolchain used, so a
@@ -471,36 +565,80 @@ def library_for_kernel(kernel) -> NativeLibrary | None:
     ``REPRO_CC``) revalidates instead of reusing a stale verdict.
     Returns None — warning once per process per reason — when no
     toolchain exists or the build fails.
+
+    ``nthreads > 1`` requests the OpenMP-threaded library variant
+    (memoised separately per ``(toolchain, nthreads)``).  The threaded
+    ladder degrades one rung at a time, bitwise-identically at each:
+    no OpenMP support or a failed threaded build falls back to the
+    *serial native* library (warning once), and only a missing
+    toolchain or failed serial build falls all the way to the python
+    path.
     """
     cc = native_toolchain()
-    memo = getattr(kernel, "_native", None)
-    if memo is not None and memo[0] == cc:
-        return memo[1]
-    lib: NativeLibrary | None = None
+    if nthreads <= 1:
+        memo = getattr(kernel, "_native", None)
+        if memo is not None and memo[0] == cc:
+            return memo[1]
+        lib: NativeLibrary | None = None
+        if cc is None:
+            _warn_once(
+                "no-toolchain",
+                "backend='native' requested but no C compiler was found "
+                "(checked REPRO_CC, cc, gcc, clang); falling back to the "
+                "python backend — results are identical, only slower",
+            )
+        else:
+            try:
+                source, manifest = generate_native_source(kernel)
+                cdll, so_path = _build_and_load(source, cc)
+                lib = NativeLibrary(kernel, cdll, manifest, so_path)
+            except (NativeBuildError, OSError) as exc:
+                # OSError covers a cache entry that stays unloadable even
+                # after _build_and_load's one-shot self-heal rebuild.
+                _warn_once(
+                    f"build-failed:{kernel.name}",
+                    f"native build of kernel {kernel.name!r} failed "
+                    f"(cache: {native_cache_dir()}); falling back to the "
+                    f"python backend — results are identical, only slower: "
+                    f"{exc}",
+                )
+                lib = None
+        kernel._native = (cc, lib)
+        return lib
     if cc is None:
+        # The serial path owns the no-toolchain warning and verdict.
+        return library_for_kernel(kernel, 1)
+    memo_mt = getattr(kernel, "_native_mt", None)
+    if memo_mt is None:
+        memo_mt = kernel._native_mt = {}
+    key = (cc, nthreads)
+    if key in memo_mt:
+        return memo_mt[key]
+    omp = _omp_cflags(cc)
+    if omp is None:
         _warn_once(
-            "no-toolchain",
-            "backend='native' requested but no C compiler was found "
-            "(checked REPRO_CC, cc, gcc, clang); falling back to the "
-            "python backend — results are identical, only slower",
+            f"no-openmp:{cc}",
+            f"native_threads={nthreads} requested but {cc} cannot build "
+            f"OpenMP code (the -fopenmp probe failed); falling back to "
+            f"the serial native path — results are identical",
         )
+        lib = library_for_kernel(kernel, 1)
     else:
         try:
-            source, manifest = generate_native_source(kernel)
-            cdll, so_path = _build_and_load(source, cc)
-            lib = NativeLibrary(kernel, cdll, manifest, so_path)
-        except (NativeBuildError, OSError) as exc:
-            # OSError covers a cache entry that stays unloadable even
-            # after _build_and_load's one-shot self-heal rebuild.
-            _warn_once(
-                f"build-failed:{kernel.name}",
-                f"native build of kernel {kernel.name!r} failed "
-                f"(cache: {native_cache_dir()}); falling back to the "
-                f"python backend — results are identical, only slower: "
-                f"{exc}",
+            source, manifest = generate_native_source(kernel, nthreads)
+            cdll, so_path = _build_and_load(source, cc, _CFLAGS + omp)
+            lib = NativeLibrary(
+                kernel, cdll, manifest, so_path, nthreads=nthreads
             )
-            lib = None
-    kernel._native = (cc, lib)
+        except (NativeBuildError, OSError) as exc:
+            _warn_once(
+                f"mt-build-failed:{kernel.name}",
+                f"threaded native build of kernel {kernel.name!r} failed "
+                f"(cache: {native_cache_dir()}); falling back to the "
+                f"serial native path — results are identical: {exc}",
+            )
+            lib = library_for_kernel(kernel, 1)
+    memo_mt[key] = lib
     return lib
 
 
@@ -606,8 +744,15 @@ class FusedStatement(NativeStatement):
         self.members = members
 
 
-def make_fused_statement(kernel, entries, arrays) -> FusedStatement | None:
+def make_fused_statement(
+    kernel, entries, arrays, nthreads: int = 1
+) -> FusedStatement | None:
     """Bind one fusion group natively, or None to fall back group-wise.
+
+    ``nthreads > 1`` requests an OpenMP-threaded nest; the generator
+    applies it only when the group's dependences allow partitioning the
+    outer axis (:func:`repro.core.fusion.parallel_safe_group`), and a
+    compiler without OpenMP support quietly builds the serial nest.
 
     *entries* is the entry tuple of a fused
     :class:`~repro.core.fusion.FusionGroup` (dependence-legal by
@@ -659,11 +804,18 @@ def make_fused_statement(kernel, entries, arrays) -> FusedStatement | None:
                 lo, hi = entry.box[axis]
                 if lo + off < 0 or hi + 1 + off > arr.shape[slot]:
                     return None
+    flags = _CFLAGS + _host_cflags(cc)
+    if nthreads > 1:
+        omp = _omp_cflags(cc)
+        if omp is None:
+            nthreads = 1
+        else:
+            flags += omp
     try:
         source, fn_name, ptr_order = generate_fused_source(
-            entries, involved, kernel.counters
+            entries, involved, kernel.counters, nthreads
         )
-        cdll, _ = _build_and_load(source, cc, _CFLAGS + _host_cflags(cc))
+        cdll, _ = _build_and_load(source, cc, flags)
     except (CodegenError, NativeBuildError, OSError) as exc:
         _warn_once(
             f"fused-build-failed:{kernel.name}",

@@ -115,6 +115,15 @@ class ExecutionConfig:
     every written array to its pre-call contents when a statement
     raises mid-run, so user arrays are never left half-updated.
 
+    ``native_threads`` sets how many OpenMP threads the native
+    backend's C loop nests use (``docs/threading.md``): ``None``
+    (default) defers to the ``REPRO_NATIVE_THREADS`` environment
+    variable at bind time, an explicit integer pins the count and wins
+    over the environment.  Results are bitwise identical to the serial
+    native path at every count; the knob is inert for the python
+    backend and resolves to serial for threaded/scatter/watchdog plans
+    (see :func:`repro.runtime.native.native_thread_count`).
+
     Invalid values raise :class:`ValueError` here; a ``tile_shape``
     whose rank does not cover the kernel's dimensionality raises
     :class:`~repro.runtime.compiler.KernelError` at plan build, where
@@ -141,10 +150,13 @@ class ExecutionConfig:
     fusion: str = "auto"
     check: str = "none"
     transactional: bool = False
+    native_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ValueError("num_threads must be >= 1")
+        if self.native_threads is not None and self.native_threads < 1:
+            raise ValueError("native_threads must be >= 1 (or None)")
         if self.backend not in ("python", "native"):
             raise ValueError(
                 f"backend must be 'python' or 'native', got {self.backend!r}"

@@ -173,6 +173,95 @@ def _scenario_cache_load() -> str:
     return _native_scenario("native.cache.load", expect_native=True)
 
 
+def _scenario_omp_probe() -> str:
+    from ..runtime import native as _native
+    from ..runtime import native_available
+
+    if not native_available():
+        return _native_scenario("native.toolchain", expect_native=False)
+    # A compiler without OpenMP: the threaded request degrades one rung,
+    # to the *serial native* library, and stays bitwise-identical.
+    kernel, base = _fresh_case()
+    ref = {k: v.copy() for k, v in base.items()}
+    kernel(ref)
+    got = {k: v.copy() for k, v in base.items()}
+    _native._reset_warnings()
+    _native._omp_flags_memo.clear()
+    try:
+        with tempfile.TemporaryDirectory() as tmp, _env("REPRO_CACHE_DIR", tmp):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with faults.inject("native.omp.probe") as inj:
+                    plan = kernel.plan(backend="native", native_threads=2)
+                    try:
+                        plan.bind(got).run()
+                    finally:
+                        plan.close()
+                    fired = inj.fired("native.omp.probe")
+    finally:
+        # The poisoned probe verdict is memoised per compiler; clear it
+        # so later (non-chaos) threaded builds re-probe honestly.
+        _native._omp_flags_memo.clear()
+    if fired == 0:
+        raise AssertionError("native.omp.probe was armed but never fired")
+    bad = _mismatches(ref, got)
+    if bad:
+        raise AssertionError(f"degraded run diverged from reference on {bad}")
+    lib = _native.library_for_kernel(kernel, 2)
+    if lib is None or lib.nthreads != 1:
+        raise AssertionError(
+            "expected the serial native library as the degraded verdict"
+        )
+    return "fired 1x; serial native fallback; bitwise-identical"
+
+
+def _scenario_scatter_merge() -> str:
+    from ..apps import heat_problem
+    from ..baselines.scatter import tapenade_style_adjoint
+    from ..errors import KernelError as _KernelError
+    from ..runtime import compile_nests
+
+    prob = heat_problem(1)
+    n = 24
+    nest = tapenade_style_adjoint(prob.primal, prob.adjoint_map)
+    kernel = compile_nests(
+        [nest], prob.bindings(n), name="chaos_scatter", cache=False
+    )
+    rng = np.random.default_rng(0)
+    base = prob.allocate(n, rng=rng)
+    base.update(prob.allocate_adjoints(n, rng=rng))
+    ref = {k: v.copy() for k, v in base.items()}
+    plan_ref = kernel.plan(scatter=True, num_threads=2, transactional=True)
+    try:
+        plan_ref.bind(ref).run()
+        got = {k: v.copy() for k, v in base.items()}
+        snap = {k: v.copy() for k, v in got.items()}
+        bound = plan_ref.bind(got)
+        with faults.inject("scatter.merge") as inj:
+            try:
+                bound.run()
+                raise AssertionError("injected merge fault did not propagate")
+            except _KernelError:
+                pass
+            if inj.fired("scatter.merge") != 1:
+                raise AssertionError("merge fault never fired")
+        bad = _mismatches(snap, got)
+        if bad:
+            raise AssertionError(
+                f"transactional restore missed {bad} after the merge fault"
+            )
+        bound.run()
+        bad = _mismatches(ref, got)
+        if bad:
+            raise AssertionError(f"post-restore rerun diverged on {bad}")
+    finally:
+        plan_ref.close()
+    return (
+        "typed KernelError mid-merge; arrays restored; "
+        "clean rerun bitwise-identical"
+    )
+
+
 def _scenario_scheduler_task() -> str:
     from ..runtime.scheduler import WorkStealingScheduler
 
@@ -292,6 +381,8 @@ _SCENARIOS = {
     "native.cc.timeout": _scenario_cc_timeout,
     "native.cache.write": _scenario_cache_write,
     "native.cache.load": _scenario_cache_load,
+    "native.omp.probe": _scenario_omp_probe,
+    "scatter.merge": _scenario_scatter_merge,
     "scheduler.task": _scenario_scheduler_task,
     "checkpoint.snapshot": _scenario_checkpoint_snapshot,
     "ensemble.bind": _scenario_ensemble_bind,

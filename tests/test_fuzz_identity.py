@@ -181,6 +181,23 @@ def _mismatch(nest: LoopNest, dtype: np.dtype) -> str | None:
         if fail:
             return fail
 
+        # Threaded native: bitwise at every thread count, by construction
+        # (injective writes partition race-free).  Thread count goes in
+        # the label so a shrunk reproducer pins the failing width.
+        for nthreads in (2, 4):
+            mt_arrays = {k: v.copy() for k, v in base.items()}
+            mtplan = kernel.plan(backend="native", native_threads=nthreads)
+            mtbound = mtplan.bind(mt_arrays)
+            for _ in range(RUNS):
+                mtbound.run()
+            fail = check(
+                f"threaded native backend (native_threads={nthreads}, "
+                f"effective {mtbound.native_threads})",
+                mt_arrays,
+            )
+            if fail:
+                return fail
+
     batched = stack_arrays([{k: v.copy() for k, v in base.items()}])
     ensemble = EnsemblePlan(plan, batched)
     for _ in range(RUNS):
