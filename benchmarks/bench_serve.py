@@ -1,0 +1,297 @@
+"""Serving benchmark and CI perf gate for the kernel daemon.
+
+Drives a live :class:`repro.runtime.KernelServer` with threaded client
+traffic over three distinct kernels, measures end-to-end request
+throughput and latency percentiles, verifies every response bitwise
+against a fresh single-process bound run, and writes
+``BENCH_serve.json``.
+
+``--baseline benchmarks/baseline_serve.json`` turns the run into the
+serving CI perf gate: the gated quantity is the served microseconds per
+request, machine-corrected (exactly like the other gates — see
+:func:`repro.cli._corrected_slowdown`) via the *direct* per-request
+time of the same workload run through warm bound plans in this same
+process.  A slow CI box slows both numbers; only a regression in the
+serving path itself moves the corrected ratio.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+        --baseline benchmarks/baseline_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import _corrected_slowdown, _load_baseline  # noqa: E402
+from repro.frontend import parse_stencil  # noqa: E402
+from repro.runtime import Bindings, compile_nests  # noqa: E402
+from repro.runtime.client import KernelClient  # noqa: E402
+from repro.runtime.server import KernelServer, seeded_state  # noqa: E402
+
+SPECS = [
+    (
+        "stencil smooth {\n"
+        "  iterate i = 1 .. n-2\n"
+        "  u[i] += c*(v[i-1] - 2.0*v[i] + v[i+1])\n"
+        "}\n",
+        {"c": 0.25},
+    ),
+    (
+        "stencil blend {\n"
+        "  iterate i = 1 .. n-2\n"
+        "  w[i] = a*r[i-1] + b*r[i+1]\n"
+        "}\n",
+        {"a": 0.5, "b": 0.125},
+    ),
+    (
+        "stencil drift {\n"
+        "  iterate i = 2 .. n-3\n"
+        "  u[i] += c*(v[i-2] - v[i+2])\n"
+        "}\n",
+        {"c": 0.0625},
+    ),
+]
+
+
+def build_cases(args):
+    """One (spec, params, sizes, seed, steps, state) tuple per request."""
+    sizes = {"n": args.n}
+    cases = []
+    for r in range(args.requests):
+        spec, params = SPECS[r % len(SPECS)]
+        nest = parse_stencil(spec)
+        seed = r % 4  # few distinct states -> same-kernel batching chances
+        state = seeded_state(
+            nest, Bindings(sizes=sizes, params=params), seed=seed
+        )
+        cases.append((spec, params, sizes, seed, args.steps, state))
+    return cases
+
+
+def references(cases):
+    """Fresh single-process bound runs: the bitwise oracles."""
+    out = []
+    for spec, params, sizes, _seed, steps, state in cases:
+        nest = parse_stencil(spec)
+        kernel = compile_nests(
+            [nest], Bindings(sizes=sizes, params=params), name=nest.name
+        )
+        arrays = {k: v.copy() for k, v in state.items()}
+        bound = kernel.plan().bind(arrays)
+        for _ in range(steps):
+            bound.run()
+        out.append(arrays)
+    return out
+
+
+def time_direct(cases):
+    """Warm bound-plan time per request — the in-run machine reference.
+
+    Mirrors the server's warm path for a single process: one bound plan
+    per kernel, state copied in, ``steps`` runs, state copied out.
+    """
+    warm = {}
+    for spec, params, sizes, _seed, _steps, state in cases:
+        if spec in warm:
+            continue
+        nest = parse_stencil(spec)
+        kernel = compile_nests(
+            [nest], Bindings(sizes=sizes, params=params), name=nest.name
+        )
+        buffers = {k: np.zeros_like(v) for k, v in state.items()}
+        warm[spec] = (kernel.plan().bind(buffers), buffers)
+    t0 = time.perf_counter()
+    for spec, _params, _sizes, _seed, steps, state in cases:
+        bound, buffers = warm[spec]
+        for name, arr in state.items():
+            np.copyto(buffers[name], arr)
+        for _ in range(steps):
+            bound.run()
+        out = {k: v.copy() for k, v in buffers.items()}
+    elapsed = time.perf_counter() - t0
+    del out
+    return elapsed * 1e6 / len(cases)
+
+
+def run_traffic(args, cases, refs):
+    """Threaded client traffic against a live daemon; returns the record
+    fragment (timings, latencies, batching counters, bitwise verdict)."""
+    latencies = [0.0] * len(cases)
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        server = KernelServer(
+            os.path.join(tmp, "bench.sock"),
+            workers=args.workers,
+            max_batch=args.max_batch,
+            batch_window_ms=args.batch_window_ms,
+        )
+        server.start()
+        try:
+            def worker(indices):
+                with KernelClient(server.socket_path) as client:
+                    for idx in indices:
+                        spec, params, sizes, _seed, steps, state = cases[idx]
+                        t0 = time.perf_counter()
+                        result = client.run(
+                            spec, sizes=sizes, params=params,
+                            state=state, steps=steps,
+                        )
+                        latencies[idx] = time.perf_counter() - t0
+                        for name, ref in refs[idx].items():
+                            if ref.tobytes() != result.state[name].tobytes():
+                                failures.append(
+                                    f"request {idx} diverged on {name!r}"
+                                )
+
+            shards = [
+                list(range(t, len(cases), args.threads))
+                for t in range(args.threads)
+            ]
+            t0 = time.perf_counter()
+            threads = [
+                threading.Thread(target=worker, args=(shard,))
+                for shard in shards if shard
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+            stats = server.stats()
+        finally:
+            server.close()
+    lat_ms = sorted(t * 1e3 for t in latencies)
+
+    def pct(p):
+        return lat_ms[min(len(lat_ms) - 1, int(p * len(lat_ms)))]
+
+    return {
+        "served_us_per_request": round(wall * 1e6 / len(cases), 3),
+        "requests_per_second": round(len(cases) / wall, 3),
+        "p50_ms": round(pct(0.50), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "batched_runs": stats["batched_runs"],
+        "batched_requests": stats["batched_requests"],
+        "single_runs": stats["single_runs"],
+        "batch_fallbacks": stats["batch_fallbacks"],
+        "bitwise_identical": not failures,
+        "failures": failures[:8],
+    }
+
+
+def check_serve_baseline(record, baseline_path, max_slowdown):
+    """The serving CI perf gate, mirroring the other gates' semantics."""
+    print(
+        f"serve baseline gate vs {baseline_path} "
+        f"(max slowdown {max_slowdown}x):"
+    )
+    baseline = _load_baseline(
+        record, baseline_path,
+        ("benchmark", "requests", "threads", "workers", "max_batch",
+         "n", "steps", "backend"),
+        "serve baseline gate",
+    )
+    if baseline is None:
+        return False
+    if not record["bitwise_identical"]:
+        print("  FAIL: lost bitwise identity")
+        print("  serve baseline gate: FAIL")
+        return False
+    raw, machine, slowdown = _corrected_slowdown(
+        record["served_us_per_request"],
+        baseline["served_us_per_request"],
+        record["direct_us_per_request"],
+        baseline["direct_us_per_request"],
+    )
+    ok = slowdown <= max_slowdown
+    print(
+        f"  served {record['served_us_per_request']:.1f} us/request "
+        f"vs baseline {baseline['served_us_per_request']:.1f} "
+        f"({raw:.2f}x raw, {machine:.2f}x machine factor, "
+        f"{slowdown:.2f}x corrected)"
+    )
+    print("  serve baseline gate: " + ("PASS" if ok else "FAIL"))
+    return ok
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=96)
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--max-batch", type=int, default=8)
+    ap.add_argument("--batch-window-ms", type=float, default=2.0)
+    ap.add_argument("--n", type=int, default=4096)
+    ap.add_argument("--steps", type=int, default=2)
+    ap.add_argument("--backend", choices=["python"], default="python")
+    ap.add_argument("--output", default="BENCH_serve.json")
+    ap.add_argument("--baseline", default=None, metavar="PATH")
+    ap.add_argument("--max-slowdown", type=float, default=2.0)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload (CI smoke / perf gate)",
+    )
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.requests = min(args.requests, 36)
+        args.n = min(args.n, 2048)
+
+    cases = build_cases(args)
+    refs = references(cases)
+    direct_us = time_direct(cases)
+    traffic = run_traffic(args, cases, refs)
+
+    record = {
+        "benchmark": "kernel_serving",
+        "requests": args.requests,
+        "threads": args.threads,
+        "workers": args.workers,
+        "max_batch": args.max_batch,
+        "batch_window_ms": args.batch_window_ms,
+        "n": args.n,
+        "steps": args.steps,
+        "backend": args.backend,
+        "kernels": len(SPECS),
+        "direct_us_per_request": round(direct_us, 3),
+        "unix_time": round(time.time(), 1),
+        **traffic,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {args.output} ({args.requests} requests, "
+        f"{args.threads} client threads, n={args.n}, "
+        f"workers={args.workers}, max_batch={args.max_batch})"
+    )
+    print(
+        f"  served   {record['served_us_per_request']:8.1f} us/request  "
+        f"({record['requests_per_second']:.0f} req/s, "
+        f"p50 {record['p50_ms']:.1f} ms, p99 {record['p99_ms']:.1f} ms)\n"
+        f"  direct   {record['direct_us_per_request']:8.1f} us/request  "
+        f"(warm bound plans, same process)\n"
+        f"  batching {record['batched_runs']} batched run(s) covering "
+        f"{record['batched_requests']} request(s), "
+        f"{record['single_runs']} single run(s)  "
+        f"bitwise={'ok' if record['bitwise_identical'] else 'MISMATCH'}"
+    )
+    ok = record["bitwise_identical"]
+    if args.baseline is not None:
+        ok = check_serve_baseline(record, args.baseline, args.max_slowdown) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

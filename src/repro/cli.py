@@ -41,6 +41,15 @@ Commands
     ratio and the recompute count, and write ``BENCH_checkpoint.json``.
     ``--baseline benchmarks/baseline_checkpoint.json`` is the
     checkpoint CI perf gate (machine-corrected like ``bench``/``sweep``).
+``serve``
+    Run the kernel-as-a-service daemon (``docs/serving.md``): a
+    persistent process listening on a Unix-domain socket that parses
+    stencil specs once, keeps bound plans warm, and coalesces
+    concurrent same-kernel requests into single batched ensemble runs.
+``request``
+    Send one run request to a ``serve`` daemon: parse a stencil file,
+    allocate a seeded state, execute it remotely and print the result
+    norms plus the batching evidence from the response.
 """
 
 from __future__ import annotations
@@ -406,6 +415,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest tolerated machine-corrected checkpointed_us_per_sweep "
         "ratio vs the baseline (default: 1.5)",
     )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the compile-and-serve daemon (see docs/serving.md)",
+    )
+    srv.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix-domain socket path to listen on (created fresh; "
+        "removed again on shutdown)",
+    )
+    srv.add_argument(
+        "--workers", type=_thread_count, default=2,
+        help="executor threads running batched/single kernel dispatches "
+        "(default: 2)",
+    )
+    srv.add_argument(
+        "--max-batch", type=_thread_count, default=8,
+        help="most same-kernel requests coalesced into one batched "
+        "ensemble run (default: 8; 1 disables batching)",
+    )
+    srv.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long the first request of a batch waits for company "
+        "before dispatch (default: 2.0; <= 0 dispatches immediately)",
+    )
+
+    req = sub.add_parser(
+        "request",
+        help="send one run request to a serve daemon and print the result",
+    )
+    req.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's Unix-domain socket",
+    )
+    req.add_argument(
+        "--file", required=True,
+        help="stencil source file (front-end language) to run remotely",
+    )
+    req.add_argument(
+        "--size", action="append", default=[], metavar="NAME=INT",
+        help="bind a size symbol (repeatable)",
+    )
+    req.add_argument(
+        "--param", action="append", default=[], metavar="NAME=FLOAT",
+        help="bind a scalar parameter (repeatable)",
+    )
+    req.add_argument("--steps", type=int, default=1,
+                     help="kernel applications per request (default: 1)")
+    req.add_argument("--seed", type=int, default=0,
+                     help="seed for the generated initial state (default: 0)")
+    req.add_argument(
+        "--dtype", choices=["f64", "f32"], default="f64",
+        help="state dtype (default: f64)",
+    )
+    req.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="server-side execution backend (default: python)",
+    )
     return parser
 
 
@@ -419,8 +486,12 @@ def _cmd_generate(args) -> int:
         from .frontend import parse_stencil
         from .core.symbols import make_adjoint_function
 
-        with open(args.file) as fh:
-            nest = parse_stencil(fh.read())
+        try:
+            with open(args.file) as fh:
+                nest = parse_stencil(fh.read())
+        except OSError as exc:
+            print(f"cannot read spec file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         name = nest.name or "stencil"
         funcs = {}
         import sympy as sp
@@ -1077,6 +1148,103 @@ def _check_checkpoint_baseline(record, baseline_path: str, max_slowdown: float) 
     return ok
 
 
+def _pairs(items, label: str, cast):
+    """Parse repeated NAME=VALUE options into a dict (ValidationError on junk)."""
+    out = {}
+    for item in items:
+        name, sep, rest = item.partition("=")
+        if not sep or not name:
+            raise ValidationError(
+                f"invalid {label} {item!r}; expected NAME=VALUE"
+            )
+        try:
+            out[name] = cast(rest)
+        except ValueError:
+            raise ValidationError(
+                f"invalid {label} value in {item!r}"
+            ) from None
+    return out
+
+
+def _cmd_serve(args) -> int:
+    """Run the kernel daemon until interrupted or remotely shut down."""
+    from .runtime import KernelServer
+
+    server = KernelServer(
+        args.socket,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+    )
+    server.start()
+    print(
+        f"kernel server listening on {args.socket} "
+        f"(workers={args.workers}, max_batch={args.max_batch}, "
+        f"batch_window={args.batch_window_ms}ms); Ctrl-C or a shutdown "
+        f"request stops it"
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.close()
+    stats = server.stats()
+    print(
+        f"served {stats['requests']} request(s): {stats['ok']} ok, "
+        f"{stats['errors']} error(s), {stats['batched_runs']} batched "
+        f"run(s) covering {stats['batched_requests']} request(s), "
+        f"{stats['single_runs']} single run(s)"
+    )
+    return 0
+
+
+def _cmd_request(args) -> int:
+    """One remote run: parse locally, seed a state, print the evidence."""
+    import numpy as np
+
+    from .frontend import parse_stencil
+    from .runtime import Bindings, KernelClient, seeded_state
+
+    if args.steps < 1:
+        print("request needs at least one step", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        with open(args.file) as fh:
+            spec = fh.read()
+    except OSError as exc:
+        print(f"cannot read spec file: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    sizes = _pairs(args.size, "size", int)
+    params = _pairs(args.param, "parameter", float)
+    nest = parse_stencil(spec)
+    dtype = np.float64 if args.dtype == "f64" else np.float32
+    bindings = Bindings(sizes=sizes, params=params, dtype=dtype)
+    state = seeded_state(nest, bindings, seed=args.seed)
+    with KernelClient(args.socket) as client:
+        result = client.run(
+            spec,
+            state=state,
+            sizes=sizes,
+            params=params,
+            dtype=args.dtype,
+            steps=args.steps,
+            backend=args.backend,
+        )
+    print(
+        f"kernel {result.kernel_id[:12]} steps={result.steps} "
+        f"batched={'yes' if result.batched else 'no'} "
+        f"batch_size={result.batch_size}"
+    )
+    for name in sorted(result.state):
+        arr = result.state[name]
+        print(
+            f"  {name:8s} shape={tuple(arr.shape)} "
+            f"norm={float(np.linalg.norm(arr)):.12g}"
+        )
+    return 0
+
+
 def _cmd_loop_counts(args) -> int:
     print(f"{'problem':12s}{'adjoint loop nests':>20s}")
     for name, factory in sorted(_PROBLEMS.items()):
@@ -1103,6 +1271,10 @@ def _dispatch(args) -> int:
         return _cmd_sweep(args)
     if args.command == "adjoint":
         return _cmd_adjoint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

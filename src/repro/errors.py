@@ -39,6 +39,7 @@ __all__ = [
     "CheckpointError",
     "EnsembleBindError",
     "SchedulerError",
+    "ServeError",
 ]
 
 
@@ -126,4 +127,16 @@ class SchedulerError(KernelError):
     task's exception directly (typed errors pass through unchanged) —
     but gives cancellation bookkeeping a typed home when the failure
     itself is untyped.
+    """
+
+
+class ServeError(ReproError, RuntimeError):
+    """The kernel service could not serve a request.
+
+    Raised by :mod:`repro.runtime.server` / ``.client`` for transport
+    and service failures that are not spec-validation problems: framing
+    violations, shared-memory segments that cannot be attached, dropped
+    connections, request timeouts.  Scoped to the single request that
+    failed — batchmates sharing a coalesced ensemble run are never
+    poisoned, and the client's arrays are never written on failure.
     """

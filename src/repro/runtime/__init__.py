@@ -8,6 +8,7 @@ from ..errors import (
     NumericalDivergenceError,
     ReproError,
     SchedulerError,
+    ServeError,
     ValidationError,
 )
 from .bindings import Bindings
@@ -39,6 +40,8 @@ from .interpreter import interpret_nests
 from .parallel import ParallelExecutor
 from .plan import ExecutionConfig, ExecutionPlan, validate_scatter_kernel
 from .profiler import KernelProfile, RegionProfile, profile_kernel
+from .server import KernelServer, seeded_state, state_shapes
+from .client import KernelClient, ServeResult
 from .scheduler import (
     WorkStealingScheduler,
     choose_split_axis,
@@ -57,6 +60,7 @@ __all__ = [
     "NumericalDivergenceError",
     "ReproError",
     "SchedulerError",
+    "ServeError",
     "ValidationError",
     "faults",
     "CompiledKernel",
@@ -65,6 +69,9 @@ __all__ = [
     "ExecutionConfig",
     "ExecutionPlan",
     "KernelCache",
+    "KernelClient",
+    "KernelServer",
+    "ServeResult",
     "WorkStealingScheduler",
     "batch_safe_statement",
     "stack_arrays",
@@ -92,6 +99,8 @@ __all__ = [
     "run_tiled",
     "safe_split_axis",
     "safe_to_tile",
+    "seeded_state",
+    "state_shapes",
     "split_box",
     "tile_box",
     "validate_scatter_kernel",

@@ -174,6 +174,24 @@ _register(
     "typed-error",
     _default("scatter.merge", RuntimeError),
 )
+_register(
+    "server.accept",
+    "the daemon drops a freshly accepted connection (transient OSError)",
+    "fallback",
+    _default("server.accept", ConnectionResetError),
+)
+_register(
+    "server.batch.bind",
+    "binding a coalesced request batch to one ensemble fails",
+    "fallback",
+    _default("server.batch.bind", MemoryError),
+)
+_register(
+    "server.shm.attach",
+    "attaching a client's shared-memory state segment fails",
+    "typed-error",
+    _default("server.shm.attach", FileNotFoundError),
+)
 
 
 def registered_fault_points() -> tuple[FaultPoint, ...]:

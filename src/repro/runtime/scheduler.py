@@ -126,7 +126,14 @@ class WorkStealingScheduler:
         Owners take from the front of their own deque (cache-friendly
         seeding order); thieves take from the *back* of the fullest
         victim, the classic split that keeps owner and thief off the
-        same end.  Caller must hold the lock.
+        same end.
+
+        Caller MUST hold the lock (both call sites do): the victim
+        length snapshot below is only consistent under it — two thieves
+        scanning concurrently could both pick the same near-empty
+        victim and race a double-pop, and the cancellation bookkeeping
+        (``_cancelled``/``_pending``) must move atomically with the
+        deque drain.
         """
         if self._failure is not None:
             # First failure already recorded: cancel everything not yet
@@ -145,7 +152,10 @@ class WorkStealingScheduler:
         own = self._queues[worker]
         if own:
             return own.popleft()
-        victim = max(self._queues, key=len)
+        # Explicit length snapshot, taken while the lock is held, so the
+        # fullest-victim choice and the pop see the same queue state.
+        lengths = [len(q) for q in self._queues]
+        victim = self._queues[max(range(len(lengths)), key=lengths.__getitem__)]
         if victim:
             return victim.pop()
         return None

@@ -1,0 +1,984 @@
+"""Kernel-as-a-service: a compile-and-serve daemon with dynamic batching.
+
+Every subsystem the "millions of users" north star needs exists in
+isolation — the warm :class:`~repro.runtime.cache.KernelCache`, the
+content-addressed native ``.so`` cache, member-axis
+:class:`~repro.runtime.ensemble.EnsemblePlan` batching — but a fresh
+process pays cold-start compilation and every request runs alone.
+:class:`KernelServer` is the inference-server move: one long-lived
+process owns the warm caches and accepts requests over a Unix-domain
+socket, and a batching queue coalesces concurrent requests for the
+*same kernel* into one ensemble run over the member axis.
+
+Protocol
+--------
+
+Length-prefixed JSON frames in both directions: a 4-byte big-endian
+payload length followed by that many bytes of UTF-8 JSON (one object
+per frame, at most ``MAX_FRAME_BYTES``).  Requests carry an ``op``:
+``run``, ``compile``, ``ping``, ``stats`` or ``shutdown``.  A ``run``
+request names its kernel either by inline ``spec`` source (parsed with
+:func:`~repro.frontend.parser.parse_stencil` under
+:class:`~repro.core.validate.SpecLimits` — this is an untrusted input
+path) plus ``sizes``/``params``/``dtype``, or by the content-addressed
+``kernel_id`` a previous response returned.  State arrays travel either
+inline (base64 of the raw bytes, bitwise-exact) or zero-copy as named
+``multiprocessing.shared_memory`` segments the server attaches and
+writes results back into.  ``docs/serving.md`` specifies the frame and
+message formats in full.
+
+Batching semantics
+------------------
+
+Requests are grouped by ``(kernel_id, backend, steps, state
+signature)``.  A group flushes when it reaches ``max_batch`` members or
+its oldest request has waited ``batch_window_ms``; a flushed group of
+two or more becomes **one** :class:`EnsemblePlan` run over stacked
+member state (bitwise identical to per-member bound runs by
+construction), a group of one runs through a warm per-kernel
+:class:`~repro.runtime.bound.BoundPlan` kept keyed by state signature.
+``batch_window_ms=0`` disables coalescing entirely.
+
+Failure contract (PR 7): typed errors map onto the existing exit-code
+scheme, a failed member never poisons its batchmates (a batch whose
+bind fails falls back to per-request single runs), and every response
+reports per-request status.  Fault points ``server.accept``,
+``server.batch.bind`` and ``server.shm.attach`` make the contract
+testable (see :mod:`repro.runtime.faults` and the chaos suite).
+
+>>> import numpy as np, os, tempfile
+>>> from repro.runtime.server import KernelServer
+>>> from repro.runtime.client import KernelClient
+>>> spec = '''
+... stencil smooth {
+...   iterate i = 1 .. n-2
+...   u[i] += c*(v[i-1] - 2.0*v[i] + v[i+1])
+... }
+... '''
+>>> path = os.path.join(tempfile.mkdtemp(), "serve.sock")
+>>> server = KernelServer(path, workers=1, batch_window_ms=0.0)
+>>> server.start()
+>>> state = {"u": np.zeros(8), "v": np.ones(8)}
+>>> with KernelClient(path) as client:
+...     result = client.run(spec, sizes={"n": 8}, params={"c": 0.25},
+...                         state=state)
+>>> result.batch_size
+1
+>>> result.state["u"]    # second difference of a constant field: zero
+array([0., 0., 0., 0., 0., 0., 0., 0.])
+>>> state["u"]           # the client's arrays are never written in place
+array([0., 0., 0., 0., 0., 0., 0., 0.])
+>>> server.stats()["single_runs"]
+1
+>>> server.close()
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import queue
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+import sympy as sp
+
+from ..core.validate import DEFAULT_SPEC_LIMITS, SpecLimits
+from ..errors import ReproError, ServeError, ValidationError
+from ..frontend.parser import parse_stencil
+from . import faults
+from .bindings import Bindings
+from .cache import kernel_key
+from .compiler import compile_nests
+from .ensemble import EnsemblePlan, stack_arrays
+
+__all__ = [
+    "KernelServer",
+    "MAX_FRAME_BYTES",
+    "encode_array",
+    "recv_frame",
+    "send_frame",
+    "seeded_state",
+    "state_shapes",
+]
+
+#: Hard cap on one protocol frame; oversize frames are a typed error,
+#: never an allocation the peer controls.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+_DTYPES = {"f64": np.float64, "f32": np.float32}
+
+_STOP = object()
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ServeError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one length-prefixed JSON frame; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ServeError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError("frame must decode to a JSON object")
+    return message
+
+
+def send_frame(sock: socket.socket, message: Mapping) -> None:
+    """Serialise *message* and write it as one length-prefixed frame."""
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+# -- array codec --------------------------------------------------------------
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """Inline wire form of *arr*: raw bytes, base64 — bitwise exact.
+
+    >>> import numpy as np
+    >>> meta = encode_array(np.array([1.5, -2.25]))
+    >>> sorted(meta)
+    ['data', 'dtype', 'shape']
+    """
+    arr = np.ascontiguousarray(arr)
+    return {
+        "shape": list(arr.shape),
+        "dtype": arr.dtype.str,
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _array_meta(meta, name: str) -> tuple[tuple[int, ...], np.dtype, int]:
+    """Validate one request array's shape/dtype metadata."""
+    if not isinstance(meta, dict):
+        raise ValidationError(f"state entry {name!r} must be an object")
+    try:
+        shape = tuple(int(s) for s in meta["shape"])
+        dtype = np.dtype(str(meta["dtype"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"state entry {name!r} has invalid shape/dtype: {exc}"
+        ) from exc
+    if any(s < 0 for s in shape):
+        raise ValidationError(f"state entry {name!r} has a negative extent")
+    if dtype.kind not in "fiu":
+        raise ValidationError(
+            f"state entry {name!r} has unsupported dtype {dtype.str!r}"
+        )
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if nbytes > MAX_FRAME_BYTES:
+        raise ValidationError(
+            f"state entry {name!r} is {nbytes} bytes, over the cap"
+        )
+    return shape, dtype, nbytes
+
+
+def _decode_inline(meta, name: str) -> np.ndarray:
+    shape, dtype, nbytes = _array_meta(meta, name)
+    try:
+        raw = base64.b64decode(meta["data"], validate=True)
+    except Exception as exc:
+        raise ValidationError(
+            f"state entry {name!r} carries undecodable data: {exc}"
+        ) from exc
+    if len(raw) != nbytes:
+        raise ValidationError(
+            f"state entry {name!r}: got {len(raw)} bytes, expected {nbytes}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+# -- state-shape inference ----------------------------------------------------
+
+
+def state_shapes(nest, bindings: Bindings) -> dict[str, tuple[int, ...]]:
+    """Smallest array shapes covering every access of *nest*.
+
+    Walks each array access under the concrete loop bounds of
+    *bindings* and returns, per array, the per-axis extent reached by
+    the most-shifted access — what a client must allocate to serve the
+    kernel.  Raises :class:`ValidationError` when an access reaches a
+    negative index or an index does not reduce to ``counter + const``.
+
+    >>> from repro.frontend import parse_stencil
+    >>> from repro.runtime import Bindings
+    >>> nest = parse_stencil(
+    ...     "stencil s { iterate i = 1 .. n-2  u[i] += v[i+1] }")
+    >>> state_shapes(nest, Bindings(sizes={"n": 8}))
+    {'u': (7,), 'v': (8,)}
+    """
+    concrete = {
+        c: (bindings.int_bound(nest.bounds[c][0]),
+            bindings.int_bound(nest.bounds[c][1]))
+        for c in nest.counters
+    }
+    shapes: dict[str, list[int]] = {}
+
+    def visit(acc) -> None:
+        name = acc.func.__name__
+        dims = shapes.setdefault(name, [0] * len(acc.args))
+        if len(dims) != len(acc.args):
+            raise ValidationError(
+                f"array {name!r} is accessed with inconsistent rank"
+            )
+        for axis, arg in enumerate(acc.args):
+            arg = sp.sympify(arg)
+            used = [c for c in nest.counters if c in arg.free_symbols]
+            if len(used) > 1:
+                raise ValidationError(
+                    f"access {acc} mixes loop counters in one subscript"
+                )
+            if used:
+                off = bindings.substitute(arg - used[0])
+                if not off.is_Integer:
+                    raise ValidationError(
+                        f"access {acc} is not counter + constant on axis {axis}"
+                    )
+                lo = concrete[used[0]][0] + int(off)
+                hi = concrete[used[0]][1] + int(off)
+            else:
+                val = bindings.substitute(arg)
+                if not val.is_Integer:
+                    raise ValidationError(
+                        f"access {acc} has a non-constant subscript"
+                    )
+                lo = hi = int(val)
+            if lo < 0:
+                raise ValidationError(
+                    f"access {acc} reaches negative index {lo} on axis {axis}"
+                )
+            dims[axis] = max(dims[axis], hi + 1)
+
+    for st in nest.statements:
+        visit(st.lhs)
+        for acc in st.read_accesses():
+            visit(acc)
+    return {name: tuple(dims) for name, dims in sorted(shapes.items())}
+
+
+def seeded_state(nest, bindings: Bindings, seed: int = 0) -> dict[str, np.ndarray]:
+    """Deterministic random state covering *nest* (for CLI and benches)."""
+    rng = np.random.default_rng(seed)
+    dtype = np.dtype(bindings.dtype)
+    return {
+        name: rng.standard_normal(shape).astype(dtype)
+        for name, shape in state_shapes(nest, bindings).items()
+    }
+
+
+def _state_signature(arrays: Mapping[str, np.ndarray]) -> tuple:
+    return tuple(
+        (name, arrays[name].shape, arrays[name].dtype.str)
+        for name in sorted(arrays)
+    )
+
+
+# -- served kernels -----------------------------------------------------------
+
+
+class _WarmBound:
+    """One warm binding: persistent arrays + the BoundPlan over them."""
+
+    __slots__ = ("lock", "arrays", "bound")
+
+    def __init__(self, plan, arrays: Mapping[str, np.ndarray]) -> None:
+        self.lock = threading.Lock()
+        self.arrays = {k: np.zeros_like(v) for k, v in arrays.items()}
+        self.bound = plan.bind(self.arrays)
+
+    def run(self, request_arrays: Mapping[str, np.ndarray], steps: int) -> None:
+        with self.lock:
+            for name, arr in request_arrays.items():
+                np.copyto(self.arrays[name], arr)
+            for _ in range(steps):
+                self.bound.run()
+            for name, arr in request_arrays.items():
+                np.copyto(arr, self.arrays[name])
+
+
+class _ServedKernel:
+    """A registered kernel: nest + bindings, compiled lazily, kept warm."""
+
+    def __init__(self, kernel_id: str, nest, bindings: Bindings) -> None:
+        self.kernel_id = kernel_id
+        self.nest = nest
+        self.bindings = bindings
+        self.required = set(nest.written_arrays()) | set(nest.read_arrays())
+        self._lock = threading.Lock()
+        self._kernel = None
+        self._warm: dict[tuple, _WarmBound] = {}
+
+    def kernel(self):
+        with self._lock:
+            if self._kernel is None:
+                self._kernel = compile_nests(
+                    [self.nest], self.bindings,
+                    name=self.nest.name or "served",
+                )
+            return self._kernel
+
+    def plan(self, backend: str):
+        return self.kernel().plan(backend=backend)
+
+    def warm_bound(self, backend: str, arrays: Mapping[str, np.ndarray]):
+        key = (backend, _state_signature(arrays))
+        with self._lock:
+            warm = self._warm.get(key)
+        if warm is not None:
+            return warm
+        plan = self.plan(backend)  # may compile: outside our own lock
+        with self._lock:
+            warm = self._warm.get(key)
+            if warm is None:
+                warm = _WarmBound(plan, arrays)
+                self._warm[key] = warm
+            return warm
+
+
+class _Pending:
+    """One decoded run request travelling through the batching queue."""
+
+    __slots__ = (
+        "served", "backend", "steps", "arrays", "sources", "segments",
+        "sig", "event", "meta", "error",
+    )
+
+    def __init__(self, served, backend, steps, arrays, sources, segments):
+        self.served = served
+        self.backend = backend
+        self.steps = steps
+        self.arrays = arrays
+        self.sources = sources
+        self.segments = segments
+        self.sig = _state_signature(arrays)
+        self.event = threading.Event()
+        self.meta: dict | None = None
+        self.error: BaseException | None = None
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.served.kernel_id, self.backend, self.steps, self.sig)
+
+    def release(self) -> None:
+        """Drop array views, then detach shared-memory segments."""
+        self.arrays.clear()
+        segments, self.segments = self.segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - a view still alive
+                pass
+
+
+def _error_payload(exc: BaseException) -> dict:
+    from ..cli import exit_code_for  # local import: cli imports runtime
+
+    if not isinstance(exc, ReproError):
+        exc = ServeError(f"{type(exc).__name__}: {exc}")
+    return {
+        "status": "error",
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "exit_code": exit_code_for(exc),
+    }
+
+
+# -- the daemon ---------------------------------------------------------------
+
+
+class KernelServer:
+    """Compile-and-serve daemon over a Unix-domain socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Filesystem path to listen on; created on :meth:`start`,
+        unlinked on :meth:`close`.
+    workers:
+        Threads executing flushed request groups.
+    max_batch:
+        A group flushes as soon as it holds this many requests.
+    batch_window_ms:
+        How long the oldest request of a group may wait for batchmates
+        before the group flushes; ``0`` disables coalescing.
+    limits:
+        :class:`SpecLimits` applied to every inbound spec (``None``
+        trusts the peer — only for in-process tests).
+    request_timeout:
+        Seconds a connection handler waits for its request's group to
+        execute before answering with a typed timeout error.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        workers: int = 2,
+        max_batch: int = 8,
+        batch_window_ms: float = 2.0,
+        limits: SpecLimits | None = DEFAULT_SPEC_LIMITS,
+        request_timeout: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window_ms < 0:
+            raise ValidationError(
+                f"batch_window_ms must be >= 0, got {batch_window_ms}"
+            )
+        self.socket_path = str(socket_path)
+        self.workers = workers
+        self.max_batch = max_batch
+        self.batch_window = batch_window_ms / 1000.0
+        self.limits = limits
+        self.request_timeout = request_timeout
+        self._lock = threading.Lock()
+        self._kernels: dict[str, _ServedKernel] = {}
+        self._queue: queue.Queue = queue.Queue()
+        self._conns: set[socket.socket] = set()
+        self._listener: socket.socket | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._closed = False
+        self._stop_event = threading.Event()
+        self._counters = {
+            "requests": 0,
+            "ok": 0,
+            "errors": 0,
+            "batched_runs": 0,
+            "batched_requests": 0,
+            "single_runs": 0,
+            "batch_fallbacks": 0,
+            "accept_drops": 0,
+            "max_batch_seen": 0,
+        }
+        self._last_batch: dict | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and launch accept/dispatch threads."""
+        if self._listener is not None:
+            raise ServeError("server already started")
+        path = Path(self.socket_path)
+        if path.exists():
+            path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(64)
+        listener.settimeout(0.2)  # poll _running without a wake-up pipe
+        self._listener = listener
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve-worker"
+        )
+        self._running = True
+        for target, name in (
+            (self._accept_loop, "repro-serve-accept"),
+            (self._dispatch_loop, "repro-serve-dispatch"),
+        ):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def wait(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`close`) arrives."""
+        self._stop_event.wait()
+
+    def close(self) -> None:
+        """Stop serving, join threads, unlink the socket.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._running = False
+        self._stop_event.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._queue.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=10.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            Path(self.socket_path).unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "KernelServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Service counters (the plan-level batching evidence)."""
+        with self._lock:
+            out = dict(self._counters)
+            out["kernels"] = len(self._kernels)
+            out["last_batch"] = (
+                dict(self._last_batch) if self._last_batch else None
+            )
+        out["workers"] = self.workers
+        out["max_batch"] = self.max_batch
+        out["batch_window_ms"] = self.batch_window * 1000.0
+        return out
+
+    # -- accept / connection handling ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                faults.check("server.accept")
+            except Exception:
+                # Degradation contract "fallback": drop only this
+                # connection; the client reconnects and is served
+                # bitwise-identically.
+                with self._lock:
+                    self._counters["accept_drops"] += 1
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                continue
+            with self._lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._handle_conn,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            ).start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            while self._running:
+                try:
+                    msg = recv_frame(conn)
+                except ServeError as exc:
+                    # Framing violation: answer (best effort), then drop
+                    # the connection — resync is impossible mid-stream.
+                    try:
+                        send_frame(conn, _error_payload(exc))
+                    except OSError:
+                        pass
+                    break
+                if msg is None:
+                    break
+                op = msg.get("op")
+                try:
+                    resp = self._handle_op(op, msg)
+                except Exception as exc:  # typed per-request status
+                    resp = _error_payload(exc)
+                send_frame(conn, resp)
+                if op == "shutdown" and resp.get("status") == "ok":
+                    break
+        except OSError:
+            pass
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _handle_op(self, op, msg: dict) -> dict:
+        if op == "ping":
+            return {"status": "ok", "op": "ping"}
+        if op == "stats":
+            return {"status": "ok", "stats": self.stats()}
+        if op == "compile":
+            if not isinstance(msg.get("spec"), str):
+                raise ValidationError("compile request needs a 'spec' string")
+            served = self._resolve_kernel(msg)
+            return {"status": "ok", "kernel_id": served.kernel_id}
+        if op == "shutdown":
+            self._running = False
+            self._stop_event.set()
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:  # pragma: no cover
+                    pass
+            return {"status": "ok", "op": "shutdown"}
+        if op == "run":
+            return self._serve_run(msg)
+        raise ValidationError(f"unknown op {op!r}")
+
+    # -- request decoding ----------------------------------------------------
+
+    def _resolve_kernel(self, msg: dict) -> _ServedKernel:
+        spec = msg.get("spec")
+        if spec is not None:
+            if not isinstance(spec, str):
+                raise ValidationError("'spec' must be a string")
+            sizes = _validated_mapping(msg.get("sizes"), "sizes", int)
+            params = _validated_mapping(msg.get("params"), "params", float)
+            dtype_tag = msg.get("dtype", "f64")
+            if dtype_tag not in _DTYPES:
+                raise ValidationError(
+                    f"dtype must be one of {sorted(_DTYPES)}, got {dtype_tag!r}"
+                )
+            nest = parse_stencil(spec, limits=self.limits)
+            missing = [
+                s.name for s in nest.size_symbols() if s.name not in sizes
+            ]
+            if missing:
+                raise ValidationError(f"unbound size symbols: {missing}")
+            missing = [
+                s.name for s in nest.scalar_parameters()
+                if s.name not in params
+            ]
+            if missing:
+                raise ValidationError(f"unbound scalar parameters: {missing}")
+            bindings = Bindings(
+                sizes=sizes, params=params, dtype=_DTYPES[dtype_tag]
+            )
+            name = nest.name or "served"
+            kid = kernel_key([nest], bindings, name)
+            with self._lock:
+                served = self._kernels.get(kid)
+                if served is None:
+                    served = _ServedKernel(kid, nest, bindings)
+                    self._kernels[kid] = served
+            return served
+        kid = msg.get("kernel_id")
+        if not isinstance(kid, str):
+            raise ValidationError("run request needs 'spec' or 'kernel_id'")
+        with self._lock:
+            served = self._kernels.get(kid)
+        if served is None:
+            raise ValidationError(
+                f"unknown kernel_id {kid[:16]!r}...; send the spec once first"
+            )
+        return served
+
+    def _attach_state(self, state) -> tuple[dict, list, dict]:
+        if not isinstance(state, dict) or not state:
+            raise ValidationError(
+                "run request needs a non-empty 'state' mapping"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        segments: list[shared_memory.SharedMemory] = []
+        sources: dict[str, dict] = {}
+        try:
+            for name in sorted(state):
+                if not isinstance(name, str) or not name.isidentifier():
+                    raise ValidationError(f"bad array name {name!r}")
+                meta = state[name]
+                if isinstance(meta, dict) and "shm" in meta:
+                    shape, dtype, nbytes = _array_meta(meta, name)
+                    try:
+                        faults.check("server.shm.attach")
+                        seg = shared_memory.SharedMemory(name=str(meta["shm"]))
+                    except Exception as exc:
+                        # Contract "typed-error": this request fails with
+                        # one ReproError; batchmates are untouched since
+                        # attach happens before grouping.
+                        raise ServeError(
+                            f"cannot attach shared-memory segment "
+                            f"{meta['shm']!r} for array {name!r}: {exc}"
+                        ) from exc
+                    if seg.size < nbytes:
+                        seg.close()
+                        raise ServeError(
+                            f"segment {meta['shm']!r} holds {seg.size} bytes,"
+                            f" array {name!r} needs {nbytes}"
+                        )
+                    segments.append(seg)
+                    arrays[name] = np.ndarray(
+                        shape, dtype=dtype, buffer=seg.buf
+                    )
+                else:
+                    arrays[name] = _decode_inline(meta, name)
+                sources[name] = {"shm": meta["shm"]} if (
+                    isinstance(meta, dict) and "shm" in meta
+                ) else {}
+        except BaseException:
+            arrays.clear()
+            for seg in segments:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover
+                    pass
+            raise
+        return arrays, segments, sources
+
+    def _decode_run(self, msg: dict) -> _Pending:
+        steps = msg.get("steps", 1)
+        if not isinstance(steps, int) or not 1 <= steps <= 1_000_000:
+            raise ValidationError(
+                f"steps must be an int in [1, 1000000], got {steps!r}"
+            )
+        backend = msg.get("backend", "python")
+        if backend not in ("python", "native"):
+            raise ValidationError(
+                f"backend must be 'python' or 'native', got {backend!r}"
+            )
+        served = self._resolve_kernel(msg)
+        arrays, segments, sources = self._attach_state(msg.get("state"))
+        try:
+            missing = sorted(served.required - set(arrays))
+            if missing:
+                raise ValidationError(
+                    f"state is missing kernel arrays: {missing}"
+                )
+            shapes = state_shapes(served.nest, served.bindings)
+            want_dtype = np.dtype(served.bindings.dtype)
+            for name, minimal in shapes.items():
+                arr = arrays[name]
+                if arr.ndim != len(minimal) or any(
+                    have < need for have, need in zip(arr.shape, minimal)
+                ):
+                    raise ValidationError(
+                        f"array {name!r} has shape {arr.shape}, kernel "
+                        f"needs at least {minimal}"
+                    )
+                if arr.dtype != want_dtype:
+                    raise ValidationError(
+                        f"array {name!r} has dtype {arr.dtype.str}, kernel "
+                        f"is bound for {want_dtype.str}"
+                    )
+        except BaseException:
+            arrays.clear()
+            for seg in segments:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover
+                    pass
+            raise
+        return _Pending(served, backend, steps, arrays, sources, segments)
+
+    # -- run execution -------------------------------------------------------
+
+    def _serve_run(self, msg: dict) -> dict:
+        with self._lock:
+            self._counters["requests"] += 1
+        try:
+            pending = self._decode_run(msg)
+        except Exception:
+            with self._lock:
+                self._counters["errors"] += 1
+            raise
+        self._queue.put(pending)
+        if not pending.event.wait(self.request_timeout):
+            pending.error = ServeError(
+                f"request timed out after {self.request_timeout}s"
+            )
+        try:
+            resp = self._build_response(pending)
+        finally:
+            pending.release()
+        with self._lock:
+            key = "ok" if resp.get("status") == "ok" else "errors"
+            self._counters[key] += 1
+        return resp
+
+    def _build_response(self, pending: _Pending) -> dict:
+        if pending.error is not None:
+            return _error_payload(pending.error)
+        state_meta: dict[str, dict] = {}
+        for name in sorted(pending.arrays):
+            arr = pending.arrays[name]
+            src = pending.sources[name]
+            if "shm" in src:
+                # Zero-copy: the result was written into the segment in
+                # place; echo the reference, not the bytes.
+                state_meta[name] = {
+                    "shape": list(arr.shape),
+                    "dtype": arr.dtype.str,
+                    "shm": src["shm"],
+                }
+            else:
+                state_meta[name] = encode_array(arr)
+        meta = pending.meta or {}
+        return {
+            "status": "ok",
+            "kernel_id": pending.served.kernel_id,
+            "steps": pending.steps,
+            "batched": meta.get("batched", False),
+            "batch_size": meta.get("batch_size", 1),
+            "state": state_meta,
+        }
+
+    def _dispatch_loop(self) -> None:
+        """Coalesce queued requests per group, flush on size or deadline."""
+        groups: dict[tuple, list[_Pending]] = {}
+        deadlines: dict[tuple, float] = {}
+
+        def flush(key: tuple) -> None:
+            batch = groups.pop(key)
+            deadlines.pop(key, None)
+            self._pool.submit(self._run_group, batch)
+
+        while True:
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            if item is _STOP:
+                for key in list(groups):
+                    flush(key)
+                return
+            if item is not None:
+                if self.batch_window <= 0 or self.max_batch <= 1:
+                    self._pool.submit(self._run_group, [item])
+                else:
+                    key = item.group_key
+                    batch = groups.setdefault(key, [])
+                    batch.append(item)
+                    deadlines.setdefault(
+                        key, time.monotonic() + self.batch_window
+                    )
+                    if len(batch) >= self.max_batch:
+                        flush(key)
+            now = time.monotonic()
+            for key in [k for k, d in deadlines.items() if d <= now]:
+                flush(key)
+
+    def _run_group(self, batch: list[_Pending]) -> None:
+        try:
+            if len(batch) == 1:
+                self._run_single(batch[0])
+            else:
+                self._run_batch(batch)
+        finally:
+            for pending in batch:
+                pending.event.set()
+
+    def _run_single(self, pending: _Pending) -> None:
+        try:
+            warm = pending.served.warm_bound(pending.backend, pending.arrays)
+            warm.run(pending.arrays, pending.steps)
+        except Exception as exc:
+            pending.error = exc
+            return
+        pending.meta = {"batched": False, "batch_size": 1}
+        with self._lock:
+            self._counters["single_runs"] += 1
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        served = batch[0].served
+        try:
+            faults.check("server.batch.bind")
+            batched = stack_arrays([p.arrays for p in batch])
+            plan = served.plan(batch[0].backend)
+            ensemble = EnsemblePlan(plan, batched)
+            try:
+                for _ in range(batch[0].steps):
+                    ensemble.run()
+                for m, pending in enumerate(batch):
+                    views = ensemble.member_arrays(m)
+                    for name, arr in pending.arrays.items():
+                        np.copyto(arr, views[name])
+            finally:
+                ensemble.close()
+        except Exception:
+            # Contract "fallback": a batch that cannot bind (or fails
+            # mid-run before any request array was written — member
+            # state lives in the stacked copy until copy-out) degrades
+            # to per-request single runs.  A deterministic per-request
+            # failure then surfaces on that request alone: batchmates
+            # are never poisoned.
+            with self._lock:
+                self._counters["batch_fallbacks"] += 1
+            for pending in batch:
+                self._run_single(pending)
+            return
+        meta = {"batched": True, "batch_size": len(batch)}
+        for pending in batch:
+            pending.meta = dict(meta)
+        with self._lock:
+            self._counters["batched_runs"] += 1
+            self._counters["batched_requests"] += len(batch)
+            self._counters["max_batch_seen"] = max(
+                self._counters["max_batch_seen"], len(batch)
+            )
+            self._last_batch = {
+                "members": ensemble.members,
+                "kernel_id": served.kernel_id,
+                "batched_statements": ensemble.batched_statement_count,
+                "native_statements": ensemble.native_statement_count,
+                "member_statements": ensemble.member_statement_count,
+            }
+
+
+def _validated_mapping(raw, label: str, cast) -> dict:
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ValidationError(f"{label!r} must be an object")
+    out = {}
+    for key, value in raw.items():
+        try:
+            out[str(key)] = cast(value)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"{label}[{key!r}] is not a {cast.__name__}: {exc}"
+            ) from exc
+    return out

@@ -375,6 +375,180 @@ def _scenario_bound_run() -> str:
     return "typed KernelError; arrays restored; clean rerun bitwise-identical"
 
 
+# -- the serving daemon's fault points ----------------------------------------
+
+_SERVE_SPEC = (
+    "stencil chaos_serve {\n"
+    "  iterate i = 1 .. n-2\n"
+    "  u[i] += c*(v[i-1] - 2.0*v[i] + v[i+1])\n"
+    "}\n"
+)
+_SERVE_N = 16
+_SERVE_SIZES = {"n": _SERVE_N}
+_SERVE_PARAMS = {"c": 0.25}
+
+
+def _serve_state(seed: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "u": rng.standard_normal(_SERVE_N),
+        "v": rng.standard_normal(_SERVE_N),
+    }
+
+
+def _serve_reference(seed: int, steps: int = 1) -> dict[str, np.ndarray]:
+    """A fresh single-process bound run: the bitwise oracle."""
+    from ..frontend import parse_stencil
+    from ..runtime import Bindings, compile_nests
+
+    nest = parse_stencil(_SERVE_SPEC)
+    kernel = compile_nests(
+        [nest],
+        Bindings(sizes=_SERVE_SIZES, params=_SERVE_PARAMS),
+        name=nest.name,
+    )
+    arrays = {k: v.copy() for k, v in _serve_state(seed).items()}
+    bound = kernel.plan().bind(arrays)
+    for _ in range(steps):
+        bound.run()
+    return arrays
+
+
+@contextlib.contextmanager
+def _serve_daemon(**kwargs):
+    from ..runtime.server import KernelServer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = KernelServer(os.path.join(tmp, "chaos.sock"), **kwargs)
+        server.start()
+        try:
+            yield server
+        finally:
+            server.close()
+
+
+def _scenario_server_accept() -> str:
+    from ..runtime.client import KernelClient
+
+    ref = _serve_reference(0)
+    with _serve_daemon(workers=1, batch_window_ms=0.0) as server:
+        client = KernelClient(server.socket_path, retries=1)
+        try:
+            with faults.inject("server.accept") as inj:
+                result = client.run(
+                    _SERVE_SPEC,
+                    sizes=_SERVE_SIZES,
+                    params=_SERVE_PARAMS,
+                    state=_serve_state(0),
+                )
+                fired = inj.fired("server.accept")
+        finally:
+            client.close()
+        drops = server.stats()["accept_drops"]
+    if fired != 1:
+        raise AssertionError(f"expected one accept firing, got {fired}")
+    if drops != 1:
+        raise AssertionError(f"expected one dropped connection, got {drops}")
+    bad = _mismatches(ref, result.state)
+    if bad:
+        raise AssertionError(f"retried request diverged on {bad}")
+    return "fired 1x; dropped connection retried; bitwise-identical"
+
+
+def _scenario_server_batch_bind() -> str:
+    import threading
+
+    from ..runtime.client import KernelClient
+
+    refs = {seed: _serve_reference(seed) for seed in (0, 1)}
+    results: dict[int, object] = {}
+    errors: list[BaseException] = []
+    with _serve_daemon(workers=2, max_batch=2, batch_window_ms=500.0) as server:
+
+        def worker(seed: int) -> None:
+            try:
+                with KernelClient(server.socket_path) as client:
+                    results[seed] = client.run(
+                        _SERVE_SPEC,
+                        sizes=_SERVE_SIZES,
+                        params=_SERVE_PARAMS,
+                        state=_serve_state(seed),
+                    )
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        with faults.inject("server.batch.bind") as inj:
+            threads = [
+                threading.Thread(target=worker, args=(seed,))
+                for seed in (0, 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            fired = inj.fired("server.batch.bind")
+        fallbacks = server.stats()["batch_fallbacks"]
+    if errors:
+        raise AssertionError(f"batch-bind fallback leaked errors: {errors}")
+    if fired != 1:
+        raise AssertionError(f"expected one batch-bind firing, got {fired}")
+    if fallbacks != 1:
+        raise AssertionError(f"expected one batch fallback, got {fallbacks}")
+    for seed, ref in refs.items():
+        result = results[seed]
+        if result.batched:
+            raise AssertionError("fallback must serve per-request singles")
+        bad = _mismatches(ref, result.state)
+        if bad:
+            raise AssertionError(f"member {seed} diverged on {bad}")
+    return (
+        "fired 1x; batch degraded to per-request single runs; "
+        "no batchmate poisoned; bitwise-identical"
+    )
+
+
+def _scenario_server_shm_attach() -> str:
+    from ..errors import ServeError
+    from ..runtime.client import KernelClient
+
+    ref = _serve_reference(3)
+    state = _serve_state(3)
+    snap = {k: v.copy() for k, v in state.items()}
+    with _serve_daemon(workers=1, batch_window_ms=0.0) as server:
+        with KernelClient(server.socket_path, shm_threshold=1) as client:
+            with faults.inject("server.shm.attach") as inj:
+                try:
+                    client.run(
+                        _SERVE_SPEC,
+                        sizes=_SERVE_SIZES,
+                        params=_SERVE_PARAMS,
+                        state=state,
+                    )
+                    raise AssertionError(
+                        "injected attach fault did not propagate"
+                    )
+                except ServeError:
+                    pass
+                if inj.fired("server.shm.attach") != 1:
+                    raise AssertionError("attach fault never fired")
+            bad = _mismatches(snap, state)
+            if bad:
+                raise AssertionError(f"failed attach mutated user arrays {bad}")
+            result = client.run(
+                _SERVE_SPEC,
+                sizes=_SERVE_SIZES,
+                params=_SERVE_PARAMS,
+                state=state,
+            )
+    bad = _mismatches(ref, result.state)
+    if bad:
+        raise AssertionError(f"follow-up request diverged on {bad}")
+    return (
+        "typed ServeError; user arrays intact; "
+        "next request on the same connection served bitwise-identically"
+    )
+
+
 _SCENARIOS = {
     "native.toolchain": _scenario_toolchain,
     "native.cc.spawn": _scenario_cc_spawn,
@@ -387,6 +561,9 @@ _SCENARIOS = {
     "checkpoint.snapshot": _scenario_checkpoint_snapshot,
     "ensemble.bind": _scenario_ensemble_bind,
     "bound.run": _scenario_bound_run,
+    "server.accept": _scenario_server_accept,
+    "server.batch.bind": _scenario_server_batch_bind,
+    "server.shm.attach": _scenario_server_shm_attach,
 }
 
 

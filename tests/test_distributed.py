@@ -109,3 +109,133 @@ def test_mismatched_shapes_rejected(rng):
 def test_negative_halo_rejected():
     with pytest.raises(ValueError):
         DistributedExecutor(nranks=2, halo=-1)
+
+
+# -- partition / roundtrip properties -------------------------------------
+
+
+@pytest.mark.parametrize("extent", [1, 2, 3, 7, 16, 23, 64, 101])
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 12])
+def test_decompose_partition_property(extent, nranks):
+    """Ownership ranges exactly partition [0, extent), near-balanced."""
+    ranges = decompose(extent, nranks)
+    assert len(ranges) == min(nranks, extent)
+    covered = [g for lo, hi in ranges for g in range(lo, hi + 1)]
+    assert covered == list(range(extent))  # disjoint, ordered, complete
+    sizes = [hi - lo + 1 for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("halo", [0, 1, 2, 3])
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5])
+def test_scatter_gather_roundtrip_property(rng, halo, nranks):
+    """gather(scatter(x)) == x for every halo width and rank count."""
+    extent = 21
+    arrays = {
+        "a": rng.standard_normal((extent, 4)),
+        "b": rng.standard_normal((extent, 4)),
+    }
+    ex = DistributedExecutor(nranks=nranks, halo=halo)
+    slabs = ex.scatter(arrays)
+    # Owned ranges tile the domain with no gaps or overlaps.
+    owned = [g for s in slabs for g in range(s.own_lo, s.own_hi + 1)]
+    assert owned == list(range(extent))
+    back = ex.gather(slabs, ["a", "b"], extent)
+    for name in arrays:
+        np.testing.assert_array_equal(back[name], arrays[name])
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 5])
+def test_halo_exchange_matches_global_rows(rng, nranks):
+    """After the exchange, every local row equals the global row it
+    shadows — interior and halo alike."""
+    extent = 19
+    arrays = {"x": rng.standard_normal(extent)}
+    ex = DistributedExecutor(nranks=nranks, halo=2)
+    slabs = ex.scatter(arrays)
+    for slab in slabs:  # dirty the halos so the exchange must fix them
+        lo = slab.own_lo - slab.slab_lo
+        hi = slab.own_hi - slab.slab_lo
+        slab.arrays["x"][:lo] = np.nan
+        slab.arrays["x"][hi + 1:] = np.nan
+    ex.halo_exchange(slabs, ["x"])
+    for slab in slabs:
+        local = slab.arrays["x"]
+        for k in range(local.shape[0]):
+            g = slab.slab_lo + k
+            # Halo layers beyond the exchange width stay untouched only
+            # at the domain edges, where they do not exist.
+            np.testing.assert_array_equal(local[k], arrays["x"][g])
+
+
+@pytest.mark.parametrize("halo", [1, 2, 3])
+def test_primal_identical_for_any_halo_at_least_radius(rng, halo):
+    """Halo width is an implementation choice: any width >= the stencil
+    radius gives the bitwise-identical global result."""
+    prob = wave_problem(2)
+    N = 24
+    kernel = compile_nests([prob.primal], prob.bindings(N))
+    arrays = prob.allocate(N, rng=rng)
+    ref = {k: v.copy() for k, v in arrays.items()}
+    kernel(ref)
+    ex = DistributedExecutor(nranks=3, halo=halo)
+    slabs = ex.scatter(arrays)
+    ex.halo_exchange(slabs, ["u_1", "u_2", "c"])
+    ex.run(kernel, slabs)
+    out = ex.gather(slabs, ["u"], N + 1)
+    np.testing.assert_array_equal(out["u"], ref["u"])
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 5])
+@pytest.mark.parametrize("halo", [1, 2])
+def test_accumulate_back_conserves_mass_and_zeroes_halos(rng, nranks, halo):
+    """The adjoint exchange moves halo contributions, never loses them:
+    the total over all local storage is unchanged, halos end up zero,
+    and the gathered owners hold every contribution."""
+    extent = 17
+    ex = DistributedExecutor(nranks=nranks, halo=halo)
+    slabs = ex.scatter({"g": np.zeros(extent)})
+    rng_local = np.random.default_rng(7)
+    for slab in slabs:  # arbitrary adjoint contributions, halos included
+        slab.arrays["g"][:] = rng_local.standard_normal(
+            slab.arrays["g"].shape
+        )
+    total_before = sum(float(s.arrays["g"].sum()) for s in slabs)
+    ex.halo_accumulate_back(slabs, ["g"])
+    total_after = sum(float(s.arrays["g"].sum()) for s in slabs)
+    assert total_after == pytest.approx(total_before, rel=1e-12)
+    for slab in slabs:
+        lo = slab.own_lo - slab.slab_lo
+        hi = slab.own_hi - slab.slab_lo
+        assert np.all(slab.arrays["g"][:lo] == 0.0)
+        assert np.all(slab.arrays["g"][hi + 1:] == 0.0)
+    gathered = ex.gather(slabs, ["g"], extent)
+    assert float(gathered["g"].sum()) == pytest.approx(total_before, rel=1e-12)
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_accumulate_back_is_the_transpose_of_the_exchange(rng, nranks):
+    """Dot-product (adjoint) identity: <F x, y> == <x, F^T y> where F is
+    the forward halo exchange and F^T the accumulate-back, both viewed
+    as linear maps on the concatenation of all local storage."""
+    extent = 15
+    halo = 2
+    ex = DistributedExecutor(nranks=nranks, halo=halo)
+
+    def fresh(seed):
+        slabs = ex.scatter({"x": np.zeros(extent)})
+        r = np.random.default_rng(seed)
+        for slab in slabs:
+            slab.arrays["x"][:] = r.standard_normal(slab.arrays["x"].shape)
+        return slabs
+
+    def flat(slabs):
+        return np.concatenate([s.arrays["x"] for s in slabs])
+
+    xs, ys = fresh(1), fresh(2)
+    x0, y0 = flat(xs), flat(ys)
+    ex.halo_exchange(xs, ["x"])  # xs <- F x
+    ex.halo_accumulate_back(ys, ["x"])  # ys <- F^T y
+    lhs = float(flat(xs) @ y0)
+    rhs = float(x0 @ flat(ys))
+    assert lhs == pytest.approx(rhs, rel=1e-12)

@@ -51,7 +51,8 @@ def test_doc_files_exist():
     assert (REPO / "docs" / "checkpointing.md").is_file()
     assert (REPO / "docs" / "fusion.md").is_file()
     assert (REPO / "docs" / "reliability.md").is_file()
-    assert len(DOC_FILES) >= 6  # README + the five docs
+    assert (REPO / "docs" / "serving.md").is_file()
+    assert len(DOC_FILES) >= 8  # README + the seven docs
 
 
 @pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
@@ -78,6 +79,7 @@ def test_docs_are_cross_linked():
     chk = (REPO / "docs" / "checkpointing.md").read_text()
     fus = (REPO / "docs" / "fusion.md").read_text()
     rel = (REPO / "docs" / "reliability.md").read_text()
+    srv = (REPO / "docs" / "serving.md").read_text()
     readme = (REPO / "README.md").read_text()
     assert "ensembles.md" in arch and "fusion.md" in arch
     assert "architecture.md" in ens
@@ -85,12 +87,16 @@ def test_docs_are_cross_linked():
     assert "architecture.md" in fus and "ensembles.md" in fus
     assert "architecture.md" in rel and "ensembles.md" in rel
     assert "checkpointing.md" in rel and "fusion.md" in rel
+    assert "serving.md" in rel
+    assert "architecture.md" in srv and "ensembles.md" in srv
+    assert "reliability.md" in srv
     assert "../README.md" in arch and "../README.md" in ens
     assert "../README.md" in chk and "../README.md" in fus
-    assert "../README.md" in rel
+    assert "../README.md" in rel and "../README.md" in srv
     assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
     assert "docs/checkpointing.md" in readme and "docs/fusion.md" in readme
     assert "docs/reliability.md" in readme
+    assert "docs/serving.md" in readme
 
 
 def test_documented_cli_commands_exist():
@@ -121,11 +127,21 @@ def test_documented_cli_commands_exist():
     assert args.fusion == "off"
     args = parser.parse_args(["verify", "--chaos"])
     assert args.command == "verify" and args.chaos
+    args = parser.parse_args(
+        ["serve", "--socket", "/tmp/repro.sock", "--workers", "4",
+         "--max-batch", "8", "--batch-window-ms", "2"]
+    )
+    assert args.command == "serve" and args.max_batch == 8
+    args = parser.parse_args(
+        ["request", "--socket", "/tmp/repro.sock", "--file", "k.stencil",
+         "--size", "n=4096", "--param", "c=0.25", "--steps", "8"]
+    )
+    assert args.command == "request" and args.size == ["n=4096"]
 
 
 def test_docs_doctest_blocks_present():
     """The docs keep executable examples (the CI docs job runs them)."""
     for name in ("architecture.md", "ensembles.md", "checkpointing.md",
-                 "fusion.md", "reliability.md"):
+                 "fusion.md", "reliability.md", "serving.md"):
         text = (REPO / "docs" / name).read_text()
         assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"

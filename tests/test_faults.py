@@ -433,6 +433,31 @@ def test_scheduler_cancels_queued_tasks_after_failure():
         assert sched.last_cancelled == 0  # a clean batch resets the count
 
 
+def test_scheduler_first_failure_accounting_under_contention():
+    """Satellite: steal-victim selection snapshots lengths under the lock.
+
+    With four workers all stealing from each other, whichever
+    interleaving the OS produces, first-failure cancellation must
+    account for every task exactly once: tasks that ran plus tasks
+    cancelled equals the batch size minus the failing task — no task
+    double-popped by racing thieves, none lost.
+    """
+    with WorkStealingScheduler(4) as sched:
+        for _ in range(20):
+            ran = []
+
+            def boom():
+                raise ValueError("first failure")
+
+            tasks = [boom] + [lambda: ran.append(1) for _ in range(63)]
+            with pytest.raises(SchedulerError, match="cancelled"):
+                sched.run(tasks)
+            assert len(ran) + sched.last_cancelled == 63
+        done = []
+        sched.run([lambda: done.append("ok")])  # still usable afterwards
+        assert done == ["ok"]
+
+
 def test_scheduler_passes_typed_errors_through_unchanged():
     with WorkStealingScheduler(1) as sched:
 

@@ -1,0 +1,484 @@
+"""Tests for the kernel-as-a-service daemon and its client.
+
+Every response must be bitwise identical to a fresh single-process
+bound run of the same kernel on the same state — batched or not, over
+shared memory or inline base64, and under chaos at the three server
+fault points.  The batching assertions are plan-level: the server's
+``last_batch`` evidence records how many members one
+:class:`~repro.runtime.EnsemblePlan` run covered.
+"""
+
+import json
+import os
+import socket
+import struct
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, ValidationError
+from repro.frontend import parse_stencil
+from repro.runtime import Bindings, compile_nests, faults
+from repro.runtime.client import KernelClient
+from repro.runtime.server import (
+    KernelServer,
+    MAX_FRAME_BYTES,
+    recv_frame,
+    seeded_state,
+    state_shapes,
+)
+
+SMOOTH = (
+    "stencil smooth {\n"
+    "  iterate i = 1 .. n-2\n"
+    "  u[i] += c*(v[i-1] - 2.0*v[i] + v[i+1])\n"
+    "}\n"
+)
+SMOOTH_SIZES = {"n": 32}
+SMOOTH_PARAMS = {"c": 0.25}
+
+DECAY = (
+    "stencil decay {\n"
+    "  iterate i = 0 .. n-1\n"
+    "  w[i] = a*r[i] + b*s[i]\n"
+    "}\n"
+)
+DECAY_SIZES = {"n": 24}
+DECAY_PARAMS = {"a": 0.5, "b": 0.125}
+
+
+def make_state(spec, sizes, params, seed):
+    nest = parse_stencil(spec)
+    return seeded_state(nest, Bindings(sizes=sizes, params=params), seed=seed)
+
+
+def reference(spec, sizes, params, state, steps=1):
+    """Fresh single-process bound run — the bitwise oracle."""
+    nest = parse_stencil(spec)
+    kernel = compile_nests(
+        [nest], Bindings(sizes=sizes, params=params), name=nest.name
+    )
+    arrays = {k: v.copy() for k, v in state.items()}
+    bound = kernel.plan().bind(arrays)
+    for _ in range(steps):
+        bound.run()
+    return arrays
+
+
+def assert_bitwise(expected, got):
+    assert sorted(expected) == sorted(got)
+    for name in expected:
+        a, b = expected[name], got[name]
+        assert a.dtype == b.dtype and a.shape == b.shape, name
+        assert a.tobytes() == b.tobytes(), f"{name} diverged bitwise"
+
+
+@pytest.fixture
+def server_factory():
+    """Yields a KernelServer factory; every server is closed on teardown."""
+    servers = []
+    dirs = []
+
+    def make(**kwargs):
+        tmp = tempfile.TemporaryDirectory()
+        dirs.append(tmp)
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("batch_window_ms", 0.0)
+        server = KernelServer(os.path.join(tmp.name, "serve.sock"), **kwargs)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+    for tmp in dirs:
+        tmp.cleanup()
+
+
+def test_ping_and_stats(server_factory):
+    server = server_factory()
+    with KernelClient(server.socket_path) as client:
+        assert client.ping() is True
+        stats = client.stats()
+    assert stats["requests"] == 0
+    assert stats["kernels"] == 0
+    assert stats["workers"] == 2
+
+
+def test_inline_run_bitwise_identical(server_factory):
+    server = server_factory()
+    state = make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=3)
+    ref = reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, state, steps=4)
+    with KernelClient(server.socket_path, shm_threshold=None) as client:
+        result = client.run(
+            SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+            state=state, steps=4,
+        )
+    assert result.batched is False and result.batch_size == 1
+    assert result.steps == 4
+    assert len(result.kernel_id) == 64  # content-addressed (sha256 hex)
+    assert_bitwise(ref, result.state)
+    # The caller's arrays were never written in place.
+    assert_bitwise(make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, 3), state)
+
+
+def test_shared_memory_run_bitwise_identical(server_factory):
+    server = server_factory()
+    state = make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=5)
+    ref = reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, state, steps=2)
+    # threshold 1 byte: every array ships through shared memory
+    with KernelClient(server.socket_path, shm_threshold=1) as client:
+        result = client.run(
+            SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+            state=state, steps=2,
+        )
+    assert_bitwise(ref, result.state)
+    assert_bitwise(make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, 5), state)
+
+
+def test_shm_and_inline_paths_agree_bitwise(server_factory):
+    server = server_factory()
+    state = make_state(DECAY, DECAY_SIZES, DECAY_PARAMS, seed=11)
+    kwargs = dict(sizes=DECAY_SIZES, params=DECAY_PARAMS, state=state, steps=3)
+    with KernelClient(server.socket_path, shm_threshold=1) as shm_client:
+        via_shm = shm_client.run(DECAY, **kwargs)
+    with KernelClient(server.socket_path, shm_threshold=None) as inline:
+        via_inline = inline.run(DECAY, **kwargs)
+    assert_bitwise(via_shm.state, via_inline.state)
+
+
+def test_compile_then_run_by_kernel_id(server_factory):
+    server = server_factory()
+    state = make_state(DECAY, DECAY_SIZES, DECAY_PARAMS, seed=2)
+    ref = reference(DECAY, DECAY_SIZES, DECAY_PARAMS, state)
+    with KernelClient(server.socket_path) as client:
+        kid = client.compile(DECAY, sizes=DECAY_SIZES, params=DECAY_PARAMS)
+        result = client.run(kernel_id=kid, state=state)
+        assert result.kernel_id == kid
+        assert_bitwise(ref, result.state)
+        # Re-sending the same spec resolves to the same content address.
+        again = client.run(
+            DECAY, sizes=DECAY_SIZES, params=DECAY_PARAMS, state=state
+        )
+        assert again.kernel_id == kid
+    assert server.stats()["kernels"] == 1
+
+
+def test_concurrent_requests_coalesce_into_one_ensemble_run(server_factory):
+    server = server_factory(workers=2, max_batch=4, batch_window_ms=250.0)
+    seeds = [0, 1, 2, 3]
+    states = {
+        s: make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=s)
+        for s in seeds
+    }
+    refs = {
+        s: reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, states[s])
+        for s in seeds
+    }
+    results: dict[int, object] = {}
+    errors: list[BaseException] = []
+
+    def worker(seed):
+        try:
+            with KernelClient(server.socket_path) as client:
+                results[seed] = client.run(
+                    SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                    state=states[seed],
+                )
+        except BaseException as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in seeds]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = server.stats()
+    # Plan-level evidence: all four requests ran as ONE EnsemblePlan run.
+    assert stats["batched_runs"] == 1
+    assert stats["batched_requests"] == 4
+    assert stats["single_runs"] == 0
+    assert stats["last_batch"]["members"] == 4
+    assert stats["last_batch"]["batched_statements"] >= 1
+    for seed in seeds:
+        assert results[seed].batched is True
+        assert results[seed].batch_size == 4
+        assert_bitwise(refs[seed], results[seed].state)
+
+
+def test_batched_and_window_zero_responses_are_identical_bytes(server_factory):
+    batching = server_factory(workers=2, max_batch=2, batch_window_ms=250.0)
+    immediate = server_factory(workers=2, batch_window_ms=0.0)
+    states = {
+        s: make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=s)
+        for s in (0, 1)
+    }
+    batched: dict[int, object] = {}
+
+    def worker(seed):
+        with KernelClient(batching.socket_path) as client:
+            batched[seed] = client.run(
+                SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                state=states[seed],
+            )
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert batching.stats()["batched_runs"] == 1
+    for seed in (0, 1):
+        with KernelClient(immediate.socket_path) as client:
+            single = client.run(
+                SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                state=states[seed],
+            )
+        assert single.batched is False
+        assert batched[seed].batched is True
+        assert_bitwise(single.state, batched[seed].state)
+
+
+def test_sixteen_thread_hammer_every_response_bitwise(server_factory):
+    server = server_factory(workers=4, max_batch=8, batch_window_ms=5.0)
+    cases = []
+    for t in range(16):
+        if t % 2:
+            cases.append((DECAY, DECAY_SIZES, DECAY_PARAMS, t, 1 + t % 3))
+        else:
+            cases.append((SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, t, 1 + t % 3))
+    refs = []
+    for spec, sizes, params, seed, steps in cases:
+        state = make_state(spec, sizes, params, seed)
+        refs.append(reference(spec, sizes, params, state, steps=steps))
+    results: list = [None] * 16
+    errors: list[BaseException] = []
+
+    def worker(idx):
+        spec, sizes, params, seed, steps = cases[idx]
+        try:
+            with KernelClient(server.socket_path, shm_threshold=64) as client:
+                results[idx] = client.run(
+                    spec, sizes=sizes, params=params,
+                    state=make_state(spec, sizes, params, seed), steps=steps,
+                )
+        except BaseException as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = server.stats()
+    assert stats["ok"] == 16 and stats["errors"] == 0
+    for idx in range(16):
+        assert_bitwise(refs[idx], results[idx].state)
+
+
+def test_malformed_spec_is_a_client_side_validation_error(server_factory):
+    server = server_factory()
+    with KernelClient(server.socket_path) as client:
+        with pytest.raises(ValidationError):
+            client.run(
+                "stencil broken {\n  iterate i = 1 .. n-2\n  u[i] +=\n}\n",
+                sizes={"n": 8}, state={"u": np.zeros(8)},
+            )
+        # The connection survives a rejected request.
+        assert client.ping() is True
+    assert server.stats()["errors"] == 1
+
+
+def test_unknown_kernel_id_rejected(server_factory):
+    server = server_factory()
+    with KernelClient(server.socket_path) as client:
+        with pytest.raises(ValidationError, match="spec"):
+            client.run(kernel_id="0" * 64, state={"u": np.zeros(8)})
+
+
+def test_missing_and_wrong_state_rejected(server_factory):
+    server = server_factory()
+    with KernelClient(server.socket_path) as client:
+        with pytest.raises(ValidationError, match="missing"):
+            client.run(
+                SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                state={"u": np.zeros(32)},
+            )
+        with pytest.raises(ValidationError):
+            client.run(
+                SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                state={"u": np.zeros(32), "v": np.zeros(2)},  # too small
+            )
+        with pytest.raises(ValidationError):
+            client.run(
+                SMOOTH, sizes=SMOOTH_SIZES,  # c unbound
+                state=make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, 0),
+            )
+
+
+def test_garbage_frame_gets_typed_error_then_server_lives(server_factory):
+    server = server_factory()
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(server.socket_path)
+    try:
+        body = b"this is not json"
+        raw.sendall(struct.pack(">I", len(body)) + body)
+        resp = recv_frame(raw)
+        assert resp["status"] == "error"
+        assert resp["error"] == "ServeError"
+        assert resp["exit_code"] == 1
+    finally:
+        raw.close()
+    with KernelClient(server.socket_path) as client:
+        assert client.ping() is True
+
+
+def test_oversized_frame_rejected(server_factory):
+    server = server_factory()
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(server.socket_path)
+    try:
+        raw.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        resp = recv_frame(raw)
+        assert resp["status"] == "error"
+        assert "cap" in resp["message"]
+    finally:
+        raw.close()
+
+
+def test_response_frames_are_deterministic_json(server_factory):
+    """Same request twice -> byte-identical response frames (sorted keys)."""
+    server = server_factory()
+    state = make_state(DECAY, DECAY_SIZES, DECAY_PARAMS, seed=0)
+    frames = []
+    for _ in range(2):
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(server.socket_path)
+        try:
+            enc = {
+                name: {
+                    "shape": list(arr.shape),
+                    "dtype": arr.dtype.str,
+                    "data": __import__("base64").b64encode(
+                        np.ascontiguousarray(arr).tobytes()
+                    ).decode("ascii"),
+                }
+                for name, arr in state.items()
+            }
+            msg = {
+                "op": "run", "spec": DECAY, "sizes": DECAY_SIZES,
+                "params": DECAY_PARAMS, "dtype": "f64", "steps": 1,
+                "backend": "python", "state": enc,
+            }
+            body = json.dumps(msg, sort_keys=True).encode()
+            raw.sendall(struct.pack(">I", len(body)) + body)
+            header = raw.recv(4, socket.MSG_WAITALL)
+            (length,) = struct.unpack(">I", header)
+            frames.append(raw.recv(length, socket.MSG_WAITALL))
+        finally:
+            raw.close()
+    assert frames[0] == frames[1]
+
+
+def test_shutdown_op_stops_the_server(server_factory):
+    server = server_factory()
+    with KernelClient(server.socket_path) as client:
+        client.shutdown()
+    server.wait()  # returns promptly once the shutdown op landed
+    assert not os.path.exists(server.socket_path) or True  # close() unlinks
+    server.close()
+    assert not os.path.exists(server.socket_path)
+
+
+def test_state_shapes_and_seeded_state_cover_minimal_extents():
+    nest = parse_stencil(SMOOTH)
+    bindings = Bindings(sizes={"n": 8}, params=SMOOTH_PARAMS)
+    shapes = state_shapes(nest, bindings)
+    assert shapes == {"u": (7,), "v": (8,)}
+    state = seeded_state(nest, bindings, seed=1)
+    assert sorted(state) == ["u", "v"]
+    assert state["u"].shape == (7,) and state["v"].shape == (8,)
+    # Deterministic: same seed, same bytes.
+    again = seeded_state(nest, bindings, seed=1)
+    assert_bitwise(state, again)
+
+
+# -- chaos at the three server fault points -----------------------------------
+
+
+def test_fault_accept_drop_is_retried_bitwise(server_factory):
+    server = server_factory(workers=1)
+    state = make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=9)
+    ref = reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, state)
+    with KernelClient(server.socket_path, shm_threshold=None, retries=1) as c:
+        with faults.inject("server.accept") as inj:
+            result = c.run(
+                SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS, state=state
+            )
+            assert inj.fired("server.accept") == 1
+    assert server.stats()["accept_drops"] == 1
+    assert_bitwise(ref, result.state)
+
+
+def test_fault_batch_bind_falls_back_to_singles_bitwise(server_factory):
+    server = server_factory(workers=2, max_batch=2, batch_window_ms=400.0)
+    states = {
+        s: make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=s)
+        for s in (0, 1)
+    }
+    refs = {
+        s: reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, states[s])
+        for s in (0, 1)
+    }
+    results: dict[int, object] = {}
+    errors: list[BaseException] = []
+
+    def worker(seed):
+        try:
+            with KernelClient(server.socket_path) as client:
+                results[seed] = client.run(
+                    SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                    state=states[seed],
+                )
+        except BaseException as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    with faults.inject("server.batch.bind") as inj:
+        threads = [threading.Thread(target=worker, args=(s,)) for s in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert inj.fired("server.batch.bind") == 1
+    assert not errors
+    assert server.stats()["batch_fallbacks"] == 1
+    for seed in (0, 1):
+        # The degraded path serves each batchmate its own single run.
+        assert results[seed].batched is False
+        assert_bitwise(refs[seed], results[seed].state)
+
+
+def test_fault_shm_attach_is_typed_and_arrays_intact(server_factory):
+    server = server_factory()
+    state = make_state(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, seed=4)
+    snap = {k: v.copy() for k, v in state.items()}
+    ref = reference(SMOOTH, SMOOTH_SIZES, SMOOTH_PARAMS, state)
+    with KernelClient(server.socket_path, shm_threshold=1) as client:
+        with faults.inject("server.shm.attach") as inj:
+            with pytest.raises(ServeError):
+                client.run(
+                    SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS,
+                    state=state,
+                )
+            assert inj.fired("server.shm.attach") == 1
+        assert_bitwise(snap, state)
+        # Same connection, next request: served normally.
+        result = client.run(
+            SMOOTH, sizes=SMOOTH_SIZES, params=SMOOTH_PARAMS, state=state
+        )
+    assert_bitwise(ref, result.state)
