@@ -1,0 +1,226 @@
+"""Sharded-execution benchmark + CI gate: ShardedPlan vs the single shard.
+
+Two contracts are gated here (see ``docs/sharding.md``):
+
+* **Bitwise identity** — forward state and adjoint gradients of a
+  ``ShardedPlan`` at every tested rank count equal the single-shard
+  ``BoundPlan`` run bit for bit.  This gate is absolute on any machine,
+  including the 1-CPU CI box (the decomposition, exchange and
+  accumulate-back are deterministic regardless of parallel speedup).
+* **The cost curve** — halo communication is a surface term (``O(n)``)
+  against volume work (``O(n^2)`` for the 2-D problem gated here), so
+  the sharded-vs-single per-timestep ratio must not grow as the grid
+  gets larger.  That assertion needs real cores to be meaningful, so it
+  engages only when ``os.cpu_count() >= 4``.
+
+A machine-corrected baseline comparison (``baseline_shard.json``)
+bounds the sharded per-step time at the large grid, with the
+single-shard time of the same run as the hardware reference — the same
+correction every other perf gate in this repository uses.  The run
+also asserts that no ``/dev/shm/repro_shard_*`` segment outlives its
+plan.  Refresh the baseline with::
+
+    python -m pytest benchmarks/bench_shard.py -q
+    cp BENCH_shard.json benchmarks/baseline_shard_bench.json
+
+(``benchmarks/baseline_shard.json`` is the separate baseline of the
+``repro shard`` CLI gate; refresh it with ``python -m repro shard
+--quick --output benchmarks/baseline_shard.json``.)
+"""
+
+import glob
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import heat_problem
+from repro.core import adjoint_loops
+from repro.experiments.steady import _best_of
+from repro.runtime import ShardedPlan, compile_nests
+
+RANKS = (1, 2, 4)
+SMALL_N = 48
+LARGE_N = 192
+STEPS = 6
+REPS = 3
+OUTPUT = "BENCH_shard.json"
+BASELINE = Path(__file__).parent / "baseline_shard_bench.json"
+MAX_SLOWDOWN = 1.5  # machine-corrected sharded us/step vs the baseline
+CURVE_SLACK = 1.25  # sharded/single ratio may not grow more than this
+
+
+def _leaked_segments():
+    if not os.path.isdir("/dev/shm"):  # non-Linux: nothing to check
+        return []
+    return glob.glob("/dev/shm/repro_shard_*")
+
+
+def _measure(prob, n):
+    """Reference + sharded measurements for one grid size."""
+    fwd = compile_nests([prob.primal], prob.bindings(n), name="shard_bench")
+    rev = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map),
+        prob.bindings(n),
+        name="shard_bench_b",
+    )
+
+    # Single-shard reference: the bitwise oracle and the machine-speed
+    # reference the baseline gate corrects with.
+    ref = prob.allocate(n, rng=np.random.default_rng(3))
+    plan = fwd.plan()
+    bound = plan.bind(ref)
+
+    def single_step():
+        bound.run()
+        np.copyto(ref["u_1"], ref["u"])
+
+    for _ in range(STEPS):
+        single_step()
+    ref_after = {name: ref[name].copy() for name in ("u", "u_1")}
+    single_us = _best_of(single_step, STEPS, rounds=REPS) * 1e6
+    plan.close()
+
+    adj_ref = prob.allocate_state(n, seed=4)
+    rev_plan = rev.plan()
+    rev_plan.bind(adj_ref).run()
+    rev_plan.close()
+
+    cases = {}
+    for nranks in RANKS:
+        state = prob.allocate(n, rng=np.random.default_rng(3))
+        with ShardedPlan(fwd, state, nranks=nranks, halo=1) as sp:
+
+            def shard_step():
+                sp.step(exchange=["u_1"])
+                sp.copy("u_1", "u")
+
+            for _ in range(STEPS):
+                shard_step()
+            got = sp.gather(["u", "u_1"])
+            forward_ok = all(
+                np.array_equal(got[name], ref_after[name]) for name in got
+            )
+            sharded_us = _best_of(shard_step, STEPS, rounds=REPS) * 1e6
+            multiprocess = sp.multiprocess
+
+        astate = prob.allocate_state(n, seed=4)
+        with ShardedPlan(rev, astate, nranks=nranks, halo=1) as ap:
+            ap.step(exchange=["u_1", "u_b"], accumulate=["u_1_b"])
+            adjoint_ok = np.array_equal(
+                ap.gather(["u_1_b"])["u_1_b"], adj_ref["u_1_b"]
+            )
+
+        cases[f"ranks{nranks}"] = {
+            "ranks": nranks,
+            "multiprocess": multiprocess,
+            "sharded_us_per_step": round(sharded_us, 3),
+            "overhead_vs_single": round(sharded_us / single_us, 4),
+            "forward_bitwise": forward_ok,
+            "adjoint_bitwise": adjoint_ok,
+        }
+    return {"single_us_per_step": round(single_us, 3), "cases": cases}
+
+
+def test_sharded_bitwise_identity_and_cost_curve(capsys):
+    cpus = os.cpu_count() or 1
+    prob = heat_problem(2)
+    before = set(_leaked_segments())
+
+    small = _measure(prob, SMALL_N)
+    large = _measure(prob, LARGE_N)
+
+    bitwise = all(
+        case["forward_bitwise"] and case["adjoint_bitwise"]
+        for sizing in (small, large)
+        for case in sizing["cases"].values()
+    )
+    record = {
+        "benchmark": "sharded_plan_cost_curve",
+        "problem": prob.name,
+        "small_n": SMALL_N,
+        "large_n": LARGE_N,
+        "steps": STEPS,
+        "reps": REPS,
+        "ranks": list(RANKS),
+        "cpu_count": cpus,
+        "small": small,
+        "large": large,
+        "bitwise_identical": bitwise,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    with capsys.disabled():
+        print(f"\nsharded plan, {prob.name}, {cpus} cpu(s):")
+        for label, sizing in (("small", small), ("large", large)):
+            n = SMALL_N if label == "small" else LARGE_N
+            print(
+                f"  n={n:4d}  single {sizing['single_us_per_step']:8.1f} "
+                f"us/step"
+            )
+            for case in sizing["cases"].values():
+                print(
+                    f"          ranks={case['ranks']}  "
+                    f"{case['sharded_us_per_step']:8.1f} us/step  "
+                    f"({case['overhead_vs_single']:.2f}x single, "
+                    f"{'workers' if case['multiprocess'] else 'in-process'})"
+                )
+        print(f"  recorded in {OUTPUT}")
+
+    # -- HARD gate: no shared-memory segment outlives its plan ---------------
+    leaked = set(_leaked_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+    # -- HARD gate: bitwise identity at every rank count, any machine --------
+    assert bitwise, "sharded run diverged bitwise from the single shard"
+
+    # -- cost curve: communication must not grow relative to volume work -----
+    if cpus >= 4:
+        for key in large["cases"]:
+            small_ratio = small["cases"][key]["overhead_vs_single"]
+            large_ratio = large["cases"][key]["overhead_vs_single"]
+            assert large_ratio <= small_ratio * CURVE_SLACK, (
+                f"{key}: sharding overhead grew with the grid "
+                f"({small_ratio:.2f}x at n={SMALL_N} -> {large_ratio:.2f}x "
+                f"at n={LARGE_N}); communication should be a shrinking "
+                f"surface term"
+            )
+    else:
+        with capsys.disabled():
+            print(f"  cost-curve gate skipped: {cpus} cpu(s)")
+
+    # -- machine-corrected gate vs the checked-in baseline -------------------
+    if BASELINE.exists():
+        with open(BASELINE) as fh:
+            baseline = json.load(fh)
+        for key in ("benchmark", "problem", "small_n", "large_n", "steps"):
+            assert record[key] == baseline[key], (
+                f"baseline {key}={baseline[key]!r} does not match this "
+                f"run's {key}={record[key]!r}; refresh the baseline"
+            )
+        machine = (
+            large["single_us_per_step"]
+            / baseline["large"]["single_us_per_step"]
+        )
+        for key, case in large["cases"].items():
+            base_case = baseline["large"]["cases"].get(key)
+            if base_case is None:
+                continue
+            raw = (
+                case["sharded_us_per_step"]
+                / base_case["sharded_us_per_step"]
+            )
+            corrected = raw / machine
+            with capsys.disabled():
+                print(
+                    f"  baseline gate {key}: {raw:.2f}x raw, "
+                    f"{machine:.2f}x machine factor, {corrected:.2f}x "
+                    f"corrected (max {MAX_SLOWDOWN}x)"
+                )
+            assert corrected <= MAX_SLOWDOWN, (
+                f"{key} regressed {corrected:.2f}x machine-corrected vs "
+                f"baseline (limit {MAX_SLOWDOWN}x)"
+            )

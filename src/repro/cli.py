@@ -50,6 +50,14 @@ Commands
     Send one run request to a ``serve`` daemon: parse a stencil file,
     allocate a seeded state, execute it remotely and print the result
     norms plus the batching evidence from the response.
+``shard``
+    Run a problem block-decomposed across shard worker processes
+    (``docs/sharding.md``) at one or more rank counts, hard-assert that
+    forward state and adjoint gradients are bitwise identical to the
+    single-shard run, report per-timestep times and write
+    ``BENCH_shard.json``.  ``--baseline benchmarks/baseline_shard.json``
+    is the shard CI perf gate (machine-corrected via the single-shard
+    time of the same run).
 """
 
 from __future__ import annotations
@@ -472,6 +480,58 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument(
         "--backend", choices=["python", "native"], default="python",
         help="server-side execution backend (default: python)",
+    )
+
+    shd = sub.add_parser(
+        "shard",
+        help="sharded multi-process execution: bitwise contract + "
+        "per-step timings (writes BENCH_shard.json)",
+    )
+    shd.add_argument("--problem", choices=sorted(_PROBLEMS), default="heat2d")
+    shd.add_argument(
+        "--ranks", action="append", type=int, default=None, metavar="N",
+        help="shard count to test (repeatable; default: 1 2 4)",
+    )
+    shd.add_argument("--n", type=int, default=None, help="grid size")
+    shd.add_argument(
+        "--steps", type=int, default=None,
+        help="timesteps per measured run (default: 8 with --quick, 16 "
+        "otherwise)",
+    )
+    shd.add_argument(
+        "--backend", choices=["python", "native"], default="python",
+        help="bound-execution backend on every shard (default: python)",
+    )
+    shd.add_argument(
+        "--dtype", choices=["f64", "f32"], default="f64",
+        help="state dtype (default: f64)",
+    )
+    shd.add_argument(
+        "--reps", type=int, default=5,
+        help="timing repetitions, best-of (default: 5; per-step worker "
+        "dispatch is scheduling-noisy, so the gate needs best-of "
+        "sampling even with --quick)",
+    )
+    shd.add_argument(
+        "--quick", action="store_true",
+        help="small grid, fewer steps and repetitions (CI smoke / gate)",
+    )
+    shd.add_argument(
+        "--output", default="BENCH_shard.json",
+        help="where to write the JSON record (default: ./BENCH_shard.json)",
+    )
+    shd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="shard perf-regression gate: compare the sharded per-step "
+        "time against this recorded JSON (machine-corrected via the "
+        "single-shard time of the same run) and fail beyond "
+        "--max-slowdown or on lost bitwise identity",
+    )
+    shd.add_argument(
+        "--max-slowdown", type=float, default=2.0, metavar="FACTOR",
+        help="largest tolerated machine-corrected sharded_us_per_step "
+        "ratio vs the baseline (default: 2.0; per-step worker dispatch "
+        "is noisier than the in-process paths the other gates time)",
     )
     return parser
 
@@ -1245,6 +1305,230 @@ def _cmd_request(args) -> int:
     return 0
 
 
+def _stencil_radius(*kernels) -> int:
+    """Widest axis-0 access offset across the kernels' statements — the
+    halo width a sharded run of them needs."""
+    radius = 0
+    for kernel in kernels:
+        for region in kernel.regions:
+            for st in region.statements:
+                for acc in (st.target, *st.reads):
+                    for axis, off in acc.slots:
+                        if axis == 0:
+                            radius = max(radius, abs(off))
+    return radius
+
+
+def _cmd_shard(args) -> int:
+    import json
+    import os
+    import time
+
+    import numpy as np
+
+    from .core import adjoint_loops
+    from .runtime import ExecutionConfig, ShardedPlan, compile_nests
+
+    prob = _PROBLEMS[args.problem]()
+    dtype = np.float64 if args.dtype == "f64" else np.float32
+    if args.n is not None:
+        n = args.n
+    elif prob.dim >= 3:
+        n = 10 if args.quick else 16
+    else:
+        n = 96 if args.quick else 160
+    steps = args.steps if args.steps is not None else (8 if args.quick else 16)
+    reps = args.reps
+    ranks_list = args.ranks or [1, 2, 4]
+
+    bindings = prob.bindings(n, dtype=dtype)
+    fwd = compile_nests([prob.primal], bindings, name=prob.name)
+    rev = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), bindings,
+        name=prob.name + "_b",
+    )
+    halo = _stencil_radius(fwd, rev)
+    config = ExecutionConfig(backend=args.backend)
+
+    # The timestep rotation: newest history level <- output, older
+    # levels shift down.  Problems without history (the convolutions)
+    # just apply the kernel repeatedly.
+    hist = list(prob.history_fields())
+    chain = [prob.output_name, *hist]
+
+    def rotate_np(state):
+        for i in range(len(chain) - 1, 0, -1):
+            np.copyto(state[chain[i]], state[chain[i - 1]])
+
+    def rotate_sharded(plan):
+        for i in range(len(chain) - 1, 0, -1):
+            plan.copy(chain[i], chain[i - 1])
+
+    # What the adjoint step exchanges and accumulates, derived from the
+    # compiled reverse kernel: reads get fresh halos, written adjoints
+    # (all targets except the seed) fold halo contributions back.
+    seed_name = prob.output_name + "_b"
+    rev_targets = sorted(
+        {st.target.name for rg in rev.regions for st in rg.statements}
+    )
+    rev_reads = sorted(
+        {acc.name for rg in rev.regions for st in rg.statements
+         for acc in st.reads}
+    )
+    accumulate = [t for t in rev_targets if t != seed_name]
+
+    # Single-shard references: the bitwise oracle and, re-measured in
+    # this run, the machine-speed reference for the baseline gate.
+    ref = prob.allocate(n, rng=np.random.default_rng(11), dtype=dtype)
+    fwd_plan = fwd.plan(backend=args.backend)
+    bound = fwd_plan.bind(ref)
+    for _ in range(steps):
+        bound.run()
+        rotate_np(ref)
+    ref_after = {name: ref[name].copy() for name in chain}
+    single_times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            bound.run()
+            rotate_np(ref)
+        single_times.append((time.perf_counter() - t0) / steps * 1e6)
+    single_us = min(single_times)
+    fwd_plan.close()
+
+    adj_ref = prob.allocate_state(n, seed=12, dtype=dtype)
+    rev_plan = rev.plan(backend=args.backend)
+    rev_plan.bind(adj_ref).run()
+    rev_plan.close()
+
+    print(
+        f"shard: {prob.name} n={n} steps={steps} backend={args.backend} "
+        f"dtype={args.dtype}"
+    )
+    cases = {}
+    all_ok = True
+    for nranks in ranks_list:
+        state = prob.allocate(n, rng=np.random.default_rng(11), dtype=dtype)
+        with ShardedPlan(
+            fwd, state, nranks=nranks, halo=halo, config=config
+        ) as plan:
+            for _ in range(steps):
+                plan.step(exchange=hist)
+                rotate_sharded(plan)
+            got = plan.gather(chain)
+            fwd_ok = all(
+                np.array_equal(got[name], ref_after[name]) for name in chain
+            )
+            times = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                for _ in range(steps):
+                    plan.step(exchange=hist)
+                    rotate_sharded(plan)
+                times.append((time.perf_counter() - t0) / steps * 1e6)
+            sharded_us = min(times)
+            effective = plan.effective_nranks
+            multiprocess = plan.multiprocess
+
+        astate = prob.allocate_state(n, seed=12, dtype=dtype)
+        with ShardedPlan(
+            rev, astate, nranks=nranks, halo=halo, config=config
+        ) as aplan:
+            aplan.step(exchange=rev_reads, accumulate=accumulate)
+            agot = aplan.gather(rev_targets)
+        adj_ok = all(
+            np.array_equal(agot[name], adj_ref[name]) for name in rev_targets
+        )
+
+        print(
+            f"  ranks={nranks}  "
+            f"forward bitwise {'OK' if fwd_ok else 'MISMATCH'}  "
+            f"adjoint bitwise {'OK' if adj_ok else 'MISMATCH'}  "
+            f"{sharded_us / 1000:.2f} ms/step"
+        )
+        cases[f"ranks{nranks}"] = {
+            "ranks": nranks,
+            "effective_nranks": effective,
+            "multiprocess": multiprocess,
+            "sharded_us_per_step": sharded_us,
+            "forward_bitwise": fwd_ok,
+            "adjoint_bitwise": adj_ok,
+        }
+        all_ok = all_ok and fwd_ok and adj_ok
+
+    record = {
+        "benchmark": "sharded_plan",
+        "problem": prob.name,
+        "n": n,
+        "steps": steps,
+        "backend": args.backend,
+        "dtype": args.dtype,
+        "reps": reps,
+        "halo": halo,
+        "cpu_count": os.cpu_count(),
+        "single_us_per_step": single_us,
+        "unix_time": round(time.time(), 1),
+        "cases": cases,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output} (backend={args.backend})")
+    if all_ok:
+        print("VERDICT: sharded == single-shard, bitwise, at every rank count")
+    else:
+        print("VERDICT: bitwise contract VIOLATED")
+    if args.baseline is not None:
+        all_ok = _check_shard_baseline(
+            record, args.baseline, args.max_slowdown
+        ) and all_ok
+    return 0 if all_ok else 1
+
+
+def _check_shard_baseline(record, baseline_path: str, max_slowdown: float) -> bool:
+    """The shard CI perf gate: current record vs a checked-in one.
+
+    Bitwise identity is absolute; the per-step time is compared
+    machine-corrected, with the single-shard per-step time of the same
+    run as the hardware reference (:func:`_corrected_slowdown`), so a
+    slower CI runner fails only on a real sharding regression.
+    """
+    print(f"shard baseline gate vs {baseline_path} (max slowdown {max_slowdown}x):")
+    baseline = _load_baseline(
+        record, baseline_path,
+        ("benchmark", "problem", "n", "steps", "backend", "dtype"),
+        "shard baseline gate",
+    )
+    if baseline is None:
+        return False
+    base_cases = baseline.get("cases", {})
+    ok = True
+    for label, case in record["cases"].items():
+        if not (case["forward_bitwise"] and case["adjoint_bitwise"]):
+            print(f"  {label:8s} FAIL: lost bitwise identity")
+            ok = False
+            continue
+        base = base_cases.get(label)
+        if base is None:
+            print(f"  {label:8s} pass (no baseline case)")
+            continue
+        raw, machine, slowdown = _corrected_slowdown(
+            case["sharded_us_per_step"], base["sharded_us_per_step"],
+            record["single_us_per_step"], baseline["single_us_per_step"],
+        )
+        verdict = "pass" if slowdown <= max_slowdown else "FAIL"
+        print(
+            f"  {label:8s} {verdict}: {case['sharded_us_per_step']:.1f} "
+            f"us/step vs baseline {base['sharded_us_per_step']:.1f} us/step "
+            f"({raw:.2f}x raw, {machine:.2f}x machine factor, "
+            f"{slowdown:.2f}x corrected)"
+        )
+        if slowdown > max_slowdown:
+            ok = False
+    print("  shard baseline gate: " + ("PASS" if ok else "FAIL"))
+    return ok
+
+
 def _cmd_loop_counts(args) -> int:
     print(f"{'problem':12s}{'adjoint loop nests':>20s}")
     for name, factory in sorted(_PROBLEMS.items()):
@@ -1275,6 +1559,8 @@ def _dispatch(args) -> int:
         return _cmd_serve(args)
     if args.command == "request":
         return _cmd_request(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "EnsembleBindError",
     "SchedulerError",
     "ServeError",
+    "ShardError",
 ]
 
 
@@ -128,6 +129,23 @@ class SchedulerError(KernelError):
     but gives cancellation bookkeeping a typed home when the failure
     itself is untyped.
     """
+
+
+class ShardError(KernelError):
+    """A sharded multi-process run failed in a non-recoverable way.
+
+    Raised when a shard worker reports a kernel failure mid-step or its
+    pipe closes mid-dispatch — states where some ranks may already have
+    advanced, so the documented single-shard degradation (which requires
+    a consistent pre-step state) cannot apply.  Names the failing rank.
+    A worker found dead *before* dispatch degrades instead: the
+    ``shard.worker`` fault point's fallback re-executes on a single
+    shard, bitwise-identically.
+    """
+
+    def __init__(self, message: str, *, rank: int | None = None) -> None:
+        super().__init__(message)
+        self.rank = rank
 
 
 class ServeError(ReproError, RuntimeError):

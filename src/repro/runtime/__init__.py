@@ -9,11 +9,16 @@ from ..errors import (
     ReproError,
     SchedulerError,
     ServeError,
+    ShardError,
     ValidationError,
 )
 from .bindings import Bindings
 from .bound import BoundPlan
-from .checkpoint import CheckpointedAdjointPlan, SnapshotPool
+from .checkpoint import (
+    CheckpointedAdjointPlan,
+    ShardedCheckpointedAdjoint,
+    SnapshotPool,
+)
 from .cache import (
     KernelCache,
     clear_kernel_cache,
@@ -21,7 +26,12 @@ from .cache import (
     kernel_key,
     native_cache_dir,
 )
-from .distributed import DistributedExecutor, RankSlab, decompose
+from .distributed import (
+    DistributedExecutor,
+    RankSlab,
+    ShardedPlan,
+    decompose,
+)
 from .ensemble import EnsemblePlan, batch_safe_statement, stack_arrays
 from .native import (
     NativeLibrary,
@@ -38,7 +48,12 @@ from .compiler import (
 )
 from .interpreter import interpret_nests
 from .parallel import ParallelExecutor
-from .plan import ExecutionConfig, ExecutionPlan, validate_scatter_kernel
+from .plan import (
+    ExecutionConfig,
+    ExecutionPlan,
+    ShardSpec,
+    validate_scatter_kernel,
+)
 from .profiler import KernelProfile, RegionProfile, profile_kernel
 from .server import KernelServer, seeded_state, state_shapes
 from .client import KernelClient, ServeResult
@@ -61,6 +76,10 @@ __all__ = [
     "ReproError",
     "SchedulerError",
     "ServeError",
+    "ShardError",
+    "ShardSpec",
+    "ShardedCheckpointedAdjoint",
+    "ShardedPlan",
     "ValidationError",
     "faults",
     "CompiledKernel",

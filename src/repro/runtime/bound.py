@@ -81,7 +81,12 @@ import sympy as sp
 
 from ..codegen.native_c import native_eligibility
 from ..core.fusion import FusionEntry, describe_groups, plan_groups
-from ..errors import KernelError, NumericalDivergenceError, ReproError
+from ..errors import (
+    KernelError,
+    NumericalDivergenceError,
+    ReproError,
+    ValidationError,
+)
 from . import faults
 from .compiler import (
     CompiledStatement,
@@ -530,6 +535,29 @@ class BoundPlan:
             if config.backend == "native"
             else None
         )
+        shard = getattr(plan, "shard", None)
+        if shard is not None:
+            # Shard-aware bind: the plan's statement boxes were
+            # translated into local slab coordinates, so every bound
+            # array must span exactly the shard's slab.  Catching a
+            # mismatch here names the rank and the array instead of
+            # surfacing as an opaque out-of-bounds view error.
+            names = set()
+            for rp in plan.region_plans:
+                for st in rp.region.statements:
+                    names.add(st.target.name)
+                    names.update(acc.name for acc in st.reads)
+            for name in sorted(names):
+                extent = arrays[name].shape[0]
+                if extent != shard.slab_extent:
+                    raise ValidationError(
+                        f"shard rank {shard.rank}: array {name!r} has "
+                        f"axis-0 extent {extent} but the shard's slab "
+                        f"spans {shard.slab_extent} rows (global rows "
+                        f"[{shard.slab_lo}, "
+                        f"{shard.slab_lo + shard.slab_extent - 1}]); "
+                        f"bind slab-sized arrays"
+                    )
         sources: dict[str, np.ndarray] = {}
 
         def resolve(name: str) -> np.ndarray:

@@ -66,7 +66,11 @@ from ..errors import CheckpointError, ReproError
 from . import faults
 from .compiler import KernelError
 
-__all__ = ["SnapshotPool", "CheckpointedAdjointPlan"]
+__all__ = [
+    "SnapshotPool",
+    "CheckpointedAdjointPlan",
+    "ShardedCheckpointedAdjoint",
+]
 
 
 class SnapshotPool:
@@ -585,6 +589,309 @@ class CheckpointedAdjointPlan:
             self._scheduler = None
 
     def __enter__(self) -> "CheckpointedAdjointPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedCheckpointedAdjoint:
+    """Checkpointed adjoint sweeps over a block-decomposed sharded grid.
+
+    The sharded sibling of :class:`CheckpointedAdjointPlan`: the same
+    ``h + 1`` rotating-buffer state model and the same **single**
+    revolve schedule, but every buffer is block-decomposed across the
+    ranks of one :class:`~repro.runtime.distributed.ShardedPlan`, and
+    every schedule action runs as one sharded step — per-shard bound
+    plans for each rotation parity (keys ``("fwd", p)`` / ``("rev", q)``
+    with alias maps assigning the rotating physical buffers to kernel
+    roles), a history-field halo exchange before each run, and the
+    adjoint accumulate-back merged in fixed rank order after each
+    reverse run.  Snapshots store **global** assemblies of the owned
+    rows (halo state is canonical — a restore re-scatters exactly what
+    an exchange would produce), so the pool is rank-count independent
+    and a mid-sweep single-shard degradation keeps every stored
+    snapshot usable.
+
+    Results are bitwise identical to the unsharded
+    :class:`CheckpointedAdjointPlan` for any rank count — asserted by
+    ``tests/test_sharded_plan.py``.  Unlike the unsharded plan, the
+    result mapping holds fresh gathered arrays, not persistent buffers.
+    """
+
+    def __init__(
+        self,
+        forward_kernel,
+        reverse_kernel,
+        shape: tuple[int, ...],
+        *,
+        nranks: int,
+        halo: int,
+        steps: int,
+        snaps: int,
+        output: str = "u",
+        history: Sequence[str] = ("u_1",),
+        constants: Mapping[str, np.ndarray] | None = None,
+        adjoint_map: Mapping[str, str] | None = None,
+        dtype=np.float64,
+        config=None,
+        use_workers: bool = True,
+    ) -> None:
+        from .distributed import ShardedPlan  # avoids import cycle
+
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if snaps < 1:
+            raise ValueError("snaps must be >= 1")
+        history = tuple(history)
+        if not history:
+            raise ValueError("need at least one history field")
+        constants = dict(constants or {})
+        adjoint_map = dict(adjoint_map or {})
+        adj = lambda name: adjoint_map.get(name, f"{name}_b")  # noqa: E731
+
+        self.steps = steps
+        self.snaps = snaps
+        self.output = output
+        self.history = history
+        self.dtype = np.dtype(dtype)
+        shape = tuple(shape)
+        self._shape = shape
+        h = len(history)
+        m = h + 1
+        for name, arr in constants.items():
+            if tuple(arr.shape) != shape:
+                raise ValueError(
+                    f"constant {name!r} has shape {arr.shape}, expected "
+                    f"{shape}"
+                )
+            if arr.dtype != self.dtype:
+                raise ValueError(
+                    f"constant {name!r} is {arr.dtype}, expected "
+                    f"{self.dtype}: a promoted constant would break the "
+                    f"end-to-end reduced-precision contract; cast it first"
+                )
+
+        rev_names = {
+            name
+            for region in reverse_kernel.regions
+            for st in region.statements
+            for name in (st.target.name, *(acc.name for acc in st.reads))
+        }
+        # Physical buffer namespace: h + 1 rotating state buffers, the
+        # reverse working set, and the constants.  Role assignment per
+        # rotation parity happens through the ShardedPlan alias maps.
+        self._rot = tuple(f"__rot{k}" for k in range(m))
+        self._seed_name = adj(output)
+        self._hist_adj = tuple(adj(name) for name in history)
+        self._const_adj = tuple(
+            adj(name) for name in sorted(constants) if adj(name) in rev_names
+        )
+        arrays: dict[str, np.ndarray] = {
+            name: np.zeros(shape, dtype=self.dtype)
+            for name in (
+                *self._rot,
+                self._seed_name,
+                *self._hist_adj,
+                *self._const_adj,
+            )
+        }
+        arrays.update(constants)
+
+        kernels = {}
+        aliases = {}
+        for p in range(m):
+            kernels[("fwd", p)] = forward_kernel
+            aliases[("fwd", p)] = {
+                output: self._rot[p],
+                **{
+                    history[k]: self._rot[(p - 1 - k) % m]
+                    for k in range(h)
+                },
+            }
+        for q in range(m):
+            kernels[("rev", q)] = reverse_kernel
+            aliases[("rev", q)] = {
+                history[k]: self._rot[(q - k) % m] for k in range(h)
+            }
+        self._plan = ShardedPlan(
+            kernels,
+            arrays,
+            nranks=nranks,
+            halo=halo,
+            config=config,
+            aliases=aliases,
+            use_workers=use_workers,
+        )
+        self.nranks = self._plan.nranks
+        self.effective_nranks = self._plan.effective_nranks
+
+        # Snapshots hold global assemblies, so one pool serves any rank
+        # count and survives a mid-sweep single-shard degradation.
+        self._pool = SnapshotPool(snaps, shape, self.dtype, fields=h)
+        self._scratch = tuple(
+            np.empty(shape, dtype=self.dtype) for _ in range(h)
+        )
+        self._actions = tuple(schedule(steps, snaps))
+        self.evaluation_cost = schedule_cost(list(self._actions))
+        self.forward_steps = 0
+        self._live = 0
+        self._fresh_seed = True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def actions(self) -> tuple:
+        """The revolve action sequence executed per :meth:`adjoint` call."""
+        return self._actions
+
+    @property
+    def snapshot_pool(self) -> SnapshotPool:
+        return self._pool
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the underlying sharded plan fell back to one shard."""
+        return self._plan.degraded
+
+    # -- state plumbing ----------------------------------------------------
+
+    def _live_names(self) -> list[str]:
+        """Physical buffer names of the live state, newest first."""
+        m = len(self._rot)
+        return [
+            self._rot[(self._live - k) % m] for k in range(len(self.history))
+        ]
+
+    def _load_state0(self, state0: Sequence[np.ndarray]) -> None:
+        h = len(self.history)
+        state0 = list(state0)
+        if len(state0) != h:
+            raise ValueError(
+                f"state0 must hold {h} array(s) (newest first, one per "
+                f"history field {self.history}), got {len(state0)}"
+            )
+        for arr in state0:
+            if tuple(np.shape(arr)) != self._shape:
+                raise ValueError(
+                    f"state0 arrays must have shape {self._shape}, got "
+                    f"{tuple(np.shape(arr))}"
+                )
+        self._live = 0
+        for k, arr in enumerate(state0):
+            self._plan.load(self._rot[(-k) % len(self._rot)], arr)
+
+    def _advance(self, count: int) -> None:
+        h = len(self.history)
+        m = len(self._rot)
+        for _ in range(count):
+            p = (self._live + 1) % m
+            self._plan.fill(self._rot[p], 0.0)
+            self._plan.step(
+                ("fwd", p),
+                exchange=[self._rot[(p - 1 - k) % m] for k in range(h)],
+            )
+            self._live = p
+        self.forward_steps += count
+
+    def _begin_reverse(self, seed: np.ndarray) -> None:
+        self._plan.load(self._seed_name, seed)
+        for name in (*self._hist_adj, *self._const_adj):
+            self._plan.fill(name, 0.0)
+
+    def _rotate_adjoint(self) -> None:
+        self._plan.copy(self._seed_name, self._hist_adj[0])
+        for k in range(len(self._hist_adj) - 1):
+            self._plan.copy(self._hist_adj[k], self._hist_adj[k + 1])
+        self._plan.fill(self._hist_adj[-1], 0.0)
+
+    # -- schedule action handlers ------------------------------------------
+
+    def _on_snapshot(self, slot: int, step: int) -> None:
+        for name, dst in zip(self._live_names(), self._scratch):
+            self._plan.gather_into(name, dst)
+        self._pool.store(slot, self._scratch)
+
+    def _on_advance(self, begin: int, end: int) -> None:
+        self._advance(end - begin)
+
+    def _on_restore(self, slot: int, step: int) -> None:
+        self._pool.load(slot, self._scratch)
+        for name, src in zip(self._live_names(), self._scratch):
+            self._plan.load(name, src)
+
+    def _on_reverse(self, step: int) -> None:
+        if self._fresh_seed:
+            self._fresh_seed = False
+        else:
+            self._rotate_adjoint()
+        h = len(self.history)
+        m = len(self._rot)
+        q = self._live
+        self._plan.step(
+            ("rev", q),
+            exchange=[
+                self._seed_name,
+                *(self._rot[(q - k) % m] for k in range(h)),
+            ],
+            accumulate=[*self._hist_adj, *self._const_adj],
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run_forward(self, state0: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Run the primal ``steps`` steps; returns the gathered final
+        state (newest first — the final output field leads)."""
+        self._load_state0(state0)
+        self.forward_steps = 0
+        self._advance(self.steps)
+        gathered = self._plan.gather(self._live_names())
+        return [gathered[name] for name in self._live_names()]
+
+    def adjoint(
+        self, state0: Sequence[np.ndarray], seed: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """One sharded checkpointed adjoint sweep.
+
+        Same calling convention as
+        :meth:`CheckpointedAdjointPlan.adjoint`; returns freshly
+        gathered global adjoint arrays (the initial-state adjoints under
+        the history-field adjoint names, plus constant adjoints).
+        """
+        if tuple(np.shape(seed)) != self._shape:
+            raise ValueError(
+                f"seed must have shape {self._shape}, got "
+                f"{tuple(np.shape(seed))}"
+            )
+        self._load_state0(state0)
+        self.forward_steps = 0
+        self._begin_reverse(seed)
+        self._fresh_seed = True
+        try:
+            execute_schedule(
+                self._actions,
+                snapshot=self._on_snapshot,
+                advance=self._on_advance,
+                restore=self._on_restore,
+                reverse=self._on_reverse,
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"sharded checkpointed adjoint sweep failed mid-schedule: "
+                f"{exc}; the plan is reusable — the next adjoint() call "
+                f"reloads all state"
+            ) from exc
+        return self._plan.gather([*self._hist_adj, *self._const_adj])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop shard workers and release shared-memory segments."""
+        self._plan.close()
+
+    def __enter__(self) -> "ShardedCheckpointedAdjoint":
         return self
 
     def __exit__(self, *exc) -> None:

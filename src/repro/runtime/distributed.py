@@ -1,39 +1,79 @@
-"""Simulated distributed-memory execution with halo exchange.
+"""Sharded distributed-memory execution with halo exchange.
 
 The paper's related work covers AD of MPI-parallel programs (Hovland
 [13]) and notes that stencil compilers "can parallelise in MPI or shared
 memory" given the stencil structure.  This module provides that
-distributed-memory substrate in simulated form (no MPI available in this
-environment; per DESIGN.md §4 the substitution keeps the communication
-pattern and data ownership exact, replacing network transport with array
-copies between per-rank storage):
+distributed-memory substrate in two layers:
 
-* the domain is block-decomposed along the outermost axis; every rank
-  owns an interior slab and allocates a halo of the stencil radius;
+* :class:`DistributedExecutor` — the simulated substrate (per DESIGN.md
+  §4: no MPI in this environment, so network transport is replaced by
+  array copies between per-rank storage while the communication pattern
+  and data ownership stay exact).  The domain is block-decomposed along
+  the outermost axis; every rank owns an interior slab plus a halo of
+  the stencil radius.
+* :class:`ShardedPlan` — real multi-process execution wired into the
+  plan/bind runtime.  Each rank's slab lives in a
+  ``multiprocessing.shared_memory`` segment; one
+  :class:`~repro.runtime.bound.BoundPlan` per shard (python or native
+  backend) is bound against the slab views and executed by a forked
+  worker process; the parent performs the forward ghost-cell exchange
+  and the adjoint accumulate-back between steps.
+
+The communication pattern, in both layers:
+
 * **forward**: ranks exchange interior boundary layers into neighbours'
-  halos (the classic ghost-cell exchange), then run the compiled kernel
-  on their local box — bitwise equal to the global run;
+  halos (the classic ghost-cell exchange), then run the kernel on their
+  owned rows — bitwise equal to the global run;
 * **adjoint**: ranks run the adjoint stencil kernels locally; adjoint
   contributions that land in a rank's *halo* belong to the neighbour's
   interior, so the reverse of the halo exchange is an *accumulate-back*
   (receive-and-add) — the standard adjoint-MPI transformation where a
-  send becomes a receive-increment.
+  send becomes a receive-increment.  Pairs are visited left-to-right in
+  fixed rank order, so the scatter-add merge is deterministic.
 
-Because the gather-form adjoint writes each index from one rank's
-iterations only (plus halo contributions), the distributed adjoint equals
-the global adjoint to machine precision, which the tests assert.
+Because the gather-form adjoint (the paper's construction) writes each
+index from one rank's iterations only, the sharded adjoint is **bitwise
+identical** to the global adjoint for any rank count, which the tests
+assert.
+
+Failure behaviour (see :mod:`repro.runtime.faults`): the
+``shard.exchange`` and ``shard.worker`` fault points both carry the
+*fallback* contract — a failed halo copy or a worker found dead before
+dispatch degrades the plan to single-shard execution on the caller's
+global arrays, bitwise-identically, with one warning.  A worker that
+fails *mid-step* (after dispatch) raises a typed
+:class:`~repro.errors.ShardError` instead, because some ranks may
+already have advanced.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import secrets
+import warnings
+import weakref
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..errors import ShardError, ValidationError
+from . import faults
 from .compiler import CompiledKernel
+from .plan import ExecutionConfig, ExecutionPlan, ShardSpec
 
-__all__ = ["RankSlab", "DistributedExecutor", "decompose"]
+__all__ = [
+    "RankSlab",
+    "DistributedExecutor",
+    "ShardedPlan",
+    "decompose",
+]
+
+# Prefix of every shared-memory segment a ShardedPlan creates; the CI
+# shard job removes /dev/shm/repro_shard_* on failure.
+_SEGMENT_PREFIX = "repro_shard_"
 
 
 def decompose(extent: int, nranks: int) -> list[tuple[int, int]]:
@@ -51,6 +91,24 @@ def decompose(extent: int, nranks: int) -> list[tuple[int, int]]:
     return out
 
 
+def _validate_halo(ranges: Sequence[tuple[int, int]], halo: int) -> None:
+    """Reject halos wider than the smallest owned slab.
+
+    A wider halo would make the exchange read a neighbour's *halo* rows
+    as if they were interior — stale data silently exchanged as owned.
+    """
+    sizes = [hi - lo + 1 for lo, hi in ranges]
+    smallest = min(sizes)
+    if halo > smallest:
+        rank = sizes.index(smallest)
+        raise ValidationError(
+            f"halo {halo} exceeds the smallest owned slab ({smallest} "
+            f"row(s) on rank {rank} of {len(ranges)}): the exchange "
+            f"would read past that rank's owned rows; use fewer ranks "
+            f"or a narrower halo"
+        )
+
+
 @dataclass
 class RankSlab:
     """One rank's storage: owned global rows plus halo layers."""
@@ -66,13 +124,69 @@ class RankSlab:
         return global_index - self.slab_lo
 
 
+def _exchange_pairs(
+    slabs: Sequence[RankSlab],
+    names: Sequence[str],
+    halo: int,
+    check: bool = False,
+) -> None:
+    """Ghost-cell exchange between neighbouring slabs, both directions."""
+    h = halo
+    if h == 0:
+        return
+    for left, right in zip(slabs, slabs[1:]):
+        if check:
+            faults.check("shard.exchange")
+        for name in names:
+            la, ra = left.arrays[name], right.arrays[name]
+            l_own_hi = left.own_hi - left.slab_lo
+            r_own_lo = right.own_lo - right.slab_lo
+            # left's top halo <- right's first owned rows
+            la[l_own_hi + 1 : l_own_hi + 1 + h] = ra[r_own_lo : r_own_lo + h]
+            # right's bottom halo <- left's last owned rows
+            ra[r_own_lo - h : r_own_lo] = la[l_own_hi + 1 - h : l_own_hi + 1]
+
+
+def _accumulate_pairs(
+    slabs: Sequence[RankSlab], names: Sequence[str], halo: int
+) -> None:
+    """Adjoint of the exchange: add halo contributions to the owner.
+
+    Pairs are visited left-to-right and, within a pair, left-halo before
+    right-halo — a fixed merge order, so the scatter-add is
+    deterministic.  An all-zero halo block is skipped rather than added:
+    ``x += 0.0`` flips ``-0.0`` to ``+0.0``, which would break the
+    bitwise contract for contributions that never happened.
+    """
+    h = halo
+    if h == 0:
+        return
+    for left, right in zip(slabs, slabs[1:]):
+        for name in names:
+            la, ra = left.arrays[name], right.arrays[name]
+            l_own_hi = left.own_hi - left.slab_lo
+            r_own_lo = right.own_lo - right.slab_lo
+            # left's top halo rows belong to right's interior.
+            block = la[l_own_hi + 1 : l_own_hi + 1 + h]
+            if block.any():
+                ra[r_own_lo : r_own_lo + h] += block
+            la[l_own_hi + 1 : l_own_hi + 1 + h] = 0.0
+            # right's bottom halo rows belong to left's interior.
+            block = ra[r_own_lo - h : r_own_lo]
+            if block.any():
+                la[l_own_hi + 1 - h : l_own_hi + 1] += block
+            ra[r_own_lo - h : r_own_lo] = 0.0
+
+
 class DistributedExecutor:
     """Execute compiled kernels on a block-decomposed domain.
 
     Parameters
     ----------
     nranks:
-        Number of simulated ranks.
+        Number of simulated ranks requested.  When the extent is smaller
+        the decomposition clamps; :attr:`effective_nranks` records the
+        rank count actually used (one warning per executor).
     halo:
         Halo width (the stencil radius; must cover every access offset of
         the kernels run through this executor).
@@ -83,6 +197,8 @@ class DistributedExecutor:
             raise ValueError("halo must be >= 0")
         self.nranks = nranks
         self.halo = halo
+        self.effective_nranks: int | None = None
+        self._warned_clamp = False
 
     # -- setup -----------------------------------------------------------------
 
@@ -93,6 +209,16 @@ class DistributedExecutor:
             raise ValueError("all arrays must share one shape")
         extent = next(iter(shapes))[0]
         ranges = decompose(extent, self.nranks)
+        self.effective_nranks = len(ranges)
+        if self.effective_nranks < self.nranks and not self._warned_clamp:
+            self._warned_clamp = True
+            warnings.warn(
+                f"requested {self.nranks} ranks but the axis-0 extent is "
+                f"{extent}; using {self.effective_nranks} rank(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        _validate_halo(ranges, self.halo)
         slabs = []
         for r, (lo, hi) in enumerate(ranges):
             slab_lo = max(0, lo - self.halo)
@@ -113,9 +239,12 @@ class DistributedExecutor:
         self, slabs: Sequence[RankSlab], names: Sequence[str], extent: int
     ) -> dict[str, np.ndarray]:
         """Assemble owned rows of each rank back into global arrays."""
-        sample = slabs[0].arrays[names[0]]
         out = {
-            name: np.zeros((extent,) + sample.shape[1:]) for name in names
+            name: np.zeros(
+                (extent,) + slabs[0].arrays[name].shape[1:],
+                dtype=slabs[0].arrays[name].dtype,
+            )
+            for name in names
         }
         for slab in slabs:
             lo, hi = slab.own_lo, slab.own_hi
@@ -129,18 +258,7 @@ class DistributedExecutor:
     def halo_exchange(self, slabs: Sequence[RankSlab], names: Sequence[str]) -> None:
         """Forward ghost-cell exchange: copy neighbours' interior rows into
         each rank's halo layers (both directions)."""
-        h = self.halo
-        if h == 0:
-            return
-        for left, right in zip(slabs, slabs[1:]):
-            for name in names:
-                la, ra = left.arrays[name], right.arrays[name]
-                l_own_hi = left.own_hi - left.slab_lo
-                r_own_lo = right.own_lo - right.slab_lo
-                # left's top halo <- right's first owned rows
-                la[l_own_hi + 1 : l_own_hi + 1 + h] = ra[r_own_lo : r_own_lo + h]
-                # right's bottom halo <- left's last owned rows
-                ra[r_own_lo - h : r_own_lo] = la[l_own_hi + 1 - h : l_own_hi + 1]
+        _exchange_pairs(slabs, names, self.halo)
 
     def halo_accumulate_back(
         self, slabs: Sequence[RankSlab], names: Sequence[str]
@@ -148,20 +266,7 @@ class DistributedExecutor:
         """Adjoint of the halo exchange: add each rank's halo contributions
         into the owning neighbour's interior, then zero the halo (a send
         in the primal becomes a receive-and-increment in the adjoint)."""
-        h = self.halo
-        if h == 0:
-            return
-        for left, right in zip(slabs, slabs[1:]):
-            for name in names:
-                la, ra = left.arrays[name], right.arrays[name]
-                l_own_hi = left.own_hi - left.slab_lo
-                r_own_lo = right.own_lo - right.slab_lo
-                # left's top halo rows belong to right's interior.
-                ra[r_own_lo : r_own_lo + h] += la[l_own_hi + 1 : l_own_hi + 1 + h]
-                la[l_own_hi + 1 : l_own_hi + 1 + h] = 0.0
-                # right's bottom halo rows belong to left's interior.
-                la[l_own_hi + 1 - h : l_own_hi + 1] += ra[r_own_lo - h : r_own_lo]
-                ra[r_own_lo - h : r_own_lo] = 0.0
+        _accumulate_pairs(slabs, names, self.halo)
 
     # -- execution -------------------------------------------------------------
 
@@ -186,3 +291,442 @@ class DistributedExecutor:
                     continue
                 bounds[0] = (lo - shift, hi - shift)
                 region.execute(slab.arrays, tuple(bounds))
+
+
+# -- sharded plan/bind execution -----------------------------------------------
+
+
+def _kernel_array_names(kernel: CompiledKernel) -> set[str]:
+    names: set[str] = set()
+    for region in kernel.regions:
+        for st in region.statements:
+            names.add(st.target.name)
+            names.update(acc.name for acc in st.reads)
+    return names
+
+
+def _worker_main(conn, plans) -> None:
+    """Command loop of one forked shard worker process.
+
+    *plans* maps kernel key -> the rank's :class:`BoundPlan`, already
+    bound (pre-fork) against views into the rank's shared-memory slab,
+    so ``run()`` writes are visible to the parent and siblings.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "run":
+                try:
+                    plans[msg[1]].run()
+                except Exception as exc:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                else:
+                    conn.send(("done", msg[1]))
+            elif msg[0] == "exit":
+                return
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        return
+
+
+def _release(workers: list, conns: list, segments: list) -> None:
+    """Stop worker processes and unlink shared-memory segments.
+
+    Module-level (not a method) so a ``weakref.finalize`` safety net can
+    call it without keeping the plan alive.  Mutates the lists in place
+    so a second call — finalizer after an explicit ``close()`` — is a
+    no-op.
+    """
+    for conn in conns:
+        try:
+            conn.send(("exit",))
+        except Exception:
+            pass
+    for proc in workers:
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=5)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    workers.clear()
+    conns.clear()
+    for shm in segments:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # A numpy view into the segment is still alive (e.g. the
+            # caller holds a slab reference); the mapping is released
+            # when the view dies or the process exits — the name is
+            # already unlinked either way.
+            pass
+    segments.clear()
+
+
+class ShardedPlan:
+    """Block-decomposed multi-process execution of bound plans.
+
+    The axis-0 extent of *arrays* is decomposed into ``nranks``
+    near-equal contiguous slabs (plus ``halo`` ghost rows); every slab
+    lives in a ``multiprocessing.shared_memory`` segment, and one
+    :class:`~repro.runtime.bound.BoundPlan` per (rank, kernel key) is
+    bound against views into it — planned with a
+    :class:`~repro.runtime.plan.ShardSpec`, so each rank executes only
+    its owned rows, in local slab coordinates.  Forked worker processes
+    (one per rank) run the bound plans; the parent orchestrates halo
+    exchange, dispatch, and adjoint accumulate-back per :meth:`step`.
+
+    *kernels* is a single :class:`CompiledKernel` (key ``"main"``) or a
+    mapping of keys to kernels; *aliases* optionally maps, per key, a
+    kernel-side array name to the physical buffer name it should bind
+    (how the checkpointing layer points rotation parities at rotating
+    physical buffers).
+
+    The contract: results and gradients are **bitwise identical** to a
+    single-shard :class:`BoundPlan` run for any rank count.  On a halo
+    copy failure (``shard.exchange``) or a worker found dead before
+    dispatch (``shard.worker``), the plan degrades — permanently, with
+    one warning — to single-shard execution on the caller's global
+    arrays, preserving that contract.
+    """
+
+    def __init__(
+        self,
+        kernels: CompiledKernel | Mapping[object, CompiledKernel],
+        arrays: Mapping[str, np.ndarray],
+        *,
+        nranks: int,
+        halo: int,
+        config: ExecutionConfig | None = None,
+        aliases: Mapping[object, Mapping[str, str]] | None = None,
+        use_workers: bool = True,
+    ):
+        if isinstance(kernels, CompiledKernel):
+            kernels = {"main": kernels}
+        if not kernels:
+            raise ValidationError("ShardedPlan needs at least one kernel")
+        if not arrays:
+            raise ValidationError("ShardedPlan needs at least one array")
+        if halo < 0:
+            raise ValidationError("halo must be >= 0")
+        self._kernels = dict(kernels)
+        self.config = config if config is not None else ExecutionConfig()
+        self._aliases = {
+            key: dict((aliases or {}).get(key, ())) for key in self._kernels
+        }
+        shapes = {a.shape for a in arrays.values()}
+        if len(shapes) != 1:
+            raise ValidationError(
+                "all sharded arrays must share one shape; got "
+                f"{sorted(shapes)}"
+            )
+        for key, kernel in self._kernels.items():
+            amap = self._aliases[key]
+            missing = {
+                amap.get(n, n) for n in _kernel_array_names(kernel)
+            } - set(arrays)
+            if missing:
+                raise ValidationError(
+                    f"kernel {key!r} needs arrays {sorted(missing)} that "
+                    f"are not in the sharded namespace"
+                )
+        self.extent = next(iter(shapes))[0]
+        ranges = decompose(self.extent, nranks)
+        self.nranks = nranks
+        self.effective_nranks = len(ranges)
+        if self.effective_nranks < nranks:
+            warnings.warn(
+                f"requested {nranks} ranks but the axis-0 extent is "
+                f"{self.extent}; using {self.effective_nranks} rank(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        _validate_halo(ranges, halo)
+        self.halo = halo
+        self._globals = dict(arrays)
+        self._names = list(arrays)
+        self._degraded = False
+        self._single: dict[object, object] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._workers: list[multiprocessing.process.BaseProcess] = []
+        self._conns: list = []
+        self.slabs: list[RankSlab] = []
+        try:
+            self._build_slabs(ranges)
+            self._bound = [self._bind_rank(slab) for slab in self.slabs]
+            if use_workers and "fork" in multiprocessing.get_all_start_methods():
+                self._start_workers()
+        except BaseException:
+            _release(self._workers, self._conns, self._segments)
+            raise
+        self._finalizer = weakref.finalize(
+            self, _release, self._workers, self._conns, self._segments
+        )
+
+    # -- construction ------------------------------------------------------
+
+    def _build_slabs(self, ranges: Sequence[tuple[int, int]]) -> None:
+        tag = f"{os.getpid()}_{secrets.token_hex(4)}"
+        for r, (lo, hi) in enumerate(ranges):
+            slab_lo = max(0, lo - self.halo)
+            slab_hi = min(self.extent - 1, hi + self.halo)
+            local: dict[str, np.ndarray] = {}
+            for name, arr in self._globals.items():
+                src = np.ascontiguousarray(arr[slab_lo : slab_hi + 1])
+                shm = shared_memory.SharedMemory(
+                    name=f"{_SEGMENT_PREFIX}{tag}_{len(self._segments)}",
+                    create=True,
+                    size=max(1, src.nbytes),
+                )
+                self._segments.append(shm)
+                view = np.ndarray(src.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = src
+                local[name] = view
+            self.slabs.append(
+                RankSlab(
+                    rank=r, own_lo=lo, own_hi=hi, halo=self.halo,
+                    slab_lo=slab_lo, arrays=local,
+                )
+            )
+
+    def _bind_rank(self, slab: RankSlab) -> dict:
+        spec = ShardSpec(
+            rank=slab.rank,
+            own_lo=slab.own_lo,
+            own_hi=slab.own_hi,
+            slab_lo=slab.slab_lo,
+            slab_extent=next(iter(slab.arrays.values())).shape[0],
+        )
+        per_key = {}
+        for key, kernel in self._kernels.items():
+            plan = ExecutionPlan.build(kernel, self.config, shard=spec)
+            amap = self._aliases[key]
+            local = {
+                name: slab.arrays[amap.get(name, name)]
+                for name in _kernel_array_names(kernel)
+            }
+            per_key[key] = plan.bind(local)
+        return per_key
+
+    def _start_workers(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        for plans in self._bound:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, plans), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the plan fell back to single-shard execution."""
+        return self._degraded
+
+    @property
+    def multiprocess(self) -> bool:
+        """Whether steps are executed by forked worker processes."""
+        return bool(self._workers)
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(
+        self,
+        key: object = "main",
+        exchange: Sequence[str] = (),
+        accumulate: Sequence[str] = (),
+    ) -> None:
+        """Run kernel *key* once on every shard.
+
+        *exchange* names arrays whose halos are refreshed from the
+        neighbours' owned rows before the run (forward ghost-cell
+        exchange); *accumulate* names arrays whose halo contributions
+        are added back to the owning neighbour after the run (adjoint
+        accumulate-back), in fixed rank order.  Accumulate-target halos
+        are zeroed *before* the run so only contributions this step
+        produced travel back.
+        """
+        if key not in self._kernels:
+            raise ValidationError(
+                f"unknown kernel key {key!r}; have {sorted(map(repr, self._kernels))}"
+            )
+        if self._degraded:
+            self._single[key].run()
+            return
+        try:
+            _exchange_pairs(self.slabs, exchange, self.halo, check=True)
+            self._zero_halos(accumulate)
+            self._heartbeat()
+        except OSError as exc:
+            self._degrade(str(exc))
+            self._single[key].run()
+            return
+        self._dispatch(key)
+        _accumulate_pairs(self.slabs, accumulate, self.halo)
+
+    def _heartbeat(self) -> None:
+        """Probe worker liveness for every rank, before any dispatch.
+
+        Runs *before* the first ``send`` so a dead worker is discovered
+        while no rank has advanced — the state every rank holds is still
+        the consistent pre-step state the degradation path gathers.
+        """
+        for _ in range(self.effective_nranks):
+            faults.check("shard.worker")
+        for rank, proc in enumerate(self._workers):
+            if not proc.is_alive():
+                raise OSError(f"shard worker for rank {rank} is dead")
+
+    def _dispatch(self, key: object) -> None:
+        if not self._conns:  # in-process mode
+            for plans in self._bound:
+                plans[key].run()
+            return
+        for conn in self._conns:
+            conn.send(("run", key))
+        for rank, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardError(
+                    f"shard worker for rank {rank} vanished mid-step "
+                    f"running {key!r}: {exc!r}",
+                    rank=rank,
+                ) from exc
+            if reply[0] != "done":
+                raise ShardError(
+                    f"shard worker for rank {rank} failed running "
+                    f"{key!r}: {reply[1]}",
+                    rank=rank,
+                )
+
+    def _zero_halos(self, names: Sequence[str]) -> None:
+        h = self.halo
+        if h == 0 or not names:
+            return
+        for slab in self.slabs:
+            lo = slab.own_lo - slab.slab_lo
+            hi = slab.own_hi - slab.slab_lo
+            for name in names:
+                arr = slab.arrays[name]
+                if lo > 0:
+                    arr[:lo] = 0.0
+                arr[hi + 1 :] = 0.0
+
+    # -- halo communication (test/tooling surface) -------------------------
+
+    def exchange(self, names: Sequence[str]) -> None:
+        """Forward ghost-cell exchange for *names* (no-op when degraded)."""
+        if not self._degraded:
+            _exchange_pairs(self.slabs, names, self.halo)
+
+    def accumulate_back(self, names: Sequence[str]) -> None:
+        """Adjoint accumulate-back for *names* (no-op when degraded)."""
+        if not self._degraded:
+            _accumulate_pairs(self.slabs, names, self.halo)
+
+    # -- data movement -----------------------------------------------------
+
+    def gather(self, names: Sequence[str] | None = None) -> dict[str, np.ndarray]:
+        """Owned rows of each rank assembled into fresh global arrays."""
+        names = self._names if names is None else list(names)
+        out = {}
+        for name in names:
+            if self._degraded:
+                out[name] = self._globals[name].copy()
+            else:
+                dst = np.empty_like(self._globals[name])
+                self._collect(name, dst)
+                out[name] = dst
+        return out
+
+    def gather_into(self, name: str, dst: np.ndarray) -> None:
+        """Assemble owned rows of *name* into the preallocated *dst*."""
+        if self._degraded:
+            np.copyto(dst, self._globals[name])
+        else:
+            self._collect(name, dst)
+
+    def _collect(self, name: str, dst: np.ndarray) -> None:
+        for slab in self.slabs:
+            lo, hi = slab.own_lo, slab.own_hi
+            a = lo - slab.slab_lo
+            dst[lo : hi + 1] = slab.arrays[name][a : a + hi - lo + 1]
+
+    def load(self, name: str, values: np.ndarray) -> None:
+        """Scatter a global array into every rank's slab (halos included)."""
+        if self._degraded:
+            np.copyto(self._globals[name], values)
+            return
+        for slab in self.slabs:
+            arr = slab.arrays[name]
+            arr[...] = values[slab.slab_lo : slab.slab_lo + arr.shape[0]]
+
+    def fill(self, name: str, value: float = 0.0) -> None:
+        """Fill an array with a constant on every rank (halos included)."""
+        if self._degraded:
+            self._globals[name].fill(value)
+            return
+        for slab in self.slabs:
+            slab.arrays[name].fill(value)
+
+    def copy(self, dst: str, src: str) -> None:
+        """Copy array *src* into *dst* on every rank (halos included)."""
+        if self._degraded:
+            np.copyto(self._globals[dst], self._globals[src])
+            return
+        for slab in self.slabs:
+            np.copyto(slab.arrays[dst], slab.arrays[src])
+
+    # -- degradation and shutdown ------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to single-shard execution on the global arrays.
+
+        Every rank still holds its consistent pre-step state (the
+        heartbeat runs before any dispatch), so gathering owned rows and
+        re-binding unsharded plans continues the run bitwise-identically.
+        """
+        warnings.warn(
+            f"sharded execution degraded to a single shard: {reason}; "
+            f"owned rows were gathered and the run continues "
+            f"bitwise-identically on one shard",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for name in self._names:
+            self._collect(name, self._globals[name])
+        for key, kernel in self._kernels.items():
+            plan = ExecutionPlan.build(kernel, self.config)
+            amap = self._aliases[key]
+            local = {
+                name: self._globals[amap.get(name, name)]
+                for name in _kernel_array_names(kernel)
+            }
+            self._single[key] = plan.bind(local)
+        self._degraded = True
+        self._bound = []
+        self.slabs = []
+        _release(self._workers, self._conns, self._segments)
+
+    def close(self) -> None:
+        """Stop workers and release shared-memory segments (idempotent)."""
+        self._bound = []
+        self.slabs = []
+        _release(self._workers, self._conns, self._segments)
+
+    def __enter__(self) -> "ShardedPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -192,6 +192,18 @@ _register(
     "typed-error",
     _default("server.shm.attach", FileNotFoundError),
 )
+_register(
+    "shard.exchange",
+    "a halo-exchange copy between shard slabs fails mid-step",
+    "fallback",
+    _default("shard.exchange", OSError),
+)
+_register(
+    "shard.worker",
+    "a shard worker process is found dead before dispatch",
+    "fallback",
+    _default("shard.worker", OSError),
+)
 
 
 def registered_fault_points() -> tuple[FaultPoint, ...]:

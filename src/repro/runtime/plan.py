@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
+from ..errors import ValidationError
 from .compiler import (
     CompiledKernel,
     KernelError,
@@ -63,7 +64,12 @@ from .tiling import safe_to_tile, tile_box
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .bound import BoundPlan
 
-__all__ = ["ExecutionConfig", "ExecutionPlan", "validate_scatter_kernel"]
+__all__ = [
+    "ExecutionConfig",
+    "ExecutionPlan",
+    "ShardSpec",
+    "validate_scatter_kernel",
+]
 
 Box = tuple[tuple[int, int], ...]
 StmtBoxes = tuple[Box | None, ...]
@@ -268,6 +274,61 @@ def _any_overlap(a: dict[str, list[Box]], b: dict[str, list[Box]]) -> bool:
     return False
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """One rank's slice of a block decomposition along frame axis 0.
+
+    ``[own_lo, own_hi]`` are the rows this rank owns, in **global**
+    coordinates.  ``slab_lo`` is the global row that local row 0 of the
+    rank's slab (owned rows plus halo ghosts) maps to, and
+    ``slab_extent`` is the slab's total axis-0 length.  Building a plan
+    with a shard clamps every region's axis-0 bounds to the owned rows
+    *before* guard intersection (guards are written in global
+    coordinates), then translates the resulting statement boxes by
+    ``-slab_lo`` into local slab coordinates, ready to bind against
+    slab-sized arrays.
+
+    >>> ShardSpec(rank=1, own_lo=4, own_hi=7, slab_lo=3, slab_extent=6)
+    ShardSpec(rank=1, own_lo=4, own_hi=7, slab_lo=3, slab_extent=6)
+    """
+
+    rank: int
+    own_lo: int
+    own_hi: int
+    slab_lo: int
+    slab_extent: int
+
+    def __post_init__(self) -> None:
+        if self.own_lo > self.own_hi:
+            raise ValidationError(
+                f"shard rank {self.rank} owns no rows: "
+                f"own_lo {self.own_lo} > own_hi {self.own_hi}"
+            )
+        if not 0 <= self.slab_lo <= self.own_lo:
+            raise ValidationError(
+                f"shard rank {self.rank}: slab_lo {self.slab_lo} must lie "
+                f"in [0, own_lo={self.own_lo}]"
+            )
+        if self.slab_extent < self.own_hi - self.slab_lo + 1:
+            raise ValidationError(
+                f"shard rank {self.rank}: slab extent {self.slab_extent} "
+                f"is too small to hold rows "
+                f"[{self.slab_lo}, {self.own_hi}]"
+            )
+
+
+def _shift_boxes(stmt_boxes: StmtBoxes, shift: int) -> StmtBoxes:
+    """Translate every statement box's axis 0 by ``-shift``."""
+    if not shift:
+        return stmt_boxes
+    return tuple(
+        None
+        if box is None
+        else ((box[0][0] - shift, box[0][1] - shift),) + box[1:]
+        for box in stmt_boxes
+    )
+
+
 class ExecutionPlan:
     """A kernel frozen together with its full work decomposition.
 
@@ -294,10 +355,12 @@ class ExecutionPlan:
         kernel: CompiledKernel,
         config: ExecutionConfig,
         region_plans: tuple[RegionPlan, ...],
+        shard: ShardSpec | None = None,
     ):
         self.kernel = kernel
         self.config = config
         self.region_plans = region_plans
+        self.shard = shard
         self.barriers = self._compute_barriers(region_plans)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
@@ -310,7 +373,12 @@ class ExecutionPlan:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def build(cls, kernel: CompiledKernel, config: ExecutionConfig) -> "ExecutionPlan":
+    def build(
+        cls,
+        kernel: CompiledKernel,
+        config: ExecutionConfig,
+        shard: ShardSpec | None = None,
+    ) -> "ExecutionPlan":
         if config.scatter and config.num_threads > 1:
             validate_scatter_kernel(kernel)
         if config.tile_shape is not None:
@@ -326,24 +394,55 @@ class ExecutionPlan:
         for region in kernel.regions:
             if region.is_empty:
                 continue
-            region_plans.append(cls._plan_region(region, config))
-        return cls(kernel, config, tuple(region_plans))
+            if shard is None:
+                region_plans.append(cls._plan_region(region, config))
+                continue
+            lo, hi = region.bounds[0]
+            lo, hi = max(lo, shard.own_lo), min(hi, shard.own_hi)
+            if lo > hi:  # this rank owns none of the region's rows
+                continue
+            if shard.slab_lo and any(
+                0 in st.bare_axes for st in region.statements
+            ):
+                raise ValidationError(
+                    f"kernel {kernel.name!r} region {region.name!r} uses "
+                    f"the axis-0 loop counter as a value; sharding "
+                    f"translates axis 0 into local slab coordinates "
+                    f"(offset {shard.slab_lo}), which would change the "
+                    f"counter's value"
+                )
+            bounds = ((lo, hi),) + tuple(region.bounds[1:])
+            region_plans.append(
+                cls._plan_region(
+                    region, config, bounds=bounds, shift=shard.slab_lo
+                )
+            )
+        return cls(kernel, config, tuple(region_plans), shard=shard)
 
     @staticmethod
-    def _plan_region(region: RegionKernel, config: ExecutionConfig) -> RegionPlan:
+    def _plan_region(
+        region: RegionKernel,
+        config: ExecutionConfig,
+        bounds: Box | None = None,
+        shift: int = 0,
+    ) -> RegionPlan:
+        root: Box = region.bounds if bounds is None else bounds
         if config.scatter:
-            blocks = split_box(region.bounds, config.num_threads)
-            tasks = tuple((region.statement_boxes(block),) for block in blocks)
+            blocks = split_box(root, config.num_threads)
+            tasks = tuple(
+                (_shift_boxes(region.statement_boxes(block), shift),)
+                for block in blocks
+            )
             return RegionPlan(region, tasks, parallel=config.num_threads > 1)
 
         parallel = False
-        blocks: list[Box] = [region.bounds]
+        blocks: list[Box] = [root]
         if config.num_threads > 1 and (
-            region.iteration_count() >= config.min_block_iterations
+            region.iteration_count(root) >= config.min_block_iterations
         ):
             axis = safe_split_axis(region)
             if axis is not None:
-                blocks = split_box(region.bounds, config.num_threads, axis=axis)
+                blocks = split_box(root, config.num_threads, axis=axis)
                 parallel = True
 
         tile = config.tile_shape
@@ -351,7 +450,12 @@ class ExecutionPlan:
         tasks = []
         for block in blocks:
             boxes = tile_box(block, tile) if tileable else [block]
-            tasks.append(tuple(region.statement_boxes(box) for box in boxes))
+            tasks.append(
+                tuple(
+                    _shift_boxes(region.statement_boxes(box), shift)
+                    for box in boxes
+                )
+            )
         return RegionPlan(region, tuple(tasks), parallel=parallel)
 
     @staticmethod

@@ -549,6 +549,69 @@ def _scenario_server_shm_attach() -> str:
     )
 
 
+def _shard_scenario(point: str, skip: int) -> str:
+    """Shared shape of the two shard fault points.
+
+    Runs a 3-step single-shard reference, then the same steps on a
+    3-rank :class:`ShardedPlan` with *point* armed to fire mid-run
+    (after *skip* occurrences — past the first step, so real sharded
+    state exists when the fault lands).  Asserts the fallback contract:
+    the plan degrades to single-shard execution with one warning, and
+    both the gathered result and the caller's global arrays are bitwise
+    identical to the never-sharded reference.
+    """
+    from ..runtime.distributed import ShardedPlan
+
+    kernel, base = _fresh_case(seed=5)
+    steps = 3
+    exchange = ["u", "u_1", "u_b"]
+    accumulate = ["u_1_b"]
+    ref = {k: v.copy() for k, v in base.items()}
+    bound = kernel.plan().bind(ref)
+    for _ in range(steps):
+        bound.run()
+    arrays = {k: v.copy() for k, v in base.items()}
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with faults.inject(point, skip=skip) as inj:
+            with ShardedPlan(kernel, arrays, nranks=3, halo=1) as sharded:
+                for _ in range(steps):
+                    sharded.step(
+                        "main", exchange=exchange, accumulate=accumulate
+                    )
+                fired = inj.fired(point)
+                degraded = sharded.degraded
+                got = sharded.gather()
+    if fired != 1:
+        raise AssertionError(f"expected one {point} firing, got {fired}")
+    if not degraded:
+        raise AssertionError("injected fault did not degrade the plan")
+    if sum("degraded" in str(w.message) for w in caught) != 1:
+        raise AssertionError("degradation must warn exactly once")
+    bad = _mismatches(ref, got)
+    if bad:
+        raise AssertionError(f"degraded run diverged from reference on {bad}")
+    bad = _mismatches(ref, arrays)
+    if bad:
+        raise AssertionError(f"caller's global arrays diverged on {bad}")
+    return (
+        "fired 1x; degraded to a single shard mid-run; warned once; "
+        "bitwise-identical"
+    )
+
+
+def _scenario_shard_exchange() -> str:
+    # Two slab pairs per step: skip=3 lands the fault on the second
+    # step's second pair — mid-exchange, mid-run.
+    return _shard_scenario("shard.exchange", skip=3)
+
+
+def _scenario_shard_worker() -> str:
+    # Three liveness probes per step: skip=4 lands the fault on the
+    # second step's middle rank, before any dispatch of that step.
+    return _shard_scenario("shard.worker", skip=4)
+
+
 _SCENARIOS = {
     "native.toolchain": _scenario_toolchain,
     "native.cc.spawn": _scenario_cc_spawn,
@@ -564,6 +627,8 @@ _SCENARIOS = {
     "server.accept": _scenario_server_accept,
     "server.batch.bind": _scenario_server_batch_bind,
     "server.shm.attach": _scenario_server_shm_attach,
+    "shard.exchange": _scenario_shard_exchange,
+    "shard.worker": _scenario_shard_worker,
 }
 
 

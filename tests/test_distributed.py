@@ -1,11 +1,14 @@
 """Tests for the simulated distributed-memory executor (halo exchange and
 its adjoint, the reverse accumulate-back)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.apps import burgers_problem, heat_problem, wave_problem
 from repro.core import adjoint_loops
+from repro.errors import ValidationError
 from repro.runtime import compile_nests
 from repro.runtime.distributed import DistributedExecutor, decompose
 
@@ -109,6 +112,57 @@ def test_mismatched_shapes_rejected(rng):
 def test_negative_halo_rejected():
     with pytest.raises(ValueError):
         DistributedExecutor(nranks=2, halo=-1)
+
+
+# -- regression tests for the three substrate bugs -------------------------
+
+
+def test_gather_preserves_float32_round_trip(rng):
+    """Regression: ``gather`` used to allocate with ``np.zeros(...)`` and
+    no dtype, silently promoting float32 state to float64."""
+    arrays = {
+        "a": rng.standard_normal((13, 3)).astype(np.float32),
+        "b": rng.standard_normal((13, 3)).astype(np.float32),
+    }
+    ex = DistributedExecutor(nranks=3, halo=1)
+    slabs = ex.scatter(arrays)
+    back = ex.gather(slabs, ["a", "b"], 13)
+    for name in arrays:
+        assert back[name].dtype == np.float32
+        np.testing.assert_array_equal(back[name], arrays[name])
+
+
+def test_halo_wider_than_smallest_slab_rejected():
+    """Regression: a halo wider than the smallest owned slab used to make
+    the exchange read a neighbour's halo rows as if they were interior.
+    Now it is a typed error, at scatter time, naming the offending
+    rank."""
+    # decompose(9, 5) -> sizes (2, 2, 2, 2, 1): rank 4 owns one row.
+    ex = DistributedExecutor(nranks=5, halo=2)
+    with pytest.raises(ValidationError, match=r"rank 4 of 5"):
+        ex.scatter({"x": np.zeros(9)})
+    # The widest legal halo still scatters.
+    assert len(DistributedExecutor(nranks=5, halo=1).scatter(
+        {"x": np.zeros(9)}
+    )) == 5
+
+
+def test_rank_clamp_is_recorded_and_warned_once():
+    """Regression: when ``nranks > extent`` the decomposition silently
+    clamped while the executor kept reporting the requested value.  Now
+    ``effective_nranks`` records the truth and the clamp warns once."""
+    ex = DistributedExecutor(nranks=10, halo=0)
+    assert ex.effective_nranks is None  # unknown before the first scatter
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        slabs = ex.scatter({"x": np.arange(3.0)})
+        ex.scatter({"x": np.arange(3.0)})  # second scatter: no re-warn
+    assert ex.nranks == 10
+    assert ex.effective_nranks == 3
+    assert len(slabs) == 3
+    clamp = [w for w in caught if "using 3 rank(s)" in str(w.message)]
+    assert len(clamp) == 1
+    assert issubclass(clamp[0].category, RuntimeWarning)
 
 
 # -- partition / roundtrip properties -------------------------------------

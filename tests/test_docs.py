@@ -52,7 +52,8 @@ def test_doc_files_exist():
     assert (REPO / "docs" / "fusion.md").is_file()
     assert (REPO / "docs" / "reliability.md").is_file()
     assert (REPO / "docs" / "serving.md").is_file()
-    assert len(DOC_FILES) >= 8  # README + the seven docs
+    assert (REPO / "docs" / "sharding.md").is_file()
+    assert len(DOC_FILES) >= 9  # README + the eight docs
 
 
 @pytest.mark.parametrize("md_path", DOC_FILES, ids=lambda p: p.name)
@@ -80,6 +81,7 @@ def test_docs_are_cross_linked():
     fus = (REPO / "docs" / "fusion.md").read_text()
     rel = (REPO / "docs" / "reliability.md").read_text()
     srv = (REPO / "docs" / "serving.md").read_text()
+    shd = (REPO / "docs" / "sharding.md").read_text()
     readme = (REPO / "README.md").read_text()
     assert "ensembles.md" in arch and "fusion.md" in arch
     assert "architecture.md" in ens
@@ -90,13 +92,18 @@ def test_docs_are_cross_linked():
     assert "serving.md" in rel
     assert "architecture.md" in srv and "ensembles.md" in srv
     assert "reliability.md" in srv
+    assert "sharding.md" in rel
+    assert "architecture.md" in shd and "reliability.md" in shd
+    assert "checkpointing.md" in shd
     assert "../README.md" in arch and "../README.md" in ens
     assert "../README.md" in chk and "../README.md" in fus
     assert "../README.md" in rel and "../README.md" in srv
+    assert "../README.md" in shd
     assert "docs/architecture.md" in readme and "docs/ensembles.md" in readme
     assert "docs/checkpointing.md" in readme and "docs/fusion.md" in readme
     assert "docs/reliability.md" in readme
     assert "docs/serving.md" in readme
+    assert "docs/sharding.md" in readme
 
 
 def test_documented_cli_commands_exist():
@@ -137,11 +144,18 @@ def test_documented_cli_commands_exist():
          "--size", "n=4096", "--param", "c=0.25", "--steps", "8"]
     )
     assert args.command == "request" and args.size == ["n=4096"]
+    args = parser.parse_args(
+        ["shard", "--problem", "heat2d", "--ranks", "1", "--ranks", "2",
+         "--ranks", "4", "--quick",
+         "--baseline", "benchmarks/baseline_shard.json"]
+    )
+    assert args.command == "shard" and args.ranks == [1, 2, 4]
 
 
 def test_docs_doctest_blocks_present():
     """The docs keep executable examples (the CI docs job runs them)."""
     for name in ("architecture.md", "ensembles.md", "checkpointing.md",
-                 "fusion.md", "reliability.md", "serving.md"):
+                 "fusion.md", "reliability.md", "serving.md",
+                 "sharding.md"):
         text = (REPO / "docs" / name).read_text()
         assert text.count(">>> ") >= 5, f"{name} lost its doctest examples"

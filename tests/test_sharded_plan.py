@@ -1,0 +1,445 @@
+"""The sharding contract: ShardedPlan and ShardedCheckpointedAdjoint are
+bitwise identical to the single-shard run at every rank count, and their
+failure modes follow the graceful-degradation contract (see
+docs/sharding.md; the chaos-registry coverage of the two ``shard.*``
+fault points lives in tests/test_faults.py)."""
+
+import multiprocessing
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.apps import burgers_problem, heat_problem, wave_problem
+from repro.core import adjoint_loops
+from repro.errors import ShardError, ValidationError
+from repro.runtime import (
+    ExecutionConfig,
+    ExecutionPlan,
+    ShardSpec,
+    ShardedCheckpointedAdjoint,
+    ShardedPlan,
+    compile_nests,
+    faults,
+    native_available,
+)
+
+_PROBLEMS = {
+    "heat2d": lambda: heat_problem(2),
+    "wave2d": lambda: wave_problem(2),
+    "burgers1d": lambda: burgers_problem(1),
+}
+_BACKENDS = ["python"] + (["native"] if native_available() else [])
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _kernels(prob, n, dtype=np.float64):
+    bindings = prob.bindings(n, dtype=dtype)
+    fwd = compile_nests([prob.primal], bindings, name=prob.name)
+    rev = compile_nests(
+        adjoint_loops(prob.primal, prob.adjoint_map), bindings,
+        name=f"{prob.name}_b",
+    )
+    return fwd, rev
+
+
+def _rotate_np(state, chain):
+    for i in range(len(chain) - 1, 0, -1):
+        np.copyto(state[chain[i]], state[chain[i - 1]])
+
+
+def _rotate_sharded(plan, chain):
+    for i in range(len(chain) - 1, 0, -1):
+        plan.copy(chain[i], chain[i - 1])
+
+
+def _adjoint_names(prob, rev):
+    """(exchange, accumulate, compare) name sets for one reverse step."""
+    seed = prob.output_name + "_b"
+    targets = sorted(
+        {st.target.name for rg in rev.regions for st in rg.statements}
+    )
+    reads = sorted(
+        {acc.name for rg in rev.regions for st in rg.statements
+         for acc in st.reads}
+    )
+    return reads, [t for t in targets if t != seed], targets
+
+
+# -- the bitwise contract matrix -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+@pytest.mark.parametrize("dtype", [np.float64, np.float32], ids=["f64", "f32"])
+@pytest.mark.parametrize("problem", sorted(_PROBLEMS))
+@pytest.mark.parametrize("nranks", [1, 2, 3, 7])
+def test_forward_and_adjoint_bitwise(problem, nranks, dtype, backend):
+    """Sharded forward state and adjoint gradients == single-shard run,
+    bit for bit, for every rank count x dtype x problem x backend."""
+    prob = _PROBLEMS[problem]()
+    n = 24
+    steps = 3
+    fwd, rev = _kernels(prob, n, dtype)
+    config = ExecutionConfig(backend=backend)
+    chain = [prob.output_name, *prob.history_fields()]
+    hist = list(prob.history_fields())
+
+    ref = prob.allocate(n, rng=np.random.default_rng(0), dtype=dtype)
+    plan = fwd.plan(backend=backend)
+    bound = plan.bind(ref)
+    for _ in range(steps):
+        bound.run()
+        _rotate_np(ref, chain)
+    plan.close()
+
+    state = prob.allocate(n, rng=np.random.default_rng(0), dtype=dtype)
+    with ShardedPlan(
+        fwd, state, nranks=nranks, halo=1, config=config, use_workers=False
+    ) as sp:
+        assert sp.effective_nranks == nranks
+        for _ in range(steps):
+            sp.step(exchange=hist)
+            _rotate_sharded(sp, chain)
+        got = sp.gather(chain)
+    for name in chain:
+        assert got[name].dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(got[name], ref[name])
+
+    exchange, accumulate, compare = _adjoint_names(prob, rev)
+    adj_ref = prob.allocate_state(n, seed=1, dtype=dtype)
+    rplan = rev.plan(backend=backend)
+    rplan.bind(adj_ref).run()
+    rplan.close()
+
+    astate = prob.allocate_state(n, seed=1, dtype=dtype)
+    with ShardedPlan(
+        rev, astate, nranks=nranks, halo=1, config=config, use_workers=False
+    ) as ap:
+        ap.step(exchange=exchange, accumulate=accumulate)
+        agot = ap.gather(compare)
+    for name in compare:
+        np.testing.assert_array_equal(agot[name], adj_ref[name])
+
+
+@pytest.mark.skipif(not _FORK, reason="no fork start method")
+@pytest.mark.parametrize("nranks", [1, 2, 3, 7])
+def test_forked_workers_bitwise(nranks):
+    """The real multi-process path (forked workers running the bound
+    plans over shared memory) preserves the forward bitwise contract."""
+    prob = heat_problem(2)
+    n = 24
+    fwd, _ = _kernels(prob, n)
+    ref = prob.allocate(n, rng=np.random.default_rng(2))
+    plan = fwd.plan()
+    bound = plan.bind(ref)
+    for _ in range(4):
+        bound.run()
+        np.copyto(ref["u_1"], ref["u"])
+    plan.close()
+
+    state = prob.allocate(n, rng=np.random.default_rng(2))
+    with ShardedPlan(fwd, state, nranks=nranks, halo=1) as sp:
+        assert sp.multiprocess
+        for _ in range(4):
+            sp.step(exchange=["u_1"])
+            sp.copy("u_1", "u")
+        got = sp.gather(["u", "u_1"])
+    np.testing.assert_array_equal(got["u"], ref["u"])
+    np.testing.assert_array_equal(got["u_1"], ref["u_1"])
+
+
+@pytest.mark.skipif(not _FORK, reason="no fork start method")
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+def test_forked_workers_native_backend_bitwise():
+    """Native-backend bound plans survive the fork (the ctypes-loaded
+    .so is inherited) and stay bitwise across shards."""
+    prob = heat_problem(2)
+    n = 20
+    fwd, _ = _kernels(prob, n)
+    ref = prob.allocate(n, rng=np.random.default_rng(3))
+    plan = fwd.plan(backend="native")
+    bound = plan.bind(ref)
+    for _ in range(3):
+        bound.run()
+        np.copyto(ref["u_1"], ref["u"])
+    plan.close()
+
+    state = prob.allocate(n, rng=np.random.default_rng(3))
+    with ShardedPlan(
+        fwd, state, nranks=3, halo=1, config=ExecutionConfig(backend="native")
+    ) as sp:
+        assert sp.multiprocess
+        for _ in range(3):
+            sp.step(exchange=["u_1"])
+            sp.copy("u_1", "u")
+        got = sp.gather(["u"])
+    np.testing.assert_array_equal(got["u"], ref["u"])
+
+
+def test_exchange_accumulate_transpose_identity():
+    """<F x, y> == <x, F^T y> at the ShardedPlan layer: the forward
+    exchange and the accumulate-back are adjoint linear maps on the
+    concatenation of all slab storage."""
+    prob = heat_problem(1)
+    n = 14  # extent 15 over 4 ranks: slabs of 4,4,4,3 rows; halo 2 fits
+    fwd, _ = _kernels(prob, n)
+
+    def fresh(seed):
+        sp = ShardedPlan(
+            fwd, prob.allocate(n), nranks=4, halo=2, use_workers=False
+        )
+        r = np.random.default_rng(seed)
+        for slab in sp.slabs:
+            slab.arrays["u_1"][:] = r.standard_normal(
+                slab.arrays["u_1"].shape
+            )
+        return sp
+
+    def flat(sp):
+        return np.concatenate([s.arrays["u_1"] for s in sp.slabs])
+
+    with fresh(1) as xs, fresh(2) as ys:
+        x0, y0 = flat(xs), flat(ys)
+        xs.exchange(["u_1"])          # xs <- F x
+        ys.accumulate_back(["u_1"])   # ys <- F^T y
+        lhs = float(flat(xs) @ y0)
+        rhs = float(x0 @ flat(ys))
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_shard_spec_validates_geometry():
+    with pytest.raises(ValidationError):
+        ShardSpec(rank=0, own_lo=5, own_hi=4, slab_lo=0, slab_extent=10)
+    with pytest.raises(ValidationError):
+        ShardSpec(rank=0, own_lo=2, own_hi=4, slab_lo=3, slab_extent=5)
+    with pytest.raises(ValidationError):
+        ShardSpec(rank=0, own_lo=2, own_hi=6, slab_lo=1, slab_extent=3)
+
+
+def test_shard_bind_rejects_global_extent_arrays():
+    """A shard-planned bind names the rank and the expected slab rows
+    when handed arrays of the wrong axis-0 extent."""
+    prob = heat_problem(1)
+    n = 20
+    fwd, _ = _kernels(prob, n)
+    spec = ShardSpec(rank=1, own_lo=7, own_hi=13, slab_lo=6, slab_extent=9)
+    plan = ExecutionPlan.build(fwd, ExecutionConfig(), shard=spec)
+    with pytest.raises(ValidationError, match=r"rank 1.*slab"):
+        plan.bind(prob.allocate(n))  # global extent 21, slab wants 9
+
+
+def test_sharded_plan_halo_validation_names_rank():
+    prob = heat_problem(1)
+    n = 8  # extent 9 over 5 ranks: sizes 2,2,2,2,1 -> rank 4 owns 1 row
+    fwd, _ = _kernels(prob, n)
+    with pytest.raises(ValidationError, match=r"rank 4 of 5"):
+        ShardedPlan(
+            fwd, prob.allocate(n), nranks=5, halo=2, use_workers=False
+        )
+
+
+def test_sharded_plan_rank_clamp_warns_once_and_is_recorded():
+    prob = heat_problem(1)
+    n = 8  # extent 9
+    fwd, _ = _kernels(prob, n)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with ShardedPlan(
+            fwd, prob.allocate(n), nranks=20, halo=1, use_workers=False
+        ) as sp:
+            assert sp.nranks == 20
+            assert sp.effective_nranks == 9
+            assert len(sp.slabs) == 9
+    clamp = [w for w in caught if "using 9 rank(s)" in str(w.message)]
+    assert len(clamp) == 1
+
+
+def test_sharded_plan_rejects_unknown_kernel_key_and_bad_shapes():
+    prob = heat_problem(1)
+    fwd, _ = _kernels(prob, 10)
+    state = prob.allocate(10)
+    with ShardedPlan(fwd, state, nranks=2, halo=1, use_workers=False) as sp:
+        with pytest.raises(ValidationError, match="unknown kernel key"):
+            sp.step("nope")
+    with pytest.raises(ValidationError, match="share one shape"):
+        ShardedPlan(
+            fwd, {"u": np.zeros(11), "u_1": np.zeros(12)},
+            nranks=2, halo=1, use_workers=False,
+        )
+    with pytest.raises(ValidationError, match="not in the sharded"):
+        ShardedPlan(
+            fwd, {"u": np.zeros(11)}, nranks=2, halo=1, use_workers=False
+        )
+
+
+# -- failure modes -----------------------------------------------------------
+
+
+def test_exchange_failure_degrades_bitwise_mid_run():
+    """A halo-copy failure mid-run falls back to single-shard execution:
+    one warning, permanent, and the remaining steps continue bitwise on
+    the caller's arrays."""
+    prob = heat_problem(2)
+    n = 16
+    fwd, _ = _kernels(prob, n)
+    ref = prob.allocate(n, rng=np.random.default_rng(5))
+    plan = fwd.plan()
+    bound = plan.bind(ref)
+    for _ in range(3):
+        bound.run()
+        np.copyto(ref["u_1"], ref["u"])
+    plan.close()
+
+    state = prob.allocate(n, rng=np.random.default_rng(5))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        # 3 ranks -> 2 exchange checks per step; skip=2 fires on the
+        # first pair of the SECOND step, mid-run.
+        with faults.inject("shard.exchange", skip=2) as inj:
+            with ShardedPlan(
+                fwd, state, nranks=3, halo=1, use_workers=False
+            ) as sp:
+                for _ in range(3):
+                    sp.step(exchange=["u_1"])
+                    sp.copy("u_1", "u")
+                assert sp.degraded
+                got = sp.gather(["u", "u_1"])
+    assert inj.fired("shard.exchange") == 1
+    degraded = [w for w in caught if "degraded" in str(w.message)]
+    assert len(degraded) == 1
+    np.testing.assert_array_equal(got["u"], ref["u"])
+    # Degraded mode runs on the caller's global arrays directly.
+    np.testing.assert_array_equal(state["u"], ref["u"])
+
+
+@pytest.mark.skipif(not _FORK, reason="no fork start method")
+def test_dead_worker_degrades_bitwise():
+    """A worker found dead by the pre-dispatch heartbeat degrades to a
+    single shard with the run still bitwise-identical."""
+    prob = heat_problem(2)
+    n = 16
+    fwd, _ = _kernels(prob, n)
+    ref = prob.allocate(n, rng=np.random.default_rng(6))
+    plan = fwd.plan()
+    bound = plan.bind(ref)
+    for _ in range(2):
+        bound.run()
+        np.copyto(ref["u_1"], ref["u"])
+    plan.close()
+
+    state = prob.allocate(n, rng=np.random.default_rng(6))
+    with ShardedPlan(fwd, state, nranks=3, halo=1) as sp:
+        assert sp.multiprocess
+        sp.step(exchange=["u_1"])
+        sp.copy("u_1", "u")
+        victim = sp._workers[1]
+        victim.kill()
+        victim.join()  # deterministic: the heartbeat must see it dead
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sp.step(exchange=["u_1"])
+        sp.copy("u_1", "u")
+        assert sp.degraded and not sp.multiprocess
+        got = sp.gather(["u", "u_1"])
+    degraded = [w for w in caught if "degraded" in str(w.message)]
+    assert len(degraded) == 1
+    np.testing.assert_array_equal(got["u"], ref["u"])
+
+
+@pytest.mark.skipif(not _FORK, reason="no fork start method")
+def test_worker_failure_mid_step_raises_typed_shard_error():
+    """A kernel failure inside a worker (after dispatch) cannot degrade
+    — some ranks may have advanced — so it raises ShardError naming the
+    rank.  The injector is armed before construction so the forked
+    children inherit it."""
+    prob = heat_problem(2)
+    n = 12
+    fwd, _ = _kernels(prob, n)
+    state = prob.allocate(n, rng=np.random.default_rng(7))
+    with faults.inject("bound.run"):
+        with ShardedPlan(fwd, state, nranks=2, halo=1) as sp:
+            assert sp.multiprocess
+            with pytest.raises(ShardError) as excinfo:
+                sp.step(exchange=["u_1"])
+    assert excinfo.value.rank == 0
+    assert "rank 0" in str(excinfo.value)
+
+
+# -- sharded checkpointed adjoints ------------------------------------------
+
+
+@pytest.mark.parametrize("nranks", [2, 3])
+@pytest.mark.parametrize("problem", ["heat2d", "wave2d"])
+def test_sharded_checkpointed_adjoint_bitwise(problem, nranks):
+    """One revolve schedule driven across shards == the unsharded
+    CheckpointedAdjointPlan, bitwise, including constant-field
+    gradients (wave2d's velocity model)."""
+    prob = _PROBLEMS[problem]()
+    n = 12
+    steps, snaps = 7, 3
+    shape = prob.array_shape(n)
+    history = prob.history_fields()
+
+    chk = prob.checkpointed_adjoint(n, steps=steps, snaps=snaps)
+    fwd, rev = _kernels(prob, n)
+    # The same deterministic constant fields apps.checkpointed_adjoint
+    # allocates (seed 0, scaled like Problem.allocate).
+    rng = np.random.default_rng(0)
+    constants = {
+        name: rng.standard_normal(shape) * 0.1
+        for name in prob.constant_fields()
+    }
+    sharded = ShardedCheckpointedAdjoint(
+        fwd, rev, shape,
+        nranks=nranks, halo=1, steps=steps, snaps=snaps,
+        output=prob.output_name, history=history, constants=constants,
+        adjoint_map=prob.adjoint_name_map(), use_workers=False,
+    )
+    r = np.random.default_rng(9)
+    state0 = [r.standard_normal(shape) * 0.1 for _ in history]
+    seed = r.standard_normal(shape) * 0.1
+
+    ref_final = chk.run_forward([a.copy() for a in state0])
+    got_final = sharded.run_forward([a.copy() for a in state0])
+    for ref_arr, got_arr in zip(ref_final, got_final):
+        np.testing.assert_array_equal(got_arr, ref_arr)
+
+    ref_grad = chk.adjoint([a.copy() for a in state0], seed)
+    got_grad = sharded.adjoint([a.copy() for a in state0], seed)
+    assert sorted(got_grad) == sorted(ref_grad)
+    for name in got_grad:
+        np.testing.assert_array_equal(got_grad[name], ref_grad[name])
+
+    assert sharded.evaluation_cost == chk.evaluation_cost
+    sharded.close()
+    chk.close()
+
+
+@pytest.mark.skipif(not _FORK, reason="no fork start method")
+def test_sharded_checkpointed_adjoint_with_workers():
+    """The sharded revolve sweep stays bitwise when the shards execute
+    in forked worker processes."""
+    prob = heat_problem(2)
+    n = 12
+    steps, snaps = 6, 3
+    shape = prob.array_shape(n)
+    chk = prob.checkpointed_adjoint(n, steps=steps, snaps=snaps)
+    fwd, rev = _kernels(prob, n)
+    sharded = ShardedCheckpointedAdjoint(
+        fwd, rev, shape, nranks=2, halo=1, steps=steps, snaps=snaps,
+        output=prob.output_name, history=prob.history_fields(),
+        adjoint_map=prob.adjoint_name_map(),
+    )
+    assert sharded._plan.multiprocess
+    r = np.random.default_rng(4)
+    state0 = [r.standard_normal(shape) * 0.1]
+    seed = r.standard_normal(shape) * 0.1
+    ref_grad = chk.adjoint([a.copy() for a in state0], seed)
+    got_grad = sharded.adjoint([a.copy() for a in state0], seed)
+    for name in got_grad:
+        np.testing.assert_array_equal(got_grad[name], ref_grad[name])
+    sharded.close()
+    chk.close()
